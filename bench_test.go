@@ -1,0 +1,287 @@
+package ghba
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// drives the corresponding experiment at a reduced scale so `go test
+// -bench=. -benchmem` regenerates every result in minutes; cmd/ghbabench
+// runs the full-scale versions. Custom metrics attach the figure's headline
+// quantity to the benchmark output (latencies in ms, message counts, Γ).
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"ghba/internal/bloom"
+	"ghba/internal/experiments"
+	"ghba/internal/trace"
+)
+
+// BenchmarkEq1FalsePositive evaluates Equation 1 across the θ range used in
+// the paper's configurations.
+func BenchmarkEq1FalsePositive(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for theta := 1; theta <= 32; theta++ {
+			sink += bloom.SegmentFalsePositive(theta, 16)
+		}
+	}
+	b.ReportMetric(bloom.SegmentFalsePositive(10, 16)*1e6, "fp_ppm_theta10")
+	_ = sink
+}
+
+func quickFig6(b *testing.B, n int) experiments.Fig6Config {
+	b.Helper()
+	cfg := experiments.DefaultFig6Config(trace.HP(), n)
+	cfg.Ms = []int{1, 2, 4, 6, 9, 12, 15}
+	cfg.Ops = 4_000
+	cfg.FilesPerSubtrace = 2_500
+	return cfg
+}
+
+// BenchmarkFig6NormalizedThroughput regenerates Fig 6: Γ versus group size
+// M for N=30 (the N=100 variant runs under cmd/ghbabench -fig 6).
+func BenchmarkFig6NormalizedThroughput(b *testing.B) {
+	var bestM int
+	var bestG float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig6(quickFig6(b, 30))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bestG, bestM = 0, 0
+		for _, r := range rows {
+			if r.Gamma > bestG {
+				bestG, bestM = r.Gamma, r.M
+			}
+		}
+	}
+	b.ReportMetric(float64(bestM), "optimal_M")
+	b.ReportMetric(bestG, "gamma_at_opt")
+}
+
+// BenchmarkFig7OptimalGroupSize regenerates Fig 7: optimal M as a function
+// of N.
+func BenchmarkFig7OptimalGroupSize(b *testing.B) {
+	cfg := experiments.DefaultFig7Config(trace.HP())
+	cfg.Ns = []int{10, 30, 60}
+	cfg.Ms = []int{1, 2, 3, 5, 7, 9, 12}
+	cfg.Ops = 2_500
+	var lastM int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastM = rows[len(rows)-1].OptimalM
+	}
+	b.ReportMetric(float64(lastM), "optimal_M_at_N60")
+}
+
+func latencyBench(b *testing.B, figure int) {
+	cfg := experiments.DefaultLatencyFigConfig(figure)
+	cfg.N = 20
+	cfg.M = 5
+	cfg.Ops = 8_000
+	cfg.Interval = 4_000
+	cfg.FilesPerSubtrace = 2_500
+	cfg.VirtualReplicaMB = 24
+	// Keep the paper's top and bottom budget for the reduced-scale bench.
+	cfg.MemBudgetsMB = []uint64{cfg.MemBudgetsMB[0], 160}
+	var hbaPressure, ghbaPressure time.Duration
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.LatencyFig(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.MemBudgetMB != 160 {
+				continue
+			}
+			switch s.Scheme {
+			case "HBA":
+				hbaPressure = s.Final()
+			case "G-HBA":
+				ghbaPressure = s.Final()
+			}
+		}
+	}
+	b.ReportMetric(float64(hbaPressure)/1e6, "hba_lowmem_ms")
+	b.ReportMetric(float64(ghbaPressure)/1e6, "ghba_lowmem_ms")
+}
+
+// BenchmarkFig8LatencyHP regenerates Fig 8 (HP trace).
+func BenchmarkFig8LatencyHP(b *testing.B) { latencyBench(b, 8) }
+
+// BenchmarkFig9LatencyRES regenerates Fig 9 (RES trace).
+func BenchmarkFig9LatencyRES(b *testing.B) { latencyBench(b, 9) }
+
+// BenchmarkFig10LatencyINS regenerates Fig 10 (INS trace).
+func BenchmarkFig10LatencyINS(b *testing.B) { latencyBench(b, 10) }
+
+// BenchmarkFig11Migration regenerates Fig 11: replicas migrated on MDS
+// insertion for HBA, hash placement and G-HBA.
+func BenchmarkFig11Migration(b *testing.B) {
+	var rows []experiments.Fig11Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig11([]int{10, 30, 60, 100}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.HBA), "hba_migrated_N100")
+	b.ReportMetric(float64(last.Hash), "hash_migrated_N100")
+	b.ReportMetric(float64(last.GHBA), "ghba_migrated_N100")
+}
+
+// BenchmarkFig12UpdateLatency regenerates Fig 12: stale-replica update
+// latency, HBA versus G-HBA.
+func BenchmarkFig12UpdateLatency(b *testing.B) {
+	cfg := experiments.DefaultFig12Config(trace.HP(), 30)
+	cfg.Updates = 30
+	cfg.FilesPerSubtrace = 1_500
+	var rows []experiments.Fig12Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		switch r.Scheme {
+		case "HBA":
+			b.ReportMetric(float64(r.MeanLatency)/1e6, "hba_update_ms")
+		case "G-HBA":
+			b.ReportMetric(float64(r.MeanLatency)/1e6, "ghba_update_ms")
+		}
+	}
+}
+
+// BenchmarkFig13HitRates regenerates Fig 13: the share of queries served
+// per hierarchy level as N grows.
+func BenchmarkFig13HitRates(b *testing.B) {
+	cfg := experiments.DefaultFig13Config()
+	cfg.Ns = []int{10, 50, 100}
+	cfg.Ops = 6_000
+	cfg.FilesPerSubtrace = 2_000
+	var rows []experiments.Fig13Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(100*(last.L1+last.L2), "pct_L1L2_N100")
+	b.ReportMetric(100*(last.L1+last.L2+last.L3), "pct_in_group_N100")
+}
+
+// BenchmarkFig14PrototypeLatency regenerates Fig 14 on the TCP prototype.
+func BenchmarkFig14PrototypeLatency(b *testing.B) {
+	cfg := experiments.DefaultFig14Config()
+	cfg.N = 10
+	cfg.M = 4
+	cfg.Ops = 600
+	cfg.Interval = 300
+	cfg.Files = 1_500
+	cfg.ResidentReplicaLimit = 4
+	cfg.DiskPenalty = time.Millisecond
+	var hbaMS, ghbaMS float64
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			switch s.Scheme {
+			case "HBA":
+				hbaMS = float64(s.Final()) / 1e6
+			case "G-HBA":
+				ghbaMS = float64(s.Final()) / 1e6
+			}
+		}
+	}
+	b.ReportMetric(hbaMS, "hba_ms")
+	b.ReportMetric(ghbaMS, "ghba_ms")
+}
+
+// BenchmarkFig15AddNodeMessages regenerates Fig 15 on the TCP prototype.
+func BenchmarkFig15AddNodeMessages(b *testing.B) {
+	var rows []experiments.Fig15Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig15(12, 4, 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.HBAMsgs), "hba_msgs")
+	b.ReportMetric(float64(last.GHBAMsgs), "ghba_msgs")
+}
+
+// BenchmarkTable5MemoryOverhead regenerates Table 5: relative per-MDS
+// memory overhead normalized to BFA8.
+func BenchmarkTable5MemoryOverhead(b *testing.B) {
+	var rows []experiments.Table5Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table5([]int{20, 60, 100}, 2_000, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.GHBA, "ghba_rel_N100")
+	b.ReportMetric(last.PaperRow.GHBA, "paper_rel_N100")
+}
+
+// BenchmarkTables34TraceStats regenerates the intensified-trace statistics
+// of Tables 3 and 4.
+func BenchmarkTables34TraceStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Tables34(5_000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoreLookup measures the simulator's raw lookup throughput — not
+// a paper figure, but the number that bounds every trace-driven experiment.
+func BenchmarkCoreLookup(b *testing.B) {
+	sim, err := New(Config{NumMDS: 30, ExpectedFilesPerMDS: 2_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := make([]string, 5_000)
+	for i := range paths {
+		paths[i] = "/bench/f" + strconv.Itoa(i)
+	}
+	sim.CreateAll(paths)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Lookup(paths[i%len(paths)])
+	}
+}
+
+// BenchmarkBloomFilterOps measures the substrate primitives.
+func BenchmarkBloomFilterOps(b *testing.B) {
+	f, err := bloom.NewForCapacity(100_000, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("/some/path/to/a/file.dat")
+	b.Run("Add", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Add(key)
+		}
+	})
+	b.Run("Contains", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Contains(key)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+// Command ghbactl drives an in-process prototype cluster for demonstrations
+// and smoke tests: it boots N MDS daemons on loopback TCP, populates a
+// namespace, replays lookups, and reports latency, level and message
+// statistics.
+//
+//	ghbactl -n 20 -m 7 -files 10000 -ops 2000
+//	ghbactl -mode hba -n 20 -add 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ghba/internal/mds"
+	"ghba/internal/proto"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 12, "number of MDS daemons")
+		m       = flag.Int("m", 4, "max group size (G-HBA mode)")
+		mode    = flag.String("mode", "ghba", "scheme: ghba or hba")
+		files   = flag.Int("files", 5_000, "namespace size")
+		ops     = flag.Int("ops", 1_000, "lookups to issue")
+		adds    = flag.Int("add", 0, "MDS insertions to perform after the lookups")
+		seed    = flag.Int64("seed", 1, "random seed")
+		resid   = flag.Int("resident", 0, "replicas fitting in RAM (0 = unlimited)")
+		penalty = flag.Duration("disk-penalty", 0, "emulated disk cost when over the resident limit")
+	)
+	flag.Parse()
+
+	var pmode proto.Mode
+	switch *mode {
+	case "ghba":
+		pmode = proto.ModeGHBA
+	case "hba":
+		pmode = proto.ModeHBA
+	default:
+		fmt.Fprintf(os.Stderr, "ghbactl: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	per := uint64(*files / *n)
+	cluster, err := proto.Start(proto.Options{
+		N:    *n,
+		M:    *m,
+		Mode: pmode,
+		Node: mds.Config{
+			ExpectedFiles:  per*2 + 16,
+			BitsPerFile:    16,
+			LRUCapacity:    512,
+			LRUBitsPerFile: 16,
+		},
+		ResidentReplicaLimit: *resid,
+		DiskPenalty:          *penalty,
+		Seed:                 *seed,
+	})
+	exitIf(err)
+	defer cluster.Close()
+	fmt.Printf("ghbactl: %s cluster of %d daemons up\n", cluster.Mode(), cluster.NumMDS())
+
+	paths := make([]string, *files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/vol/d%d/f%d", i%97, i)
+	}
+	cluster.Populate(paths)
+	fmt.Printf("ghbactl: populated %d files\n", len(paths))
+
+	levels := map[int]int{}
+	var total time.Duration
+	start := time.Now()
+	for i := 0; i < *ops; i++ {
+		res, err := cluster.Lookup(paths[(i*31)%len(paths)])
+		exitIf(err)
+		if !res.Found {
+			exitIf(fmt.Errorf("lost file %s", paths[(i*31)%len(paths)]))
+		}
+		levels[res.Level]++
+		total += res.Latency
+	}
+	wall := time.Since(start)
+	fmt.Printf("ghbactl: %d lookups in %v (%.0f req/s), mean RPC latency %v\n",
+		*ops, wall.Round(time.Millisecond),
+		float64(*ops)/wall.Seconds(), (total / time.Duration(*ops)).Round(time.Microsecond))
+	fmt.Printf("ghbactl: levels L1=%d L2=%d L3=%d L4=%d, RPC messages=%d\n",
+		levels[1], levels[2], levels[3], levels[4], cluster.Messages())
+
+	for k := 1; k <= *adds; k++ {
+		id, msgs, err := cluster.AddMDS()
+		exitIf(err)
+		fmt.Printf("ghbactl: added MDS %d (%d messages)\n", id, msgs)
+	}
+}
+
+func exitIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ghbactl:", err)
+		os.Exit(1)
+	}
+}

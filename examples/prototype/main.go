@@ -1,0 +1,72 @@
+// Prototype: boot a real TCP cluster of MDS daemons (the Section 5
+// prototype, scaled to laptop size), run lookups over actual sockets, and
+// measure the message cost of adding servers — the Fig 14 / Fig 15 setup.
+//
+//	go run ./examples/prototype
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ghba/internal/mds"
+	"ghba/internal/proto"
+)
+
+func main() {
+	for _, mode := range []proto.Mode{proto.ModeHBA, proto.ModeGHBA} {
+		run(mode)
+		fmt.Println()
+	}
+}
+
+func run(mode proto.Mode) {
+	cluster, err := proto.Start(proto.Options{
+		N:    12,
+		M:    4,
+		Mode: mode,
+		Node: mds.Config{
+			ExpectedFiles:  2_000,
+			BitsPerFile:    16,
+			LRUCapacity:    256,
+			LRUBitsPerFile: 16,
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	paths := make([]string, 3_000)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/srv/share/d%d/f%d", i%31, i)
+	}
+	cluster.Populate(paths)
+	fmt.Printf("%s: %d daemons on loopback TCP, %d files\n",
+		mode, cluster.NumMDS(), len(paths))
+
+	// A few hundred lookups over real sockets.
+	cluster.ResetMessages()
+	var levels [5]int
+	for i := 0; i < 500; i++ {
+		res, err := cluster.Lookup(paths[(i*13)%len(paths)])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Found {
+			log.Fatalf("lost %s", paths[(i*13)%len(paths)])
+		}
+		levels[res.Level]++
+	}
+	fmt.Printf("%s: 500 lookups, levels L1=%d L2=%d L3=%d L4=%d, %d RPCs\n",
+		mode, levels[1], levels[2], levels[3], levels[4], cluster.Messages())
+
+	// The Fig 15 measurement: what one MDS insertion costs in messages.
+	cluster.ResetMessages()
+	id, msgs, err := cluster.AddMDS()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: adding MDS %d cost %d messages\n", mode, id, msgs)
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a simulated G-HBA metadata cluster, load a namespace,
+// and watch the four-level lookup hierarchy resolve queries.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ghba"
+)
+
+func main() {
+	// 30 metadata servers; the group size defaults to the paper's optimum
+	// for this system size (M=6).
+	sim, err := ghba.New(ghba.Config{
+		NumMDS:              30,
+		ExpectedFilesPerMDS: 10_000,
+		Seed:                42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d MDSs in %d groups\n", sim.NumMDS(), sim.NumGroups())
+
+	// Load a namespace. CreateAll bulk-loads and synchronizes replicas.
+	paths := make([]string, 0, 5_000)
+	for d := 0; d < 50; d++ {
+		for f := 0; f < 100; f++ {
+			paths = append(paths, fmt.Sprintf("/home/user%d/file%d.dat", d, f))
+		}
+	}
+	sim.CreateAll(paths)
+	fmt.Printf("namespace: %d files\n", sim.FileCount())
+
+	// First lookup of a cold file typically resolves at L2 or L3; repeat
+	// lookups hit the L1 LRU array.
+	target := "/home/user7/file42.dat"
+	for i := 1; i <= 3; i++ {
+		res := sim.Lookup(target)
+		fmt.Printf("lookup %d: home=MDS%-3d level=L%d latency=%v\n",
+			i, res.Home, res.Level, res.Latency)
+	}
+
+	// Lookups of nonexistent files resolve definitively at L4 (global
+	// multicast, no false negatives).
+	miss := sim.Lookup("/no/such/file")
+	fmt.Printf("miss:     found=%v level=L%d\n", miss.Found, miss.Level)
+
+	// Create, find, delete.
+	home := sim.Create("/tmp/scratch.dat")
+	fmt.Printf("created /tmp/scratch.dat at MDS%d\n", home)
+	fmt.Printf("lookup after create: %+v\n", sim.Lookup("/tmp/scratch.dat").Found)
+	sim.Delete("/tmp/scratch.dat")
+	fmt.Printf("lookup after delete: %+v\n", sim.Lookup("/tmp/scratch.dat").Found)
+
+	// Replay a few thousand skewed lookups so the level statistics are
+	// representative (hot files repeat, as real metadata traffic does).
+	for i := 0; i < 5_000; i++ {
+		idx := i % len(paths)
+		if i%3 != 0 {
+			idx %= 200 // hot set
+		}
+		sim.Lookup(paths[idx])
+	}
+
+	// Per-level service shares (the Fig 13 statistic).
+	fr := sim.LevelFractions()
+	fmt.Printf("levels: L1=%.1f%% L2=%.1f%% L3=%.1f%% L4=%.1f%%  mean=%v\n",
+		100*fr[1], 100*fr[2], 100*fr[3], 100*fr[4], sim.MeanLatency())
+}

@@ -1,0 +1,215 @@
+// Package ghba is the public facade of this repository: a from-scratch Go
+// reproduction of "Scalable and Adaptive Metadata Management in Ultra
+// Large-scale File Systems" (Hua, Zhu, Jiang, Feng, Tian — ICDCS 2008), the
+// G-HBA scheme.
+//
+// G-HBA organizes N metadata servers (MDS) into groups of at most M and
+// routes metadata lookups through a four-level hierarchy of Bloom-filter
+// arrays: a replicated LRU array capturing hot files (L1), a per-server
+// segment array of ⌊(N−M′)/M′⌋ replicas (L2), a group multicast (L3) and a
+// global multicast (L4). Groups reconfigure with light-weight replica
+// migration, splitting and merging.
+//
+// The facade wraps the simulation engine (internal/core) behind a small
+// API: build a Simulation, add files, look them up, and reconfigure the
+// server population. For the paper's experiments use internal/experiments
+// via cmd/ghbabench; for the TCP prototype see internal/proto and cmd/mdsd.
+package ghba
+
+import (
+	"fmt"
+	"time"
+
+	"ghba/internal/core"
+	"ghba/internal/mds"
+	"ghba/internal/simnet"
+)
+
+// Config describes a simulated G-HBA deployment.
+type Config struct {
+	// NumMDS is the number of metadata servers (the paper's N).
+	NumMDS int
+	// MaxGroupSize is the maximum servers per group (the paper's M). Zero
+	// selects the paper's recommended optimum for NumMDS.
+	MaxGroupSize int
+	// ExpectedFilesPerMDS sizes each server's Bloom filter. Zero defaults
+	// to 50 000.
+	ExpectedFilesPerMDS uint64
+	// BitsPerFile is the filter ratio m/n. Zero defaults to 16, the ratio
+	// G-HBA's memory savings afford (Section 2.3).
+	BitsPerFile float64
+	// MemoryBudgetBytes caps each server's replica memory; zero means
+	// unlimited. See internal/memmodel for the spill model.
+	MemoryBudgetBytes uint64
+	// Seed makes the simulation deterministic.
+	Seed int64
+}
+
+// Result reports one lookup.
+type Result struct {
+	// Path is the queried file path.
+	Path string
+	// Home is the MDS holding the metadata (-1 when not found).
+	Home int
+	// Found reports whether the file exists.
+	Found bool
+	// Level is the hierarchy level that served the query: 1 (LRU array),
+	// 2 (local segment array), 3 (group multicast), 4 (global multicast).
+	Level int
+	// Latency is the simulated end-to-end latency.
+	Latency time.Duration
+}
+
+// Simulation is a simulated G-HBA metadata cluster.
+type Simulation struct {
+	cluster *core.Cluster
+}
+
+// New builds a simulation from cfg.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.NumMDS < 1 {
+		return nil, fmt.Errorf("ghba: NumMDS must be ≥ 1, got %d", cfg.NumMDS)
+	}
+	m := cfg.MaxGroupSize
+	if m == 0 {
+		m = RecommendedGroupSize(cfg.NumMDS)
+	}
+	files := cfg.ExpectedFilesPerMDS
+	if files == 0 {
+		files = 50_000
+	}
+	bits := cfg.BitsPerFile
+	if bits == 0 {
+		bits = 16
+	}
+	ccfg := core.DefaultConfig(cfg.NumMDS, m)
+	ccfg.Node = mds.Config{
+		ExpectedFiles:  files,
+		BitsPerFile:    bits,
+		LRUCapacity:    files / 16,
+		LRUBitsPerFile: bits,
+	}
+	if ccfg.Node.LRUCapacity == 0 {
+		ccfg.Node.LRUCapacity = 64
+	}
+	ccfg.Cost = simnet.DefaultCostModel()
+	ccfg.MemoryBudgetBytes = cfg.MemoryBudgetBytes
+	ccfg.Seed = cfg.Seed
+	cluster, err := core.New(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{cluster: cluster}, nil
+}
+
+// RecommendedGroupSize returns the group size the paper recommends for a
+// system of n servers (Fig 7; roughly √n over the studied range).
+func RecommendedGroupSize(n int) int {
+	switch {
+	case n <= 10:
+		return 3
+	case n <= 30:
+		return 6
+	case n <= 60:
+		return 7
+	case n <= 80:
+		return 8
+	case n <= 100:
+		return 9
+	case n <= 150:
+		return 11
+	default:
+		return 13
+	}
+}
+
+// NumMDS returns the current server count.
+func (s *Simulation) NumMDS() int { return s.cluster.NumMDS() }
+
+// NumGroups returns the current group count.
+func (s *Simulation) NumGroups() int { return s.cluster.NumGroups() }
+
+// FileCount returns the number of files in the namespace.
+func (s *Simulation) FileCount() int { return s.cluster.FileCount() }
+
+// Create homes a new file at a uniformly chosen server and returns its home
+// MDS ID. Creating an existing path re-homes it; use Exists to guard.
+func (s *Simulation) Create(path string) int { return s.cluster.Create(path) }
+
+// CreateAll bulk-loads paths and synchronizes all replicas afterwards —
+// much faster than per-file updates for initial population.
+func (s *Simulation) CreateAll(paths []string) {
+	s.cluster.Populate(func(fn func(string) bool) {
+		for _, p := range paths {
+			if !fn(p) {
+				return
+			}
+		}
+	})
+}
+
+// Delete removes a file, reporting whether it existed.
+func (s *Simulation) Delete(path string) bool { return s.cluster.Delete(path) }
+
+// Exists reports whether path is in the namespace (ground truth).
+func (s *Simulation) Exists(path string) bool { return s.cluster.HomeOf(path) >= 0 }
+
+// Lookup resolves the home MDS of path, entering the hierarchy at a random
+// server as the paper's clients do.
+func (s *Simulation) Lookup(path string) Result {
+	res := s.cluster.Lookup(path, s.cluster.RandomMDS())
+	return Result{
+		Path:    res.Path,
+		Home:    res.Home,
+		Found:   res.Found,
+		Level:   res.Level,
+		Latency: res.Latency,
+	}
+}
+
+// AddMDS grows the cluster by one server (joining a group with room or
+// splitting a full one) and returns the new server's ID along with the
+// number of Bloom-filter replicas migrated.
+func (s *Simulation) AddMDS() (id, replicasMigrated int, err error) {
+	id, rep, err := s.cluster.AddMDS()
+	return id, rep.ReplicasMigrated, err
+}
+
+// RemoveMDS retires a server gracefully: its replicas migrate to
+// groupmates, its files re-home across survivors, and shrunken groups
+// merge.
+func (s *Simulation) RemoveMDS(id int) error {
+	_, err := s.cluster.RemoveMDS(id)
+	return err
+}
+
+// FailMDS simulates a crash (Section 4.5): nothing migrates off the dead
+// server — its group re-fetches the lost filter replicas from their
+// origins, its own filters are scrubbed everywhere, and the files it homed
+// become unavailable until recreated. Returns how many files were lost.
+func (s *Simulation) FailMDS(id int) (filesLost int, err error) {
+	rep, err := s.cluster.FailMDS(id)
+	return rep.FilesLost, err
+}
+
+// MDSIDs returns the current server IDs in ascending order.
+func (s *Simulation) MDSIDs() []int { return s.cluster.MDSIDs() }
+
+// LevelFractions returns the share of lookups served at each level
+// (indices 1–4; index 0 unused), the statistic behind Fig 13.
+func (s *Simulation) LevelFractions() [5]float64 {
+	var out [5]float64
+	for l := 1; l <= 4; l++ {
+		out[l] = s.cluster.Tally().Fraction(l)
+	}
+	return out
+}
+
+// MeanLatency returns the average simulated lookup latency so far.
+func (s *Simulation) MeanLatency() time.Duration {
+	return s.cluster.OverallLatency().Mean()
+}
+
+// CheckInvariants verifies the global-mirror-image invariant across all
+// groups; nil means every group independently covers the whole system.
+func (s *Simulation) CheckInvariants() error { return s.cluster.CheckInvariants() }

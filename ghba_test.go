@@ -1,0 +1,160 @@
+package ghba
+
+import (
+	"strconv"
+	"testing"
+)
+
+func newSim(t *testing.T, n int) *Simulation {
+	t.Helper()
+	s, err := New(Config{NumMDS: n, ExpectedFilesPerMDS: 1_000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{NumMDS: 0}); err == nil {
+		t.Error("NumMDS 0 accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	s := newSim(t, 12)
+	if s.NumMDS() != 12 {
+		t.Errorf("NumMDS = %d", s.NumMDS())
+	}
+	// M defaults to the recommendation (3 groups of 4 at N=12, M=6 → 2 groups).
+	if s.NumGroups() != 2 {
+		t.Errorf("NumGroups = %d, want 2 (M=6)", s.NumGroups())
+	}
+}
+
+func TestRecommendedGroupSize(t *testing.T) {
+	cases := map[int]int{5: 3, 30: 6, 60: 7, 100: 9, 200: 13}
+	for n, want := range cases {
+		if got := RecommendedGroupSize(n); got != want {
+			t.Errorf("RecommendedGroupSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	s := newSim(t, 8)
+	paths := make([]string, 300)
+	for i := range paths {
+		paths[i] = "/app/data/f" + strconv.Itoa(i)
+	}
+	s.CreateAll(paths)
+	if s.FileCount() != 300 {
+		t.Fatalf("FileCount = %d", s.FileCount())
+	}
+	for _, p := range paths {
+		res := s.Lookup(p)
+		if !res.Found {
+			t.Fatalf("lookup %s failed", p)
+		}
+		if res.Level < 1 || res.Level > 4 || res.Latency <= 0 {
+			t.Fatalf("implausible result %+v", res)
+		}
+	}
+	if !s.Exists(paths[0]) || s.Exists("/nope") {
+		t.Error("Exists wrong")
+	}
+	if !s.Delete(paths[0]) || s.Delete(paths[0]) {
+		t.Error("Delete semantics wrong")
+	}
+	if res := s.Lookup("/nope"); res.Found || res.Home != -1 {
+		t.Error("missing file found")
+	}
+	if s.MeanLatency() <= 0 {
+		t.Error("no latency recorded")
+	}
+	fr := s.LevelFractions()
+	sum := fr[1] + fr[2] + fr[3] + fr[4]
+	if sum < 0.99 || sum > 1.01 {
+		t.Errorf("level fractions sum %f", sum)
+	}
+}
+
+func TestCreateSingle(t *testing.T) {
+	s := newSim(t, 4)
+	home := s.Create("/one")
+	if home < 0 || !s.Exists("/one") {
+		t.Error("Create failed")
+	}
+	res := s.Lookup("/one")
+	if !res.Found || res.Home != home {
+		t.Errorf("lookup after create = %+v", res)
+	}
+}
+
+func TestScaleUpAndDown(t *testing.T) {
+	s := newSim(t, 6)
+	paths := make([]string, 200)
+	for i := range paths {
+		paths[i] = "/scale/f" + strconv.Itoa(i)
+	}
+	s.CreateAll(paths)
+
+	id, migrated, err := s.AddMDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrated <= 0 {
+		t.Error("no replicas migrated on join")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after add: %v", err)
+	}
+	if err := s.RemoveMDS(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after remove: %v", err)
+	}
+	if err := s.RemoveMDS(999); err == nil {
+		t.Error("removing unknown MDS succeeded")
+	}
+	for _, p := range paths {
+		if !s.Lookup(p).Found {
+			t.Fatalf("lost %s after reconfiguration", p)
+		}
+	}
+	if len(s.MDSIDs()) != s.NumMDS() {
+		t.Error("MDSIDs inconsistent")
+	}
+}
+
+func TestFailMDSFacade(t *testing.T) {
+	s := newSim(t, 6)
+	paths := make([]string, 120)
+	for i := range paths {
+		paths[i] = "/crash/f" + strconv.Itoa(i)
+	}
+	s.CreateAll(paths)
+	victim := s.MDSIDs()[0]
+	lost, err := s.FailMDS(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost <= 0 {
+		t.Error("crash lost no files despite random placement")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after crash: %v", err)
+	}
+	available := 0
+	for _, p := range paths {
+		if s.Lookup(p).Found {
+			available++
+		}
+	}
+	if available != len(paths)-lost {
+		t.Errorf("available = %d, want %d", available, len(paths)-lost)
+	}
+	if _, err := s.FailMDS(victim); err == nil {
+		t.Error("double failure of same MDS succeeded")
+	}
+}

@@ -1,0 +1,153 @@
+// Package analysis implements the paper's analytic model: the storage
+// overhead of Equation 3, the multi-level latency of Equation 4, the
+// normalized-throughput benefit function Γ of Equation 2 used to pick the
+// optimal group size M (Section 3.3, Figs 6–7), and helpers tying the model
+// to measured simulator rates.
+package analysis
+
+import (
+	"fmt"
+	"time"
+)
+
+// LatencyParams carries the measured inputs of Equation 4 (Table 2 of the
+// paper): unique-hit rates and per-level latencies.
+type LatencyParams struct {
+	// PLRU is the unique-hit rate in the LRU (L1) Bloom filter arrays.
+	PLRU float64
+	// PL2 is the unique-hit rate in the second-level (segment) arrays,
+	// aggregated at group scope as the formula expects.
+	PL2 float64
+	// DLRU is the latency of queries resolved in the LRU arrays.
+	DLRU time.Duration
+	// DL2 is the latency of queries resolved in the second-level arrays.
+	DL2 time.Duration
+	// DGroup is the latency of one group multicast resolution.
+	DGroup time.Duration
+	// DNet is the per-unit latency of the system-wide multicast term.
+	DNet time.Duration
+}
+
+// Validate reports whether the rates are probabilities.
+func (p LatencyParams) Validate() error {
+	if p.PLRU < 0 || p.PLRU > 1 || p.PL2 < 0 || p.PL2 > 1 {
+		return fmt.Errorf("analysis: rates out of [0,1]: PLRU=%f PL2=%f", p.PLRU, p.PL2)
+	}
+	return nil
+}
+
+// Latency evaluates Equation 4 verbatim:
+//
+//	U(laten.) = D_LRU + (1−P_LRU)·D_L2
+//	          + (1−P_LRU)(1−P_L2/M)·D_group
+//	          + (1−P_LRU)(1−P_L2/M)·M·D_net
+//
+// for group size M ≥ 1.
+func Latency(p LatencyParams, m int) time.Duration {
+	if m < 1 {
+		m = 1
+	}
+	missL1 := 1 - p.PLRU
+	missL2 := 1 - p.PL2/float64(m)
+	if missL2 < 0 {
+		missL2 = 0
+	}
+	lat := float64(p.DLRU)
+	lat += missL1 * float64(p.DL2)
+	lat += missL1 * missL2 * float64(p.DGroup)
+	lat += missL1 * missL2 * float64(m) * float64(p.DNet)
+	return time.Duration(lat)
+}
+
+// SpaceOverhead evaluates Equation 3: the replicas stored per MDS,
+// (N−M)/M. Degenerate inputs (M ≥ N or M ≤ 0) return a small positive floor
+// so the benefit function stays finite.
+func SpaceOverhead(n, m int) float64 {
+	if m <= 0 {
+		m = 1
+	}
+	over := float64(n-m) / float64(m)
+	if over < 0.5 {
+		// Below one replica per server the array cost is dominated by the
+		// server's own filter; floor the term so Γ comparisons stay sane.
+		over = 0.5
+	}
+	return over
+}
+
+// NormalizedThroughput evaluates Equation 2 with latency expressed in
+// milliseconds: Γ = 1 / (U(laten.) · U(space)). Larger is better.
+func NormalizedThroughput(latency time.Duration, n, m int) float64 {
+	ms := float64(latency) / float64(time.Millisecond)
+	if ms <= 0 {
+		return 0
+	}
+	return 1 / (ms * SpaceOverhead(n, m))
+}
+
+// GammaAnalytic composes Equations 2–4 from analytic inputs.
+func GammaAnalytic(p LatencyParams, n, m int) float64 {
+	return NormalizedThroughput(Latency(p, m), n, m)
+}
+
+// OptimalM returns the group size in [1, maxM] maximizing gamma(m). Ties
+// break toward the smaller M (cheaper reconfiguration).
+func OptimalM(maxM int, gamma func(m int) float64) int {
+	best, bestVal := 1, gamma(1)
+	for m := 2; m <= maxM; m++ {
+		if v := gamma(m); v > bestVal {
+			best, bestVal = m, v
+		}
+	}
+	return best
+}
+
+// Table5Row computes the relative per-MDS memory overhead of the four
+// schemes of Table 5, normalized to BFA with bit/file ratio 8. n is the MDS
+// count, m the G-HBA group size, lruRelative the LRU array's size as a
+// fraction of one 8-bit filter (the paper's HBA column shows 1.0002 at
+// N=20, i.e. the LRU adds 0.02% of the array).
+type Table5Row struct {
+	N     int
+	BFA8  float64
+	BFA16 float64
+	HBA   float64
+	GHBA  float64
+}
+
+// Table5 computes one row: BFA8 ≡ 1 by definition; BFA16 doubles the ratio;
+// HBA adds the LRU array on top of BFA8; G-HBA stores (N−M)/M replicas plus
+// its own filter plus the (tiny) LRU and IDBFA structures.
+func Table5(n, m int, lruFilters float64) Table5Row {
+	perMDSFilters := float64(n) // BFA8: one 8-bit filter per server
+	ghbaFilters := SpaceOverhead(n, m) + 1 + lruFilters
+	return Table5Row{
+		N:     n,
+		BFA8:  1,
+		BFA16: 2,
+		HBA:   (perMDSFilters + lruFilters) / perMDSFilters,
+		GHBA:  ghbaFilters / perMDSFilters,
+	}
+}
+
+// PaperOptimalM returns the optimal group size the paper reports for a
+// given system size (Fig 7: roughly √N across the studied workloads, e.g.
+// M=5–6 at N=30 and M=9 at N=100, M=7 at N=60 in the prototype).
+func PaperOptimalM(n int) int {
+	switch {
+	case n <= 10:
+		return 3
+	case n <= 30:
+		return 6
+	case n <= 60:
+		return 7
+	case n <= 80:
+		return 8
+	case n <= 100:
+		return 9
+	case n <= 150:
+		return 11
+	default:
+		return 13
+	}
+}

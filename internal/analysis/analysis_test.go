@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func sampleParams() LatencyParams {
+	return LatencyParams{
+		PLRU:   0.7,
+		PL2:    0.8,
+		DLRU:   100 * time.Microsecond,
+		DL2:    300 * time.Microsecond,
+		DGroup: 2 * time.Millisecond,
+		DNet:   5 * time.Millisecond,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := sampleParams().Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := sampleParams()
+	bad.PLRU = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("PLRU 1.5 accepted")
+	}
+	bad = sampleParams()
+	bad.PL2 = -0.1
+	if err := bad.Validate(); err == nil {
+		t.Error("PL2 -0.1 accepted")
+	}
+}
+
+// TestLatencyEq4HandComputed pins Equation 4 against a hand-computed value.
+func TestLatencyEq4HandComputed(t *testing.T) {
+	p := sampleParams()
+	const m = 4
+	missL1 := 1 - p.PLRU           // 0.3
+	missL2 := 1 - p.PL2/float64(m) // 0.8
+	want := float64(p.DLRU) +
+		missL1*float64(p.DL2) +
+		missL1*missL2*float64(p.DGroup) +
+		missL1*missL2*float64(m)*float64(p.DNet)
+	got := Latency(p, m)
+	if math.Abs(float64(got)-want) > 1 {
+		t.Errorf("Latency = %v, want %v", got, time.Duration(want))
+	}
+}
+
+func TestLatencyClampsM(t *testing.T) {
+	p := sampleParams()
+	if Latency(p, 0) != Latency(p, 1) {
+		t.Error("m=0 not clamped to 1")
+	}
+}
+
+func TestLatencyGrowsWithM(t *testing.T) {
+	// With fixed rates, larger groups mean a larger M·Dnet term.
+	p := sampleParams()
+	prev := Latency(p, 1)
+	for m := 2; m <= 15; m++ {
+		cur := Latency(p, m)
+		if cur < prev {
+			t.Fatalf("Latency(M=%d)=%v < Latency(M=%d)=%v", m, cur, m-1, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSpaceOverheadEq3(t *testing.T) {
+	if got := SpaceOverhead(100, 9); math.Abs(got-91.0/9.0) > 1e-12 {
+		t.Errorf("SpaceOverhead(100,9) = %f", got)
+	}
+	if got := SpaceOverhead(30, 6); got != 4 {
+		t.Errorf("SpaceOverhead(30,6) = %f, want 4", got)
+	}
+	// Degenerate inputs floor rather than explode or go negative.
+	if got := SpaceOverhead(10, 10); got != 0.5 {
+		t.Errorf("SpaceOverhead(10,10) = %f, want floor 0.5", got)
+	}
+	if got := SpaceOverhead(10, 0); got != 9 {
+		t.Errorf("SpaceOverhead(10,0) = %f, want clamp to m=1", got)
+	}
+}
+
+func TestNormalizedThroughputEq2(t *testing.T) {
+	// Γ = 1/(latency_ms · space).
+	got := NormalizedThroughput(2*time.Millisecond, 30, 6)
+	want := 1.0 / (2.0 * 4.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Γ = %f, want %f", got, want)
+	}
+	if NormalizedThroughput(0, 30, 6) != 0 {
+		t.Error("zero latency should yield zero Γ (guard)")
+	}
+}
+
+// TestGammaInteriorOptimum composes Equations 2–4 with memory-pressure-aware
+// level latencies — the way Section 4.1 derives Fig 6 from simulation
+// measurements. At small M each MDS stores θ = (N−M)/M replicas; the
+// fraction that exceeds the RAM budget pays disk latency at L2, while large
+// M inflates the multicast terms. The benefit function must then peak at an
+// interior M, not at either extreme.
+func TestGammaInteriorOptimum(t *testing.T) {
+	const (
+		n           = 100
+		memProbe    = time.Microsecond
+		diskRead    = 5 * time.Millisecond
+		rtt         = 200 * time.Microsecond
+		residentCap = 12.0 // replicas that fit in RAM per MDS
+	)
+	paramsFor := func(m int) LatencyParams {
+		theta := float64(n-m) / float64(m)
+		spilled := theta - residentCap
+		if spilled < 0 {
+			spilled = 0
+		}
+		dl2 := time.Duration(theta)*memProbe + time.Duration(spilled*0.5*float64(diskRead))
+		// Group multicasts consume probe capacity on every member, so the
+		// per-unit network term congests as M approaches the service
+		// saturation point (M/M/1-style inflation).
+		congestion := 1 / (1 - math.Min(0.95, float64(m)/25.0))
+		return LatencyParams{
+			PLRU:   0.7,
+			PL2:    0.8,
+			DLRU:   50 * memProbe,
+			DL2:    dl2,
+			DGroup: time.Duration(float64(rtt) * math.Ceil(math.Log2(float64(m)+1))),
+			DNet:   time.Duration(float64(rtt) * congestion),
+		}
+	}
+	gamma := func(m int) float64 { return GammaAnalytic(paramsFor(m), n, m) }
+	best := OptimalM(20, gamma)
+	if best <= 2 || best >= 18 {
+		t.Errorf("optimal M = %d, want an interior optimum", best)
+	}
+	// The extremes must lose to the optimum.
+	if gamma(1) >= gamma(best) || gamma(20) >= gamma(best) {
+		t.Errorf("Γ(1)=%f Γ(best=%d)=%f Γ(20)=%f: not unimodal around interior",
+			gamma(1), best, gamma(best), gamma(20))
+	}
+}
+
+func TestOptimalM(t *testing.T) {
+	// A synthetic unimodal gamma peaking at 7.
+	gamma := func(m int) float64 { return -math.Abs(float64(m) - 7) }
+	if got := OptimalM(15, gamma); got != 7 {
+		t.Errorf("OptimalM = %d, want 7", got)
+	}
+	// Ties break toward smaller M.
+	flat := func(int) float64 { return 1 }
+	if got := OptimalM(15, flat); got != 1 {
+		t.Errorf("OptimalM on flat = %d, want 1", got)
+	}
+}
+
+// TestTable5MatchesPaper checks the analytic Table 5 against the paper's
+// published G-HBA column using the per-N optimal group sizes.
+func TestTable5MatchesPaper(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want float64
+	}{
+		{20, 5, 0.2002},
+		{40, 6, 0.1670},
+		{60, 7, 0.1434},
+		{80, 8, 0.1258},
+		{100, 9, 0.1121},
+	}
+	for _, c := range cases {
+		row := Table5(c.n, c.m, 0.004)
+		if row.BFA8 != 1 || row.BFA16 != 2 {
+			t.Errorf("N=%d: BFA columns %f/%f", c.n, row.BFA8, row.BFA16)
+		}
+		if row.HBA <= 1 || row.HBA > 1.01 {
+			t.Errorf("N=%d: HBA = %f, want slightly above 1", c.n, row.HBA)
+		}
+		if math.Abs(row.GHBA-c.want) > 0.02 {
+			t.Errorf("N=%d: G-HBA = %.4f, paper %.4f", c.n, row.GHBA, c.want)
+		}
+	}
+}
+
+func TestPaperOptimalM(t *testing.T) {
+	cases := map[int]int{10: 3, 30: 6, 60: 7, 80: 8, 100: 9, 150: 11, 200: 13}
+	for n, want := range cases {
+		if got := PaperOptimalM(n); got != want {
+			t.Errorf("PaperOptimalM(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package bfa
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 100, 8, 1); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if _, err := New(3, 0, 8, 1); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestLookupAfterSync(t *testing.T) {
+	c, err := New(5, 1000, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		c.AddFile("/f" + strconv.Itoa(i))
+	}
+	c.Sync()
+	correct := 0
+	for i := 0; i < 200; i++ {
+		path := "/f" + strconv.Itoa(i)
+		r := c.Lookup(path, c.MDSIDs()[i%5])
+		if home, ok := r.Unique(); ok && home == c.HomeOf(path) {
+			correct++
+		}
+	}
+	// At 16 bits/file false positives are rare; expect near-total accuracy.
+	if correct < 190 {
+		t.Errorf("only %d/200 unique-correct lookups", correct)
+	}
+}
+
+func TestLookupUnknownEntry(t *testing.T) {
+	c, err := New(2, 100, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Lookup("/x", 99).Miss() {
+		t.Error("unknown entry produced hits")
+	}
+}
+
+func TestHomeOfAbsent(t *testing.T) {
+	c, err := New(2, 100, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HomeOf("/none") != -1 {
+		t.Error("absent home != -1")
+	}
+}
+
+// TestArrayBytesRatio anchors Table 5: a BFA16 array is exactly twice a
+// BFA8 array for the same capacity and population.
+func TestArrayBytesRatio(t *testing.T) {
+	c8, err := New(4, 10_000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c16, err := New(4, 10_000, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, b16 := c8.ArrayBytes(0), c16.ArrayBytes(0)
+	if b8 == 0 || b16 != 2*b8 {
+		t.Errorf("BFA16/BFA8 = %d/%d, want exactly 2x", b16, b8)
+	}
+	if c8.BitsPerFile() != 8 || c16.BitsPerFile() != 16 {
+		t.Error("BitsPerFile wrong")
+	}
+	if c8.ArrayBytes(99) != 0 {
+		t.Error("unknown MDS array bytes non-zero")
+	}
+}
+
+// TestArrayBytesGrowLinearlyWithN is the scalability weakness Table 5
+// exposes: per-MDS memory grows linearly in the server count.
+func TestArrayBytesGrowLinearlyWithN(t *testing.T) {
+	small, err := New(5, 10_000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := New(20, 10_000, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.ArrayBytes(0) != 4*small.ArrayBytes(0) {
+		t.Errorf("array bytes %d vs %d, want exactly 4x", large.ArrayBytes(0), small.ArrayBytes(0))
+	}
+	if small.NumMDS() != 5 || large.NumMDS() != 20 {
+		t.Error("NumMDS wrong")
+	}
+}

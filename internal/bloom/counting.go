@@ -1,0 +1,132 @@
+package bloom
+
+import "fmt"
+
+// counterMax is the saturation value of a counting-filter cell. Cells that
+// reach it stop incrementing and are never decremented, trading a slightly
+// higher false-positive rate for safety against counter underflow, the
+// standard approach from Fan et al.'s Summary Cache.
+const counterMax = ^uint8(0)
+
+// CountingFilter is a Bloom filter with per-position counters, supporting
+// deletion. G-HBA uses counting filters in the identification Bloom filter
+// array (IDBFA) so that replica ownership can be revoked when a replica
+// migrates between group members or an MDS departs (Section 2.4).
+//
+// CountingFilter is not safe for concurrent mutation.
+type CountingFilter struct {
+	m        uint64
+	k        uint32
+	n        uint64
+	counters []uint8
+}
+
+// NewCounting creates a counting filter with m counters and k hash functions.
+func NewCounting(m uint64, k uint32) (*CountingFilter, error) {
+	if m == 0 || k == 0 {
+		return nil, fmt.Errorf("%w: m=%d k=%d", ErrInvalidGeometry, m, k)
+	}
+	return &CountingFilter{m: m, k: k, counters: make([]uint8, m)}, nil
+}
+
+// NewCountingForCapacity sizes a counting filter for n items at the given
+// bits-per-item ratio with the optimal hash count.
+func NewCountingForCapacity(n uint64, bitsPerItem float64) (*CountingFilter, error) {
+	if n == 0 || bitsPerItem <= 0 {
+		return nil, fmt.Errorf("%w: n=%d bits/item=%f", ErrInvalidGeometry, n, bitsPerItem)
+	}
+	m := uint64(float64(n) * bitsPerItem)
+	if m == 0 {
+		m = 1
+	}
+	return NewCounting(m, OptimalK(bitsPerItem))
+}
+
+// M returns the number of counters.
+func (c *CountingFilter) M() uint64 { return c.m }
+
+// K returns the number of hash functions.
+func (c *CountingFilter) K() uint32 { return c.k }
+
+// Count returns the net number of items (adds minus removes).
+func (c *CountingFilter) Count() uint64 { return c.n }
+
+// Add inserts key, incrementing the k counters it maps to.
+func (c *CountingFilter) Add(key []byte) {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < c.k; i++ {
+		idx := indexAt(h1, h2, i, c.m)
+		if c.counters[idx] < counterMax {
+			c.counters[idx]++
+		}
+	}
+	c.n++
+}
+
+// AddString inserts a string key.
+func (c *CountingFilter) AddString(key string) { c.Add([]byte(key)) }
+
+// Remove deletes one occurrence of key, decrementing its counters. Removing a
+// key that was never added corrupts the filter (it may introduce false
+// negatives for other keys); callers must pair removes with prior adds, which
+// the IDBFA layer guarantees by construction.
+func (c *CountingFilter) Remove(key []byte) {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < c.k; i++ {
+		idx := indexAt(h1, h2, i, c.m)
+		if c.counters[idx] > 0 && c.counters[idx] < counterMax {
+			c.counters[idx]--
+		}
+	}
+	if c.n > 0 {
+		c.n--
+	}
+}
+
+// RemoveString deletes one occurrence of a string key.
+func (c *CountingFilter) RemoveString(key string) { c.Remove([]byte(key)) }
+
+// Contains reports whether key may be in the set.
+func (c *CountingFilter) Contains(key []byte) bool {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < c.k; i++ {
+		if c.counters[indexAt(h1, h2, i, c.m)] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsString reports whether a string key may be in the set.
+func (c *CountingFilter) ContainsString(key string) bool { return c.Contains([]byte(key)) }
+
+// Clear resets all counters.
+func (c *CountingFilter) Clear() {
+	for i := range c.counters {
+		c.counters[i] = 0
+	}
+	c.n = 0
+}
+
+// Clone returns a deep copy.
+func (c *CountingFilter) Clone() *CountingFilter {
+	cc := make([]uint8, len(c.counters))
+	copy(cc, c.counters)
+	return &CountingFilter{m: c.m, k: c.k, n: c.n, counters: cc}
+}
+
+// ToFilter flattens the counting filter into a standard filter with the same
+// geometry: a bit is set wherever the counter is non-zero. This is how an
+// updated ID filter is serialized for multicast to the rest of a group.
+func (c *CountingFilter) ToFilter() *Filter {
+	f := &Filter{m: c.m, k: c.k, n: c.n, words: make([]uint64, (c.m+wordBits-1)/wordBits)}
+	for i, v := range c.counters {
+		if v > 0 {
+			f.words[uint64(i)/wordBits] |= 1 << (uint64(i) % wordBits)
+		}
+	}
+	return f
+}
+
+// SizeBytes returns the in-memory size of the counter array in bytes.
+func (c *CountingFilter) SizeBytes() uint64 { return uint64(len(c.counters)) }

@@ -1,0 +1,187 @@
+package bloom
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func mustNewCounting(t *testing.T, m uint64, k uint32) *CountingFilter {
+	t.Helper()
+	c, err := NewCounting(m, k)
+	if err != nil {
+		t.Fatalf("NewCounting(%d, %d): %v", m, k, err)
+	}
+	return c
+}
+
+func TestCountingRejectsInvalidGeometry(t *testing.T) {
+	if _, err := NewCounting(0, 3); err == nil {
+		t.Error("NewCounting(0,3) succeeded")
+	}
+	if _, err := NewCounting(64, 0); err == nil {
+		t.Error("NewCounting(64,0) succeeded")
+	}
+	if _, err := NewCountingForCapacity(0, 8); err == nil {
+		t.Error("NewCountingForCapacity(0,8) succeeded")
+	}
+	if _, err := NewCountingForCapacity(5, -1); err == nil {
+		t.Error("NewCountingForCapacity(5,-1) succeeded")
+	}
+}
+
+func TestCountingAddRemoveContains(t *testing.T) {
+	c := mustNewCounting(t, 4096, 5)
+	c.AddString("alpha")
+	c.AddString("beta")
+	if !c.ContainsString("alpha") || !c.ContainsString("beta") {
+		t.Fatal("missing inserted keys")
+	}
+	c.RemoveString("alpha")
+	if c.ContainsString("alpha") && c.Count() != 1 {
+		// alpha may still test positive via beta's bits; only the count is exact
+		t.Logf("alpha still positive after remove (allowed false positive)")
+	}
+	if !c.ContainsString("beta") {
+		t.Error("remove of alpha broke membership of beta")
+	}
+	if c.Count() != 1 {
+		t.Errorf("Count = %d, want 1", c.Count())
+	}
+}
+
+func TestCountingDeleteRestoresPriorAnswers(t *testing.T) {
+	// Property: for disjoint bit positions, removing an added key restores
+	// the filter's answers for every other key. We verify the weaker exact
+	// invariant: counters return to their prior values.
+	c := mustNewCounting(t, 1<<12, 5)
+	for i := 0; i < 100; i++ {
+		c.AddString("stable" + strconv.Itoa(i))
+	}
+	before := c.Clone()
+	for i := 0; i < 50; i++ {
+		c.AddString("transient" + strconv.Itoa(i))
+	}
+	for i := 0; i < 50; i++ {
+		c.RemoveString("transient" + strconv.Itoa(i))
+	}
+	for i, v := range c.counters {
+		if v != before.counters[i] {
+			t.Fatalf("counter %d = %d, want %d after add/remove cycle", i, v, before.counters[i])
+		}
+	}
+}
+
+func TestCountingAddRemoveProperty(t *testing.T) {
+	err := quick.Check(func(keys []string) bool {
+		c, err := NewCounting(1<<12, 5)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			c.AddString(k)
+		}
+		for _, k := range keys {
+			if !c.ContainsString(k) {
+				return false // no false negatives while present
+			}
+		}
+		for _, k := range keys {
+			c.RemoveString(k)
+		}
+		return c.Count() == 0
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Errorf("add/remove property violated: %v", err)
+	}
+}
+
+func TestCountingRemoveNeverUnderflows(t *testing.T) {
+	c := mustNewCounting(t, 256, 3)
+	c.RemoveString("ghost") // never added
+	for i, v := range c.counters {
+		if v != 0 {
+			t.Fatalf("counter %d = %d after removing non-member", i, v)
+		}
+	}
+	if c.Count() != 0 {
+		t.Errorf("Count = %d, want 0", c.Count())
+	}
+}
+
+func TestCountingSaturation(t *testing.T) {
+	c := mustNewCounting(t, 8, 1)
+	// Hammer a single key until its counter saturates.
+	for i := 0; i < 300; i++ {
+		c.AddString("x")
+	}
+	if !c.ContainsString("x") {
+		t.Fatal("saturated key not contained")
+	}
+	// Saturated counters must never decrement (safety over accuracy).
+	for i := 0; i < 300; i++ {
+		c.RemoveString("x")
+	}
+	if !c.ContainsString("x") {
+		t.Error("saturated counter was decremented to zero")
+	}
+}
+
+func TestCountingClear(t *testing.T) {
+	c := mustNewCounting(t, 512, 4)
+	c.AddString("a")
+	c.Clear()
+	if c.ContainsString("a") || c.Count() != 0 {
+		t.Error("Clear did not reset filter")
+	}
+}
+
+func TestCountingClone(t *testing.T) {
+	c := mustNewCounting(t, 512, 4)
+	c.AddString("a")
+	d := c.Clone()
+	d.AddString("b")
+	if c.ContainsString("b") && c.Count() != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+	if !d.ContainsString("a") {
+		t.Error("clone lost original key")
+	}
+}
+
+func TestCountingToFilter(t *testing.T) {
+	c := mustNewCounting(t, 2048, 4)
+	keys := []string{"p", "q", "r"}
+	for _, k := range keys {
+		c.AddString(k)
+	}
+	f := c.ToFilter()
+	if f.M() != c.M() || f.K() != c.K() {
+		t.Fatalf("ToFilter geometry (%d,%d), want (%d,%d)", f.M(), f.K(), c.M(), c.K())
+	}
+	for _, k := range keys {
+		if !f.ContainsString(k) {
+			t.Errorf("flattened filter missing %q", k)
+		}
+	}
+	if f.Count() != c.Count() {
+		t.Errorf("flattened count %d, want %d", f.Count(), c.Count())
+	}
+}
+
+func TestCountingSizeBytes(t *testing.T) {
+	c := mustNewCounting(t, 1000, 4)
+	if c.SizeBytes() != 1000 {
+		t.Errorf("SizeBytes = %d, want 1000", c.SizeBytes())
+	}
+}
+
+func TestCountingForCapacityMinimumSize(t *testing.T) {
+	c, err := NewCountingForCapacity(1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.M() == 0 {
+		t.Error("capacity constructor produced zero-size filter")
+	}
+}

@@ -1,0 +1,251 @@
+// Package bloom implements the Bloom filter machinery that underpins G-HBA:
+// standard bit-vector filters, counting filters that support deletion, the
+// set-algebraic operations of Section 3.4 of the paper (union, intersection,
+// XOR), and the false-positive analysis of Equation 1.
+//
+// All filters in one deployment must be created with identical geometry
+// (m bits, k hash functions) so that their bit vectors are directly
+// comparable and replicable across metadata servers; the algebraic
+// operations enforce this and fail loudly on mismatch.
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Common errors returned by filter operations.
+var (
+	// ErrGeometryMismatch is returned when two filters with different bit
+	// lengths or hash counts are combined.
+	ErrGeometryMismatch = errors.New("bloom: filter geometry mismatch")
+	// ErrInvalidGeometry is returned when a filter is created with a
+	// non-positive size or hash count.
+	ErrInvalidGeometry = errors.New("bloom: invalid filter geometry")
+)
+
+const wordBits = 64
+
+// Filter is a standard Bloom filter over byte-string keys.
+//
+// The zero value is not usable; construct filters with New or NewForCapacity.
+// Filter is not safe for concurrent mutation; wrap it in a lock at the layer
+// that owns it (the MDS layer in this repository does so).
+type Filter struct {
+	m     uint64 // number of bits
+	k     uint32 // number of hash functions
+	n     uint64 // number of Add calls since creation/clear (approximate set size)
+	words []uint64
+}
+
+// New creates a filter with exactly m bits and k hash functions.
+func New(m uint64, k uint32) (*Filter, error) {
+	if m == 0 || k == 0 {
+		return nil, fmt.Errorf("%w: m=%d k=%d", ErrInvalidGeometry, m, k)
+	}
+	return &Filter{
+		m:     m,
+		k:     k,
+		words: make([]uint64, (m+wordBits-1)/wordBits),
+	}, nil
+}
+
+// NewForCapacity creates a filter sized for n items at the given bits-per-item
+// ratio (the paper's m/n), using the optimal hash count k = (m/n)·ln 2.
+// This is the constructor used throughout G-HBA, where bitsPerItem is a
+// deployment parameter (8 and 16 are the ratios evaluated in Table 5).
+func NewForCapacity(n uint64, bitsPerItem float64) (*Filter, error) {
+	if n == 0 || bitsPerItem <= 0 {
+		return nil, fmt.Errorf("%w: n=%d bits/item=%f", ErrInvalidGeometry, n, bitsPerItem)
+	}
+	m := uint64(math.Ceil(float64(n) * bitsPerItem))
+	return New(m, OptimalK(bitsPerItem))
+}
+
+// OptimalK returns the hash count minimizing the false-positive rate for the
+// given bits-per-item ratio: k = (m/n)·ln 2, at least 1.
+func OptimalK(bitsPerItem float64) uint32 {
+	k := uint32(math.Round(bitsPerItem * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return k
+}
+
+// M returns the filter length in bits.
+func (f *Filter) M() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() uint32 { return f.k }
+
+// Count returns the number of insertions since creation or the last Clear.
+// It over-counts re-insertions of the same key and is used only for load
+// accounting, never for membership decisions.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Add inserts key into the filter.
+func (f *Filter) Add(key []byte) {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < f.k; i++ {
+		bit := indexAt(h1, h2, i, f.m)
+		f.words[bit/wordBits] |= 1 << (bit % wordBits)
+	}
+	f.n++
+}
+
+// AddString inserts a string key.
+func (f *Filter) AddString(key string) { f.Add([]byte(key)) }
+
+// Contains reports whether key may be in the set. False positives occur with
+// probability roughly FalsePositiveRate; false negatives never occur for keys
+// that were added and not removed (standard filters cannot remove).
+func (f *Filter) Contains(key []byte) bool {
+	h1, h2 := hashPair(key)
+	for i := uint32(0); i < f.k; i++ {
+		bit := indexAt(h1, h2, i, f.m)
+		if f.words[bit/wordBits]&(1<<(bit%wordBits)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsString reports whether a string key may be in the set.
+func (f *Filter) ContainsString(key string) bool { return f.Contains([]byte(key)) }
+
+// Clear resets the filter to empty.
+func (f *Filter) Clear() {
+	for i := range f.words {
+		f.words[i] = 0
+	}
+	f.n = 0
+}
+
+// Clone returns a deep copy of the filter.
+func (f *Filter) Clone() *Filter {
+	w := make([]uint64, len(f.words))
+	copy(w, f.words)
+	return &Filter{m: f.m, k: f.k, n: f.n, words: w}
+}
+
+// PopCount returns the number of set bits.
+func (f *Filter) PopCount() uint64 {
+	var c uint64
+	for _, w := range f.words {
+		c += uint64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// FillRatio returns the fraction of bits set, the quantity that determines
+// the observed false-positive rate.
+func (f *Filter) FillRatio() float64 {
+	return float64(f.PopCount()) / float64(f.m)
+}
+
+// SizeBytes returns the in-memory size of the bit vector in bytes. This is
+// the unit the memory model (internal/memmodel) budgets against.
+func (f *Filter) SizeBytes() uint64 { return uint64(len(f.words)) * 8 }
+
+// EstimatedFPR returns the expected false-positive probability given the
+// current fill ratio: p = fill^k.
+func (f *Filter) EstimatedFPR() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+// Equal reports whether two filters have identical geometry and bit vectors.
+func (f *Filter) Equal(g *Filter) bool {
+	if f.m != g.m || f.k != g.k {
+		return false
+	}
+	for i, w := range f.words {
+		if g.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// sameGeometry verifies that g can be combined with f.
+func (f *Filter) sameGeometry(g *Filter) error {
+	if f.m != g.m || f.k != g.k {
+		return fmt.Errorf("%w: (m=%d,k=%d) vs (m=%d,k=%d)",
+			ErrGeometryMismatch, f.m, f.k, g.m, g.k)
+	}
+	return nil
+}
+
+// Union replaces f with BF(A∪B) by ORing the bit vectors (Property 1 of the
+// paper). The resulting filter represents the union exactly: it answers
+// positively for every member of either set, with a false-positive rate no
+// lower than either input's.
+func (f *Filter) Union(g *Filter) error {
+	if err := f.sameGeometry(g); err != nil {
+		return err
+	}
+	for i, w := range g.words {
+		f.words[i] |= w
+	}
+	f.n += g.n
+	return nil
+}
+
+// Intersect replaces f with the AND of the bit vectors. Per Property 2 of the
+// paper this is a superset approximation of BF(A∩B): every member of A∩B
+// still answers positively, but the false-positive rate exceeds that of a
+// filter built directly from A∩B.
+func (f *Filter) Intersect(g *Filter) error {
+	if err := f.sameGeometry(g); err != nil {
+		return err
+	}
+	for i, w := range g.words {
+		f.words[i] &= w
+	}
+	if g.n < f.n {
+		f.n = g.n
+	}
+	return nil
+}
+
+// XorBits returns the Hamming distance between the two bit vectors. G-HBA
+// uses this (Section 3.4) to decide when a remote replica is stale enough to
+// justify pushing an update: the delta of a filter against its last-shipped
+// snapshot is compared against a bit threshold.
+func (f *Filter) XorBits(g *Filter) (uint64, error) {
+	if err := f.sameGeometry(g); err != nil {
+		return 0, err
+	}
+	var c uint64
+	for i, w := range g.words {
+		c += uint64(bits.OnesCount64(f.words[i] ^ w))
+	}
+	return c, nil
+}
+
+// Xor returns a new filter whose bit vector is the XOR of the inputs,
+// representing BF(A⊕B) = BF(A−B) ∪ BF(B−A) per Property 3 when both inputs
+// share bits and hash functions.
+func (f *Filter) Xor(g *Filter) (*Filter, error) {
+	if err := f.sameGeometry(g); err != nil {
+		return nil, err
+	}
+	out := &Filter{m: f.m, k: f.k, words: make([]uint64, len(f.words))}
+	for i := range f.words {
+		out.words[i] = f.words[i] ^ g.words[i]
+	}
+	return out, nil
+}
+
+// CopyFrom overwrites f's bit vector and count with g's. It is the in-place
+// replica-refresh primitive: an MDS receiving a full-filter update applies it
+// without reallocating.
+func (f *Filter) CopyFrom(g *Filter) error {
+	if err := f.sameGeometry(g); err != nil {
+		return err
+	}
+	copy(f.words, g.words)
+	f.n = g.n
+	return nil
+}

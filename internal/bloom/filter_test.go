@@ -1,0 +1,480 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, m uint64, k uint32) *Filter {
+	t.Helper()
+	f, err := New(m, k)
+	if err != nil {
+		t.Fatalf("New(%d, %d): %v", m, k, err)
+	}
+	return f
+}
+
+func TestNewRejectsInvalidGeometry(t *testing.T) {
+	cases := []struct {
+		m uint64
+		k uint32
+	}{{0, 3}, {100, 0}, {0, 0}}
+	for _, c := range cases {
+		if _, err := New(c.m, c.k); err == nil {
+			t.Errorf("New(%d, %d) succeeded, want error", c.m, c.k)
+		}
+	}
+}
+
+func TestNewForCapacityRejectsInvalid(t *testing.T) {
+	if _, err := NewForCapacity(0, 8); err == nil {
+		t.Error("NewForCapacity(0, 8) succeeded, want error")
+	}
+	if _, err := NewForCapacity(10, 0); err == nil {
+		t.Error("NewForCapacity(10, 0) succeeded, want error")
+	}
+	if _, err := NewForCapacity(10, -4); err == nil {
+		t.Error("NewForCapacity(10, -4) succeeded, want error")
+	}
+}
+
+func TestNewForCapacityGeometry(t *testing.T) {
+	f, err := NewForCapacity(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.M() != 8000 {
+		t.Errorf("M = %d, want 8000", f.M())
+	}
+	// k = 8·ln2 ≈ 5.545 → 6
+	if f.K() != 6 {
+		t.Errorf("K = %d, want 6", f.K())
+	}
+}
+
+func TestAddContains(t *testing.T) {
+	f := mustNew(t, 1<<14, 6)
+	keys := []string{"", "/", "/usr/lib/file.so", "a", "ab", "abc", "/home/user/.bashrc"}
+	for _, k := range keys {
+		f.AddString(k)
+	}
+	for _, k := range keys {
+		if !f.ContainsString(k) {
+			t.Errorf("Contains(%q) = false after Add", k)
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := mustNew(t, 1<<16, 7)
+	err := quick.Check(func(key []byte) bool {
+		f.Add(key)
+		return f.Contains(key)
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Errorf("false negative found: %v", err)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f := mustNew(t, 1<<16, 7)
+	for i := 0; i < 1000; i++ {
+		if f.ContainsString("key" + strconv.Itoa(i)) {
+			t.Fatalf("empty filter claims membership of key%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTheory(t *testing.T) {
+	// 8 bits/item, optimal k → f0 ≈ 0.6185^8 ≈ 2.1%.
+	const n = 20000
+	f, err := NewForCapacity(n, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f.AddString("member-" + strconv.Itoa(i))
+	}
+	fp := 0
+	const probes = 50000
+	for i := 0; i < probes; i++ {
+		if f.ContainsString("nonmember-" + strconv.Itoa(i)) {
+			fp++
+		}
+	}
+	got := float64(fp) / probes
+	want := OptimalFalsePositiveRate(8)
+	if got > want*2.5 {
+		t.Errorf("observed FPR %.4f far above theoretical %.4f", got, want)
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := mustNew(t, 1024, 4)
+	f.AddString("x")
+	if f.PopCount() == 0 {
+		t.Fatal("PopCount = 0 after Add")
+	}
+	f.Clear()
+	if f.PopCount() != 0 || f.Count() != 0 {
+		t.Errorf("after Clear: popcount=%d count=%d, want 0, 0", f.PopCount(), f.Count())
+	}
+	if f.ContainsString("x") {
+		t.Error("cleared filter still contains key")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := mustNew(t, 1024, 4)
+	f.AddString("a")
+	g := f.Clone()
+	if !f.Equal(g) {
+		t.Fatal("clone not equal to original")
+	}
+	g.AddString("b")
+	if f.Equal(g) && f.PopCount() == g.PopCount() {
+		t.Error("mutation of clone affected original")
+	}
+	if !f.ContainsString("a") {
+		t.Error("original lost key after clone mutation")
+	}
+}
+
+func TestEqualDifferentGeometry(t *testing.T) {
+	a := mustNew(t, 1024, 4)
+	b := mustNew(t, 1024, 5)
+	c := mustNew(t, 2048, 4)
+	if a.Equal(b) {
+		t.Error("filters with different k compare equal")
+	}
+	if a.Equal(c) {
+		t.Error("filters with different m compare equal")
+	}
+}
+
+func TestFillRatioAndSize(t *testing.T) {
+	f := mustNew(t, 128, 2)
+	if f.FillRatio() != 0 {
+		t.Errorf("empty FillRatio = %f", f.FillRatio())
+	}
+	if f.SizeBytes() != 16 {
+		t.Errorf("SizeBytes = %d, want 16", f.SizeBytes())
+	}
+	f.AddString("k")
+	if f.FillRatio() <= 0 || f.FillRatio() > float64(f.K())/128 {
+		t.Errorf("FillRatio = %f out of expected range", f.FillRatio())
+	}
+}
+
+func TestUnionProperty1(t *testing.T) {
+	// BF(A) ∪ BF(B) must contain every member of A and of B.
+	a := mustNew(t, 1<<14, 6)
+	b := mustNew(t, 1<<14, 6)
+	var aKeys, bKeys []string
+	for i := 0; i < 500; i++ {
+		ka, kb := "a"+strconv.Itoa(i), "b"+strconv.Itoa(i)
+		a.AddString(ka)
+		b.AddString(kb)
+		aKeys = append(aKeys, ka)
+		bKeys = append(bKeys, kb)
+	}
+	u := a.Clone()
+	if err := u.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range append(aKeys, bKeys...) {
+		if !u.ContainsString(k) {
+			t.Errorf("union missing %q", k)
+		}
+	}
+	// Union bit vector must equal OR of inputs.
+	for i := range u.words {
+		if u.words[i] != a.words[i]|b.words[i] {
+			t.Fatalf("word %d: union != OR", i)
+		}
+	}
+}
+
+func TestIntersectProperty2(t *testing.T) {
+	// AND of bit vectors is a superset of BF(A∩B): members of both sets
+	// must remain positive.
+	a := mustNew(t, 1<<14, 6)
+	b := mustNew(t, 1<<14, 6)
+	for i := 0; i < 300; i++ {
+		a.AddString("common" + strconv.Itoa(i))
+		b.AddString("common" + strconv.Itoa(i))
+		a.AddString("onlyA" + strconv.Itoa(i))
+		b.AddString("onlyB" + strconv.Itoa(i))
+	}
+	x := a.Clone()
+	if err := x.Intersect(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if !x.ContainsString("common" + strconv.Itoa(i)) {
+			t.Errorf("intersection lost common member %d", i)
+		}
+	}
+	// Direct filter over A∩B has no more bits than the AND approximation.
+	direct := mustNew(t, 1<<14, 6)
+	for i := 0; i < 300; i++ {
+		direct.AddString("common" + strconv.Itoa(i))
+	}
+	if direct.PopCount() > x.PopCount() {
+		t.Errorf("direct intersection filter has more bits (%d) than AND (%d)",
+			direct.PopCount(), x.PopCount())
+	}
+}
+
+func TestXorOfIdenticalSetsIsZero(t *testing.T) {
+	a := mustNew(t, 1<<12, 5)
+	b := mustNew(t, 1<<12, 5)
+	for i := 0; i < 200; i++ {
+		a.AddString("k" + strconv.Itoa(i))
+		b.AddString("k" + strconv.Itoa(i))
+	}
+	d, err := a.XorBits(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("XorBits of identical sets = %d, want 0", d)
+	}
+	x, err := a.Xor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.PopCount() != 0 {
+		t.Errorf("Xor of identical sets has %d set bits", x.PopCount())
+	}
+}
+
+func TestXorProperty3(t *testing.T) {
+	// BF(A⊕B) = BF(A−B) ∪ BF(B−A) when bits/hashes are shared and the
+	// symmetric-difference elements don't collide: verify on disjoint sets.
+	a := mustNew(t, 1<<16, 6)
+	b := mustNew(t, 1<<16, 6)
+	shared := mustNew(t, 1<<16, 6)
+	for i := 0; i < 100; i++ {
+		k := "shared" + strconv.Itoa(i)
+		a.AddString(k)
+		b.AddString(k)
+		shared.AddString(k)
+	}
+	onlyA := mustNew(t, 1<<16, 6)
+	for i := 0; i < 50; i++ {
+		k := "onlyA" + strconv.Itoa(i)
+		a.AddString(k)
+		onlyA.AddString(k)
+	}
+	x, err := a.Xor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bits set only by A's unique members and not by shared ones survive XOR.
+	surviving := 0
+	for i := range onlyA.words {
+		surviving += popcntWord(onlyA.words[i] &^ shared.words[i] & x.words[i])
+		if onlyA.words[i]&^shared.words[i] != onlyA.words[i]&^shared.words[i]&x.words[i] {
+			t.Fatalf("word %d: XOR lost a bit unique to A−B", i)
+		}
+	}
+	if surviving == 0 {
+		t.Error("XOR kept no bits of A−B")
+	}
+}
+
+func popcntWord(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+func TestGeometryMismatchErrors(t *testing.T) {
+	a := mustNew(t, 1024, 4)
+	b := mustNew(t, 2048, 4)
+	if err := a.Union(b); err == nil {
+		t.Error("Union across geometries succeeded")
+	}
+	if err := a.Intersect(b); err == nil {
+		t.Error("Intersect across geometries succeeded")
+	}
+	if _, err := a.Xor(b); err == nil {
+		t.Error("Xor across geometries succeeded")
+	}
+	if _, err := a.XorBits(b); err == nil {
+		t.Error("XorBits across geometries succeeded")
+	}
+	if err := a.CopyFrom(b); err == nil {
+		t.Error("CopyFrom across geometries succeeded")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := mustNew(t, 1024, 4)
+	b := mustNew(t, 1024, 4)
+	b.AddString("x")
+	b.AddString("y")
+	if err := a.CopyFrom(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) || a.Count() != b.Count() {
+		t.Error("CopyFrom did not replicate state")
+	}
+}
+
+func TestUnionCommutativeProperty(t *testing.T) {
+	err := quick.Check(func(xs, ys []string) bool {
+		a1 := mustNewQuick()
+		b1 := mustNewQuick()
+		for _, x := range xs {
+			a1.AddString(x)
+		}
+		for _, y := range ys {
+			b1.AddString(y)
+		}
+		u1 := a1.Clone()
+		if err := u1.Union(b1); err != nil {
+			return false
+		}
+		u2 := b1.Clone()
+		if err := u2.Union(a1); err != nil {
+			return false
+		}
+		return u1.Equal(u2)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Errorf("union not commutative: %v", err)
+	}
+}
+
+func mustNewQuick() *Filter {
+	f, err := New(4096, 5)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestHashDeterminism(t *testing.T) {
+	// Two filters built independently over the same keys must be bitwise
+	// identical — the property replica distribution depends on.
+	a := mustNew(t, 1<<13, 6)
+	b := mustNew(t, 1<<13, 6)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("/fs/dir%d/file%d", i%37, i)
+		a.AddString(k)
+		b.AddString(k)
+	}
+	if !a.Equal(b) {
+		t.Error("same insertion sequence produced different bit vectors")
+	}
+}
+
+func TestHashPairStrideOdd(t *testing.T) {
+	err := quick.Check(func(key []byte) bool {
+		_, h2 := hashPair(key)
+		return h2%2 == 1
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Errorf("h2 not always odd: %v", err)
+	}
+}
+
+func TestEstimatedFPRMonotonic(t *testing.T) {
+	f := mustNew(t, 4096, 5)
+	prev := f.EstimatedFPR()
+	for i := 0; i < 2000; i += 100 {
+		for j := 0; j < 100; j++ {
+			f.AddString(strconv.Itoa(i + j))
+		}
+		cur := f.EstimatedFPR()
+		if cur < prev {
+			t.Fatalf("EstimatedFPR decreased after inserts: %f -> %f", prev, cur)
+		}
+		prev = cur
+	}
+	if prev <= 0 || prev > 1 {
+		t.Errorf("EstimatedFPR = %f out of (0,1]", prev)
+	}
+}
+
+func TestOptimalK(t *testing.T) {
+	cases := []struct {
+		ratio float64
+		want  uint32
+	}{
+		{8, 6},   // 5.545 → 6
+		{16, 11}, // 11.09 → 11
+		{1, 1},   // 0.69 → 1
+		{0.1, 1}, // rounds to 0, clamped to 1
+	}
+	for _, c := range cases {
+		if got := OptimalK(c.ratio); got != c.want {
+			t.Errorf("OptimalK(%v) = %d, want %d", c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestFalsePositiveRateFormula(t *testing.T) {
+	if got := FalsePositiveRate(1000, 0, 4); got != 0 {
+		t.Errorf("FPR with n=0 = %f, want 0", got)
+	}
+	if got := FalsePositiveRate(0, 10, 4); got != 1 {
+		t.Errorf("FPR with m=0 = %f, want 1", got)
+	}
+	// Known value: m/n=8, k=6 → (1−e^(−6/8))^6 ≈ 0.0216.
+	got := FalsePositiveRate(8000, 1000, 6)
+	if math.Abs(got-0.0216) > 0.002 {
+		t.Errorf("FPR(8000,1000,6) = %f, want ≈0.0216", got)
+	}
+}
+
+func TestOptimalFalsePositiveRate(t *testing.T) {
+	if got := OptimalFalsePositiveRate(0); got != 1 {
+		t.Errorf("f0 at ratio 0 = %f, want 1", got)
+	}
+	got := OptimalFalsePositiveRate(8)
+	want := math.Pow(0.6185, 8)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("f0(8) = %g, want %g", got, want)
+	}
+	if OptimalFalsePositiveRate(16) >= got {
+		t.Error("f0 not decreasing in bits/item")
+	}
+}
+
+func TestSegmentFalsePositiveEq1(t *testing.T) {
+	if got := SegmentFalsePositive(0, 8); got != 0 {
+		t.Errorf("Eq1 with θ=0 = %f, want 0", got)
+	}
+	// θ=1 reduces to f0.
+	if got, want := SegmentFalsePositive(1, 8), OptimalFalsePositiveRate(8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Eq1 θ=1 = %g, want f0 = %g", got, want)
+	}
+	// Hand-computed: θ=10, ratio 8: 10·f0·(1−f0)^9.
+	f0 := math.Pow(0.6185, 8)
+	want := 10 * f0 * math.Pow(1-f0, 9)
+	if got := SegmentFalsePositive(10, 8); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Eq1 θ=10 = %g, want %g", got, want)
+	}
+}
+
+func TestUniqueHitProbability(t *testing.T) {
+	if got := UniqueHitProbability(0, 0.1); got != 0 {
+		t.Errorf("UniqueHitProbability(0) = %f, want 0", got)
+	}
+	if got := UniqueHitProbability(1, 0.5); got != 1 {
+		t.Errorf("UniqueHitProbability(1) = %f, want 1 (no other filters)", got)
+	}
+	got := UniqueHitProbability(11, 0.01)
+	want := math.Pow(0.99, 10)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("UniqueHitProbability(11, 0.01) = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,104 @@
+package bloom
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary wire format shared by the simulator checkpoints and the prototype
+// RPC layer. Layout (big endian):
+//
+//	magic  uint16  — 0xB1F0 for Filter, 0xB1F1 for CountingFilter
+//	m      uint64
+//	k      uint32
+//	n      uint64
+//	body   — Filter: ⌈m/64⌉ uint64 words; CountingFilter: m uint8 counters
+
+const (
+	magicFilter   uint16 = 0xB1F0
+	magicCounting uint16 = 0xB1F1
+	headerLen            = 2 + 8 + 4 + 8
+)
+
+var (
+	_ encoding.BinaryMarshaler   = (*Filter)(nil)
+	_ encoding.BinaryUnmarshaler = (*Filter)(nil)
+	_ encoding.BinaryMarshaler   = (*CountingFilter)(nil)
+	_ encoding.BinaryUnmarshaler = (*CountingFilter)(nil)
+)
+
+func putHeader(buf []byte, magic uint16, m uint64, k uint32, n uint64) {
+	binary.BigEndian.PutUint16(buf[0:2], magic)
+	binary.BigEndian.PutUint64(buf[2:10], m)
+	binary.BigEndian.PutUint32(buf[10:14], k)
+	binary.BigEndian.PutUint64(buf[14:22], n)
+}
+
+func parseHeader(data []byte, wantMagic uint16) (m uint64, k uint32, n uint64, err error) {
+	if len(data) < headerLen {
+		return 0, 0, 0, fmt.Errorf("bloom: truncated header: %d bytes", len(data))
+	}
+	if got := binary.BigEndian.Uint16(data[0:2]); got != wantMagic {
+		return 0, 0, 0, fmt.Errorf("bloom: bad magic 0x%04x (want 0x%04x)", got, wantMagic)
+	}
+	m = binary.BigEndian.Uint64(data[2:10])
+	k = binary.BigEndian.Uint32(data[10:14])
+	n = binary.BigEndian.Uint64(data[14:22])
+	if m == 0 || k == 0 {
+		return 0, 0, 0, fmt.Errorf("%w: m=%d k=%d", ErrInvalidGeometry, m, k)
+	}
+	return m, k, n, nil
+}
+
+// MarshalBinary encodes the filter in the wire format above.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, headerLen+len(f.words)*8)
+	putHeader(buf, magicFilter, f.m, f.k, f.n)
+	for i, w := range f.words {
+		binary.BigEndian.PutUint64(buf[headerLen+i*8:], w)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a filter previously encoded with MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	m, k, n, err := parseHeader(data, magicFilter)
+	if err != nil {
+		return err
+	}
+	nw := int((m + wordBits - 1) / wordBits)
+	if len(data) != headerLen+nw*8 {
+		return fmt.Errorf("bloom: body length %d, want %d", len(data)-headerLen, nw*8)
+	}
+	words := make([]uint64, nw)
+	for i := range words {
+		words[i] = binary.BigEndian.Uint64(data[headerLen+i*8:])
+	}
+	f.m, f.k, f.n, f.words = m, k, n, words
+	return nil
+}
+
+// MarshalBinary encodes the counting filter in the wire format above.
+func (c *CountingFilter) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, headerLen+len(c.counters))
+	putHeader(buf, magicCounting, c.m, c.k, c.n)
+	copy(buf[headerLen:], c.counters)
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a counting filter previously encoded with
+// MarshalBinary.
+func (c *CountingFilter) UnmarshalBinary(data []byte) error {
+	m, k, n, err := parseHeader(data, magicCounting)
+	if err != nil {
+		return err
+	}
+	if uint64(len(data)-headerLen) != m {
+		return fmt.Errorf("bloom: body length %d, want %d", len(data)-headerLen, m)
+	}
+	counters := make([]uint8, m)
+	copy(counters, data[headerLen:])
+	c.m, c.k, c.n, c.counters = m, k, n, counters
+	return nil
+}

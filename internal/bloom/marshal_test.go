@@ -1,0 +1,130 @@
+package bloom
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestFilterMarshalRoundTrip(t *testing.T) {
+	f := mustNew(t, 1<<12, 6)
+	for i := 0; i < 500; i++ {
+		f.AddString("file" + strconv.Itoa(i))
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(&g) {
+		t.Error("round trip changed bit vector")
+	}
+	if g.Count() != f.Count() {
+		t.Errorf("round trip count %d, want %d", g.Count(), f.Count())
+	}
+}
+
+func TestFilterMarshalRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(keys []string) bool {
+		f, err := New(2048, 4)
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			f.AddString(k)
+		}
+		data, err := f.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var g Filter
+		if err := g.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return f.Equal(&g)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Errorf("marshal round-trip property violated: %v", err)
+	}
+}
+
+func TestCountingMarshalRoundTrip(t *testing.T) {
+	c := mustNewCounting(t, 3000, 5)
+	for i := 0; i < 200; i++ {
+		c.AddString("k" + strconv.Itoa(i))
+	}
+	c.RemoveString("k0")
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d CountingFilter
+	if err := d.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != c.M() || d.K() != c.K() || d.Count() != c.Count() {
+		t.Fatal("round trip changed geometry or count")
+	}
+	for i := range c.counters {
+		if c.counters[i] != d.counters[i] {
+			t.Fatalf("counter %d differs after round trip", i)
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	var f Filter
+	if err := f.UnmarshalBinary(nil); err == nil {
+		t.Error("nil input accepted")
+	}
+	if err := f.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("short input accepted")
+	}
+	// Valid counting header fed to Filter: magic mismatch.
+	c := mustNewCounting(t, 64, 2)
+	data, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.UnmarshalBinary(data); err == nil {
+		t.Error("counting payload accepted as filter")
+	}
+	var c2 CountingFilter
+	f2 := mustNew(t, 64, 2)
+	fdata, err := f2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.UnmarshalBinary(fdata); err == nil {
+		t.Error("filter payload accepted as counting filter")
+	}
+}
+
+func TestUnmarshalRejectsTruncatedBody(t *testing.T) {
+	f := mustNew(t, 1024, 4)
+	f.AddString("x")
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data[:len(data)-4]); err == nil {
+		t.Error("truncated body accepted")
+	}
+	// Extended body must also be rejected.
+	if err := g.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Error("oversized body accepted")
+	}
+}
+
+func TestUnmarshalRejectsZeroGeometryHeader(t *testing.T) {
+	data := make([]byte, headerLen)
+	putHeader(data, magicFilter, 0, 0, 0)
+	var f Filter
+	if err := f.UnmarshalBinary(data); err == nil {
+		t.Error("zero-geometry header accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package bloom
+
+import "math"
+
+// optimalBase is 0.6185 in the paper: the minimum false-positive rate of a
+// standard Bloom filter with optimal k is f0 = (1/2)^k ≈ 0.6185^(m/n).
+const optimalBase = 0.6185
+
+// FalsePositiveRate returns the classical approximation of the false-positive
+// probability of a Bloom filter with m bits, n inserted items, and k hash
+// functions: (1 − e^(−kn/m))^k.
+func FalsePositiveRate(m, n uint64, k uint32) float64 {
+	if n == 0 {
+		return 0
+	}
+	if m == 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-float64(k)*float64(n)/float64(m)), float64(k))
+}
+
+// OptimalFalsePositiveRate returns f0, the minimum achievable false-positive
+// rate at ratio bitsPerItem = m/n when k = (m/n)·ln 2, which the paper
+// approximates as 0.6185^(m/n).
+func OptimalFalsePositiveRate(bitsPerItem float64) float64 {
+	if bitsPerItem <= 0 {
+		return 1
+	}
+	return math.Pow(optimalBase, bitsPerItem)
+}
+
+// SegmentFalsePositive evaluates Equation 1 of the paper: the probability
+// that a segment Bloom filter array holding theta replicas returns a unique
+// but wrong hit,
+//
+//	f⁺g = θ · f0 · (1 − f0)^(θ−1),  f0 = 0.6185^(m/n),
+//
+// i.e. exactly one of the θ filters fires falsely. theta is the number of
+// replicas stored locally on one MDS and bitsPerItem the filter ratio m/n.
+func SegmentFalsePositive(theta int, bitsPerItem float64) float64 {
+	if theta <= 0 {
+		return 0
+	}
+	f0 := OptimalFalsePositiveRate(bitsPerItem)
+	return float64(theta) * f0 * math.Pow(1-f0, float64(theta-1))
+}
+
+// UniqueHitProbability returns the probability that an array of total filters
+// yields exactly one positive answer for a key stored in exactly one of them,
+// given each filter's false-positive rate fpr. The true home filter always
+// answers positively (no false negatives), so a unique hit requires all
+// total−1 other filters to stay silent.
+func UniqueHitProbability(total int, fpr float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	return math.Pow(1-fpr, float64(total-1))
+}

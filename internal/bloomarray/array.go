@@ -1,0 +1,155 @@
+// Package bloomarray builds the three array structures G-HBA layers on top
+// of plain Bloom filters:
+//
+//   - Array: an ordered set of (MDS id, filter) entries queried with the
+//     paper's unique-hit semantics — an answer counts only when exactly one
+//     filter responds positively; zero or multiple hits escalate the lookup
+//     to the next level of the hierarchy.
+//   - LRUArray (lru.go): the L1 structure capturing temporal locality with
+//     per-MDS aging filters.
+//   - IDBFA (idbfa.go): the counting-filter array each MDS keeps to locate
+//     which group member currently stores which Bloom-filter replica.
+package bloomarray
+
+import (
+	"fmt"
+	"sort"
+
+	"ghba/internal/bloom"
+)
+
+// Result is the outcome of querying an array: the IDs of all filters that
+// answered positively, in ascending order.
+type Result struct {
+	// Hits lists the MDS IDs whose filters responded positively.
+	Hits []int
+}
+
+// Unique returns the single hit and true when exactly one filter responded,
+// which is the only case the G-HBA query path treats as an answer.
+func (r Result) Unique() (int, bool) {
+	if len(r.Hits) == 1 {
+		return r.Hits[0], true
+	}
+	return 0, false
+}
+
+// Miss reports whether no filter responded.
+func (r Result) Miss() bool { return len(r.Hits) == 0 }
+
+// Multiple reports whether more than one filter responded, which forces the
+// same escalation as a miss (the array cannot disambiguate).
+func (r Result) Multiple() bool { return len(r.Hits) > 1 }
+
+// Array is a collection of Bloom-filter replicas keyed by the ID of the MDS
+// whose file set each filter summarizes. It is the representation of the L2
+// segment array and, in the HBA baseline, of the full global replica array.
+//
+// Array is not safe for concurrent use; the owning MDS serializes access.
+type Array struct {
+	filters map[int]*bloom.Filter
+}
+
+// NewArray returns an empty array.
+func NewArray() *Array {
+	return &Array{filters: make(map[int]*bloom.Filter)}
+}
+
+// Put installs or replaces the replica for the given MDS ID.
+func (a *Array) Put(mdsID int, f *bloom.Filter) {
+	a.filters[mdsID] = f
+}
+
+// Get returns the replica for mdsID, or nil if absent.
+func (a *Array) Get(mdsID int) *bloom.Filter {
+	return a.filters[mdsID]
+}
+
+// Remove deletes the replica for mdsID, returning it (nil if absent).
+func (a *Array) Remove(mdsID int) *bloom.Filter {
+	f := a.filters[mdsID]
+	delete(a.filters, mdsID)
+	return f
+}
+
+// Has reports whether the array holds a replica for mdsID.
+func (a *Array) Has(mdsID int) bool {
+	_, ok := a.filters[mdsID]
+	return ok
+}
+
+// Len returns the number of replicas held.
+func (a *Array) Len() int { return len(a.filters) }
+
+// IDs returns the MDS IDs of all held replicas in ascending order.
+func (a *Array) IDs() []int {
+	ids := make([]int, 0, len(a.filters))
+	for id := range a.filters {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Query checks key against every filter and returns all positive responders.
+func (a *Array) Query(key []byte) Result {
+	var hits []int
+	for id, f := range a.filters {
+		if f.Contains(key) {
+			hits = append(hits, id)
+		}
+	}
+	sort.Ints(hits)
+	return Result{Hits: hits}
+}
+
+// QueryString checks a string key against every filter.
+func (a *Array) QueryString(key string) Result { return a.Query([]byte(key)) }
+
+// SizeBytes returns the total in-memory footprint of all held replicas; the
+// memory model charges this against the per-MDS RAM budget.
+func (a *Array) SizeBytes() uint64 {
+	var total uint64
+	for _, f := range a.filters {
+		total += f.SizeBytes()
+	}
+	return total
+}
+
+// Clone returns a deep copy of the array (each filter is cloned).
+func (a *Array) Clone() *Array {
+	c := NewArray()
+	for id, f := range a.filters {
+		c.filters[id] = f.Clone()
+	}
+	return c
+}
+
+// PopRandom removes and returns count replicas in deterministic ascending-ID
+// order, used when a group member offloads replicas to a newly joined MDS.
+// The paper offloads "randomly"; a deterministic order preserves the same
+// balance property while keeping simulations reproducible. It returns fewer
+// than count entries when the array is smaller.
+func (a *Array) PopRandom(count int) map[int]*bloom.Filter {
+	out := make(map[int]*bloom.Filter, count)
+	for _, id := range a.IDs() {
+		if len(out) >= count {
+			break
+		}
+		out[id] = a.Remove(id)
+	}
+	return out
+}
+
+// MergeFrom moves every replica of src into a, failing on duplicate IDs so
+// that the "each replica resides exclusively on one MDS" invariant is caught
+// at the point of violation.
+func (a *Array) MergeFrom(src *Array) error {
+	for _, id := range src.IDs() {
+		if a.Has(id) {
+			return fmt.Errorf("bloomarray: duplicate replica for MDS %d during merge", id)
+		}
+		a.Put(id, src.Remove(id))
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package bloomarray
+
+import (
+	"strconv"
+	"testing"
+
+	"ghba/internal/bloom"
+)
+
+func filterWith(t *testing.T, keys ...string) *bloom.Filter {
+	t.Helper()
+	f, err := bloom.NewForCapacity(1024, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		f.AddString(k)
+	}
+	return f
+}
+
+func TestResultUnique(t *testing.T) {
+	if _, ok := (Result{}).Unique(); ok {
+		t.Error("empty result reported unique")
+	}
+	id, ok := (Result{Hits: []int{7}}).Unique()
+	if !ok || id != 7 {
+		t.Errorf("Unique = (%d, %v), want (7, true)", id, ok)
+	}
+	if _, ok := (Result{Hits: []int{1, 2}}).Unique(); ok {
+		t.Error("two-hit result reported unique")
+	}
+}
+
+func TestResultMissMultiple(t *testing.T) {
+	if !(Result{}).Miss() {
+		t.Error("empty result not a miss")
+	}
+	if (Result{Hits: []int{1}}).Miss() || (Result{Hits: []int{1}}).Multiple() {
+		t.Error("single hit misclassified")
+	}
+	if !(Result{Hits: []int{1, 2}}).Multiple() {
+		t.Error("two hits not multiple")
+	}
+}
+
+func TestArrayPutGetRemove(t *testing.T) {
+	a := NewArray()
+	f := filterWith(t, "x")
+	a.Put(3, f)
+	if !a.Has(3) || a.Get(3) != f || a.Len() != 1 {
+		t.Fatal("Put/Get/Has inconsistent")
+	}
+	if got := a.Remove(3); got != f {
+		t.Error("Remove returned wrong filter")
+	}
+	if a.Has(3) || a.Len() != 0 {
+		t.Error("Remove did not delete entry")
+	}
+	if a.Remove(99) != nil {
+		t.Error("Remove of absent ID returned non-nil")
+	}
+}
+
+func TestArrayQueryUniqueHit(t *testing.T) {
+	a := NewArray()
+	a.Put(1, filterWith(t, "/d/alpha"))
+	a.Put(2, filterWith(t, "/d/beta"))
+	a.Put(3, filterWith(t, "/d/gamma"))
+	r := a.QueryString("/d/beta")
+	id, ok := r.Unique()
+	if !ok || id != 2 {
+		t.Errorf("Query(/d/beta) = %v, want unique hit on 2", r.Hits)
+	}
+	if !a.QueryString("/d/nothere").Miss() {
+		t.Error("absent key did not miss")
+	}
+}
+
+func TestArrayQueryMultipleHits(t *testing.T) {
+	a := NewArray()
+	a.Put(1, filterWith(t, "shared"))
+	a.Put(2, filterWith(t, "shared"))
+	r := a.QueryString("shared")
+	if !r.Multiple() {
+		t.Errorf("Query(shared) = %v, want multiple", r.Hits)
+	}
+	if len(r.Hits) != 2 || r.Hits[0] != 1 || r.Hits[1] != 2 {
+		t.Errorf("hits = %v, want [1 2] ascending", r.Hits)
+	}
+}
+
+func TestArrayIDsSorted(t *testing.T) {
+	a := NewArray()
+	for _, id := range []int{9, 2, 5, 1} {
+		a.Put(id, filterWith(t))
+	}
+	ids := a.IDs()
+	want := []int{1, 2, 5, 9}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestArraySizeBytes(t *testing.T) {
+	a := NewArray()
+	if a.SizeBytes() != 0 {
+		t.Error("empty array has non-zero size")
+	}
+	f := filterWith(t)
+	a.Put(1, f)
+	a.Put(2, filterWith(t))
+	if a.SizeBytes() != 2*f.SizeBytes() {
+		t.Errorf("SizeBytes = %d, want %d", a.SizeBytes(), 2*f.SizeBytes())
+	}
+}
+
+func TestArrayCloneDeep(t *testing.T) {
+	a := NewArray()
+	a.Put(1, filterWith(t, "orig"))
+	c := a.Clone()
+	c.Get(1).AddString("mutant")
+	if a.Get(1).ContainsString("mutant") && a.Get(1).Count() > 1 {
+		t.Error("clone shares filter with original")
+	}
+}
+
+func TestArrayPopRandom(t *testing.T) {
+	a := NewArray()
+	for i := 0; i < 10; i++ {
+		a.Put(i, filterWith(t, strconv.Itoa(i)))
+	}
+	popped := a.PopRandom(4)
+	if len(popped) != 4 {
+		t.Fatalf("popped %d replicas, want 4", len(popped))
+	}
+	if a.Len() != 6 {
+		t.Errorf("array left with %d replicas, want 6", a.Len())
+	}
+	for id := range popped {
+		if a.Has(id) {
+			t.Errorf("popped replica %d still present", id)
+		}
+	}
+	// Popping more than available returns what exists.
+	rest := a.PopRandom(100)
+	if len(rest) != 6 || a.Len() != 0 {
+		t.Errorf("PopRandom(100) returned %d, array has %d", len(rest), a.Len())
+	}
+}
+
+func TestArrayMergeFrom(t *testing.T) {
+	dst := NewArray()
+	dst.Put(1, filterWith(t))
+	src := NewArray()
+	src.Put(2, filterWith(t))
+	src.Put(3, filterWith(t))
+	if err := dst.MergeFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 3 || src.Len() != 0 {
+		t.Errorf("after merge dst=%d src=%d, want 3, 0", dst.Len(), src.Len())
+	}
+}
+
+func TestArrayMergeFromDuplicate(t *testing.T) {
+	dst := NewArray()
+	dst.Put(1, filterWith(t))
+	src := NewArray()
+	src.Put(1, filterWith(t))
+	if err := dst.MergeFrom(src); err == nil {
+		t.Error("merge with duplicate ID succeeded, want error")
+	}
+}

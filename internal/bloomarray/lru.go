@@ -1,0 +1,122 @@
+package bloomarray
+
+import (
+	"fmt"
+
+	"ghba/internal/bloom"
+)
+
+// LRUArray is the L1 structure of G-HBA: one small Bloom filter per MDS
+// recording the files recently confirmed to be homed at that MDS. Because a
+// plain Bloom filter cannot evict, recency is approximated with the standard
+// two-generation aging scheme: each entry keeps an active and an aged
+// filter; inserts go to the active one, lookups consult both, and when the
+// active filter has absorbed its capacity the generations rotate (the aged
+// one is discarded). The effect is a sliding window covering between one and
+// two capacities of the most recent insertions, which is exactly the "hot
+// data" set the paper wants L1 to capture.
+type LRUArray struct {
+	capacity    uint64  // insertions per generation, per MDS
+	bitsPerItem float64 // filter ratio for each generation
+	entries     map[int]*agingFilter
+}
+
+// agingFilter is a two-generation filter pair for one MDS.
+type agingFilter struct {
+	active *bloom.Filter
+	aged   *bloom.Filter
+}
+
+// NewLRUArray creates an LRU array whose per-MDS generations hold capacity
+// recent files at the given bits-per-item ratio.
+func NewLRUArray(capacity uint64, bitsPerItem float64) (*LRUArray, error) {
+	if capacity == 0 || bitsPerItem <= 0 {
+		return nil, fmt.Errorf("%w: capacity=%d bits/item=%f",
+			bloom.ErrInvalidGeometry, capacity, bitsPerItem)
+	}
+	return &LRUArray{
+		capacity:    capacity,
+		bitsPerItem: bitsPerItem,
+		entries:     make(map[int]*agingFilter),
+	}, nil
+}
+
+func (l *LRUArray) newGeneration() *bloom.Filter {
+	f, err := bloom.NewForCapacity(l.capacity, l.bitsPerItem)
+	if err != nil {
+		// Geometry was validated in the constructor; reaching here means
+		// internal corruption, not caller error.
+		panic(fmt.Sprintf("bloomarray: invalid LRU generation geometry: %v", err))
+	}
+	return f
+}
+
+// Observe records that key was confirmed to live at homeMDS, rotating that
+// MDS's generations if the active filter is full.
+func (l *LRUArray) Observe(key []byte, homeMDS int) {
+	e := l.entries[homeMDS]
+	if e == nil {
+		e = &agingFilter{active: l.newGeneration()}
+		l.entries[homeMDS] = e
+	}
+	if e.active.Count() >= l.capacity {
+		e.aged = e.active
+		e.active = l.newGeneration()
+	}
+	e.active.Add(key)
+}
+
+// ObserveString records a string key.
+func (l *LRUArray) ObserveString(key string, homeMDS int) {
+	l.Observe([]byte(key), homeMDS)
+}
+
+// Query returns every MDS whose recent-file window may contain key, with the
+// same unique-hit contract as Array.Query.
+func (l *LRUArray) Query(key []byte) Result {
+	var hits []int
+	for id, e := range l.entries {
+		if e.active.Contains(key) || (e.aged != nil && e.aged.Contains(key)) {
+			hits = append(hits, id)
+		}
+	}
+	sortInts(hits)
+	return Result{Hits: hits}
+}
+
+// QueryString checks a string key.
+func (l *LRUArray) QueryString(key string) Result { return l.Query([]byte(key)) }
+
+// Forget drops the entry for an MDS, used when that MDS leaves the system so
+// stale L1 hits cannot route requests to a dead server.
+func (l *LRUArray) Forget(mdsID int) {
+	delete(l.entries, mdsID)
+}
+
+// Reset clears every entry.
+func (l *LRUArray) Reset() {
+	l.entries = make(map[int]*agingFilter)
+}
+
+// Entries returns the number of MDSs currently tracked.
+func (l *LRUArray) Entries() int { return len(l.entries) }
+
+// SizeBytes returns the memory footprint of all generations.
+func (l *LRUArray) SizeBytes() uint64 {
+	var total uint64
+	for _, e := range l.entries {
+		total += e.active.SizeBytes()
+		if e.aged != nil {
+			total += e.aged.SizeBytes()
+		}
+	}
+	return total
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

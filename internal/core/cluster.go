@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ghba/internal/bloomarray"
+	"ghba/internal/group"
+	"ghba/internal/mds"
+	"ghba/internal/memmodel"
+	"ghba/internal/metrics"
+	"ghba/internal/simnet"
+)
+
+// Cluster is a simulated G-HBA deployment.
+type Cluster struct {
+	cfg Config
+
+	nodes   map[int]*mds.Node
+	groups  map[int]*group.Group
+	groupOf map[int]int // MDS ID → group ID
+
+	// homes is the ground truth mapping of file → home MDS, used for
+	// placement and final verification (what the disks would answer).
+	homes map[string]int
+
+	// lru models the replicated LRU Bloom filter arrays of L1: each home
+	// MDS maintains a small filter over its recently served files and
+	// replicates it to every server. Because the hot set is tiny, the
+	// paper treats these replicas as promptly propagated; the simulator
+	// models that with one shared array all entry points consult. Every
+	// MDS stores its own copy, so the footprint is charged per MDS.
+	lru *bloomarray.LRUArray
+
+	mem *memmodel.Model
+	rng *rand.Rand
+
+	msgs  *simnet.Counter
+	tally metrics.LevelTally
+	// perLevel tracks the latency of queries served at each level, feeding
+	// the D_LRU, D_L2, D_group, D_net terms of Equation 4.
+	perLevel [5]metrics.LatencyStats
+	overall  metrics.LatencyStats
+
+	// queue holds each MDS's next-free time for the open-loop queuing
+	// model used by the latency-versus-load experiments.
+	queue map[int]time.Duration
+
+	nextMDSID   int
+	nextGroupID int
+}
+
+// New builds a cluster with cfg.NumMDS servers partitioned into groups of at
+// most cfg.MaxGroupSize, with empty namespaces and fully synchronized
+// (empty) replicas.
+func New(cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	lru, err := bloomarray.NewLRUArray(cfg.Node.LRUCapacity, cfg.Node.LRUBitsPerFile)
+	if err != nil {
+		return nil, fmt.Errorf("core: sizing LRU array: %w", err)
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		nodes:   make(map[int]*mds.Node),
+		groups:  make(map[int]*group.Group),
+		groupOf: make(map[int]int),
+		homes:   make(map[string]int),
+		lru:     lru,
+		mem:     cfg.memoryModel(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		msgs:    simnet.NewCounter(),
+		queue:   make(map[int]time.Duration),
+	}
+
+	for i := 0; i < cfg.NumMDS; i++ {
+		node, err := mds.NewNode(i, cfg.Node)
+		if err != nil {
+			return nil, fmt.Errorf("core: creating MDS %d: %w", i, err)
+		}
+		c.nodes[i] = node
+	}
+	c.nextMDSID = cfg.NumMDS
+
+	// Partition into ⌈N/M⌉ groups with sizes as even as possible (no group
+	// exceeds M, none is left as a tiny tail).
+	numGroups := (cfg.NumMDS + cfg.MaxGroupSize - 1) / cfg.MaxGroupSize
+	base := cfg.NumMDS / numGroups
+	extra := cfg.NumMDS % numGroups
+	next := 0
+	for gi := 0; gi < numGroups; gi++ {
+		g := group.New(c.nextGroupID)
+		c.nextGroupID++
+		size := base
+		if gi < extra {
+			size++
+		}
+		memberIDs := make([]int, 0, size)
+		for id := next; id < next+size; id++ {
+			memberIDs = append(memberIDs, id)
+		}
+		next += size
+		if err := seedGroup(g, c.nodes, memberIDs); err != nil {
+			return nil, err
+		}
+		c.groups[g.ID()] = g
+		for _, id := range memberIDs {
+			c.groupOf[id] = g.ID()
+		}
+	}
+
+	// Distribute replicas: every group mirrors every external MDS.
+	// Iterate in ID order so replica placement is deterministic.
+	for _, g := range c.sortedGroups() {
+		for _, id := range c.MDSIDs() {
+			if g.HasMember(id) {
+				continue
+			}
+			if _, err := g.InstallReplica(id, c.nodes[id].Ship()); err != nil {
+				return nil, fmt.Errorf("core: seeding replicas: %w", err)
+			}
+		}
+	}
+	return c, nil
+}
+
+// seedGroup registers members in a fresh group, wiring their IDBFAs. It
+// reaches into the group via Join-free initialization: members are added
+// directly because no replicas exist yet.
+func seedGroup(g *group.Group, nodes map[int]*mds.Node, memberIDs []int) error {
+	for _, id := range memberIDs {
+		node := nodes[id]
+		if node == nil {
+			return fmt.Errorf("core: unknown MDS %d", id)
+		}
+		if _, err := g.Join(node, len(memberIDs)); err != nil {
+			return fmt.Errorf("core: seeding group %d with MDS %d: %w", g.ID(), id, err)
+		}
+	}
+	return nil
+}
+
+// sortedGroups returns groups in ascending ID order for determinism.
+func (c *Cluster) sortedGroups() []*group.Group {
+	ids := make([]int, 0, len(c.groups))
+	for id := range c.groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*group.Group, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, c.groups[id])
+	}
+	return out
+}
+
+// Name identifies the scheme in experiment output.
+func (c *Cluster) Name() string { return "G-HBA" }
+
+// NumMDS returns the current number of metadata servers.
+func (c *Cluster) NumMDS() int { return len(c.nodes) }
+
+// NumGroups returns the current number of groups.
+func (c *Cluster) NumGroups() int { return len(c.groups) }
+
+// MDSIDs returns all server IDs in ascending order.
+func (c *Cluster) MDSIDs() []int {
+	ids := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Node returns the MDS with the given ID, or nil.
+func (c *Cluster) Node(id int) *mds.Node { return c.nodes[id] }
+
+// GroupOf returns the group containing the MDS, or nil.
+func (c *Cluster) GroupOf(id int) *group.Group {
+	gid, ok := c.groupOf[id]
+	if !ok {
+		return nil
+	}
+	return c.groups[gid]
+}
+
+// Groups returns the groups in ascending ID order.
+func (c *Cluster) Groups() []*group.Group { return c.sortedGroups() }
+
+// Messages exposes the message counter.
+func (c *Cluster) Messages() *simnet.Counter { return c.msgs }
+
+// Tally exposes the per-level hit counts (Fig 13).
+func (c *Cluster) Tally() *metrics.LevelTally { return &c.tally }
+
+// LevelLatency returns latency statistics for queries served at one level.
+func (c *Cluster) LevelLatency(level int) *metrics.LatencyStats {
+	if level < 1 || level > 4 {
+		return &metrics.LatencyStats{}
+	}
+	return &c.perLevel[level]
+}
+
+// OverallLatency returns latency statistics across all lookups.
+func (c *Cluster) OverallLatency() *metrics.LatencyStats { return &c.overall }
+
+// HomeOf returns the ground-truth home of a path (-1 when absent).
+func (c *Cluster) HomeOf(path string) int {
+	home, ok := c.homes[path]
+	if !ok {
+		return -1
+	}
+	return home
+}
+
+// FileCount returns the number of files in the system.
+func (c *Cluster) FileCount() int { return len(c.homes) }
+
+// RandomMDS returns a uniformly chosen MDS ID — the paper's "each request
+// can randomly choose an MDS to carry out query operations".
+func (c *Cluster) RandomMDS() int {
+	ids := c.MDSIDs()
+	return ids[c.rng.Intn(len(ids))]
+}
+
+// Populate homes every path yielded by the iterator at a uniformly random
+// MDS ("all MDSs are initially populated randomly") and then synchronizes
+// all replicas. The iterator keeps namespaces streamable at scale.
+func (c *Cluster) Populate(each func(fn func(path string) bool)) {
+	ids := c.MDSIDs()
+	each(func(path string) bool {
+		home := ids[c.rng.Intn(len(ids))]
+		c.nodes[home].AddFile(path)
+		c.homes[path] = home
+		return true
+	})
+	c.SyncAllReplicas()
+}
+
+// SyncAllReplicas refreshes every group's replica of every external MDS,
+// bringing the whole system to a consistent snapshot. Used after bulk
+// population; incremental updates flow through the XOR-delta path.
+func (c *Cluster) SyncAllReplicas() {
+	for _, g := range c.sortedGroups() {
+		for _, id := range c.MDSIDs() {
+			if g.HasMember(id) {
+				continue
+			}
+			if _, err := g.UpdateReplica(id, c.nodes[id].Ship()); err != nil {
+				// The replica must exist by construction; a failure is an
+				// invariant violation worth surfacing immediately.
+				panic(fmt.Sprintf("core: sync replica of %d in group %d: %v", id, g.ID(), err))
+			}
+		}
+	}
+}
+
+// CheckInvariants verifies the global-mirror-image invariant for every
+// group. Tests and the simulator's self-checks call this after
+// reconfigurations.
+func (c *Cluster) CheckInvariants() error {
+	all := c.MDSIDs()
+	for _, g := range c.sortedGroups() {
+		if err := g.CoverageError(all); err != nil {
+			return err
+		}
+		if g.Size() > c.cfg.MaxGroupSize {
+			return fmt.Errorf("core: group %d has %d members > M=%d", g.ID(), g.Size(), c.cfg.MaxGroupSize)
+		}
+	}
+	for id := range c.nodes {
+		if c.GroupOf(id) == nil {
+			return fmt.Errorf("core: MDS %d belongs to no group", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"ghba/internal/mds"
+)
+
+// smallConfig returns a fast configuration for tests.
+func smallConfig(n, m int) Config {
+	cfg := DefaultConfig(n, m)
+	cfg.Node = mds.Config{
+		ExpectedFiles:  2_000,
+		BitsPerFile:    16,
+		LRUCapacity:    256,
+		LRUBitsPerFile: 16,
+	}
+	return cfg
+}
+
+// newPopulated builds a cluster with files /fK for K in [0, files).
+func newPopulated(t *testing.T, n, m, files int) *Cluster {
+	t.Helper()
+	c, err := New(smallConfig(n, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Populate(func(fn func(string) bool) {
+		for i := 0; i < files; i++ {
+			if !fn("/f" + strconv.Itoa(i)) {
+				return
+			}
+		}
+	})
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(smallConfig(0, 5)); err == nil {
+		t.Error("NumMDS 0 accepted")
+	}
+	if _, err := New(smallConfig(5, 0)); err == nil {
+		t.Error("MaxGroupSize 0 accepted")
+	}
+	cfg := smallConfig(5, 2)
+	cfg.CacheHitRate = 1.5
+	if _, err := New(cfg); err == nil {
+		t.Error("CacheHitRate 1.5 accepted")
+	}
+}
+
+func TestNewTopology(t *testing.T) {
+	c, err := New(smallConfig(10, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumMDS() != 10 {
+		t.Errorf("NumMDS = %d", c.NumMDS())
+	}
+	// 10 MDSs in groups of ≤4 → 3 groups (4+4+2).
+	if c.NumGroups() != 3 {
+		t.Errorf("NumGroups = %d, want 3", c.NumGroups())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Errorf("invariants after New: %v", err)
+	}
+	if c.Name() != "G-HBA" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestGroupReplicaCounts(t *testing.T) {
+	// N=12, M=4 → 3 groups of 4; each group holds 8 external replicas,
+	// each member ~2 (θ = ⌊(N−M′)/M′⌋ = 2).
+	c, err := New(smallConfig(12, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range c.Groups() {
+		total := 0
+		for _, id := range g.Members() {
+			rc := c.Node(id).ReplicaCount()
+			total += rc
+			if rc < 1 || rc > 3 {
+				t.Errorf("MDS %d holds %d replicas, want ≈2", id, rc)
+			}
+		}
+		if total != 8 {
+			t.Errorf("group %d holds %d replicas, want 8", g.ID(), total)
+		}
+	}
+}
+
+func TestPopulateAndHomeOf(t *testing.T) {
+	c := newPopulated(t, 6, 3, 500)
+	if c.FileCount() != 500 {
+		t.Errorf("FileCount = %d", c.FileCount())
+	}
+	if c.HomeOf("/f0") < 0 {
+		t.Error("populated file has no home")
+	}
+	if c.HomeOf("/absent") != -1 {
+		t.Error("absent file has a home")
+	}
+	home := c.HomeOf("/f123")
+	if !c.Node(home).HasFile("/f123") {
+		t.Error("ground truth disagrees with node store")
+	}
+	// Placement should be spread out: every MDS got some files.
+	for _, id := range c.MDSIDs() {
+		if c.Node(id).FileCount() == 0 {
+			t.Errorf("MDS %d received no files", id)
+		}
+	}
+}
+
+func TestLookupFindsEveryFile(t *testing.T) {
+	c := newPopulated(t, 9, 3, 300)
+	for i := 0; i < 300; i++ {
+		path := "/f" + strconv.Itoa(i)
+		res := c.Lookup(path, c.RandomMDS())
+		if !res.Found {
+			t.Fatalf("lookup of existing %s not found (level %d)", path, res.Level)
+		}
+		if res.Home != c.HomeOf(path) {
+			t.Fatalf("lookup of %s returned home %d, truth %d", path, res.Home, c.HomeOf(path))
+		}
+		if res.Level < 1 || res.Level > 4 {
+			t.Fatalf("level %d out of range", res.Level)
+		}
+		if res.Latency <= 0 {
+			t.Fatal("non-positive latency")
+		}
+	}
+}
+
+func TestLookupMissingFile(t *testing.T) {
+	c := newPopulated(t, 6, 3, 100)
+	res := c.Lookup("/not/there", c.RandomMDS())
+	if res.Found || res.Home != -1 {
+		t.Errorf("missing file found: %+v", res)
+	}
+	if res.Level != 4 {
+		t.Errorf("miss resolved at level %d, want 4 (global multicast)", res.Level)
+	}
+}
+
+func TestLookupL1LearnsHotFiles(t *testing.T) {
+	c := newPopulated(t, 6, 3, 200)
+	const hot = "/f42"
+	entry := c.MDSIDs()[0]
+	first := c.Lookup(hot, entry)
+	if first.Level <= 1 {
+		t.Skipf("first lookup already at L1 (possible but unexpected)")
+	}
+	second := c.Lookup(hot, entry)
+	if second.Level != 1 {
+		t.Errorf("repeat lookup served at level %d, want 1", second.Level)
+	}
+	if second.Latency >= first.Latency {
+		t.Errorf("L1 hit (%v) not faster than cold lookup (%v)", second.Latency, first.Latency)
+	}
+}
+
+func TestLookupUnknownEntryFallsBack(t *testing.T) {
+	c := newPopulated(t, 4, 2, 50)
+	res := c.Lookup("/f1", 999) // bogus entry MDS
+	if !res.Found {
+		t.Error("fallback entry failed lookup")
+	}
+}
+
+func TestLevelTallyAccumulates(t *testing.T) {
+	c := newPopulated(t, 6, 3, 200)
+	for i := 0; i < 400; i++ {
+		c.Lookup("/f"+strconv.Itoa(i%200), c.RandomMDS())
+	}
+	if c.Tally().Total() != 400 {
+		t.Errorf("tally total = %d", c.Tally().Total())
+	}
+	if c.OverallLatency().Count() != 400 {
+		t.Errorf("latency count = %d", c.OverallLatency().Count())
+	}
+	// With locality from repeats, a decent share must be served below L4.
+	if c.Tally().CumulativeFraction(3) < 0.5 {
+		t.Errorf("only %.2f served within groups", c.Tally().CumulativeFraction(3))
+	}
+}
+
+func TestCreateDeleteLifecycle(t *testing.T) {
+	c := newPopulated(t, 6, 3, 100)
+	home := c.Create("/new/file")
+	if c.HomeOf("/new/file") != home {
+		t.Error("create did not record home")
+	}
+	res := c.Lookup("/new/file", c.RandomMDS())
+	if !res.Found || res.Home != home {
+		t.Errorf("created file lookup = %+v", res)
+	}
+	if !c.Delete("/new/file") {
+		t.Error("delete returned false")
+	}
+	if c.Delete("/new/file") {
+		t.Error("double delete returned true")
+	}
+	res = c.Lookup("/new/file", c.RandomMDS())
+	if res.Found {
+		t.Error("deleted file still found")
+	}
+}
+
+func TestCreatedFilesFoundDespiteStaleReplicas(t *testing.T) {
+	// Freshly created files may be absent from remote replicas (staleness);
+	// the hierarchy must still resolve them — at worst at L4.
+	cfg := smallConfig(8, 4)
+	cfg.UpdateThresholdBits = 1 << 30 // effectively never push updates
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Populate(func(fn func(string) bool) {
+		for i := 0; i < 100; i++ {
+			if !fn("/base" + strconv.Itoa(i)) {
+				return
+			}
+		}
+	})
+	for i := 0; i < 50; i++ {
+		c.Create("/fresh" + strconv.Itoa(i))
+	}
+	for i := 0; i < 50; i++ {
+		path := "/fresh" + strconv.Itoa(i)
+		res := c.Lookup(path, c.RandomMDS())
+		if !res.Found || res.Home != c.HomeOf(path) {
+			t.Fatalf("stale-replica lookup of %s failed: %+v", path, res)
+		}
+	}
+}
+
+func TestPushUpdateRefreshesReplicas(t *testing.T) {
+	cfg := smallConfig(8, 4)
+	cfg.UpdateThresholdBits = 1 << 30 // manual pushes only
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Populate(func(fn func(string) bool) { fn("/seed") })
+	origin := c.Create("/pushed/file")
+	d := c.PushUpdate(origin)
+	if d <= 0 {
+		t.Error("push latency not positive")
+	}
+	// Every other group's replica of origin must now contain the file.
+	for _, g := range c.Groups() {
+		if g.HasMember(origin) {
+			continue
+		}
+		holder := g.HolderOf(origin)
+		if holder < 0 {
+			t.Fatalf("group %d lost replica of %d", g.ID(), origin)
+		}
+		f := c.Node(holder).Replicas().Get(origin)
+		if !f.ContainsString("/pushed/file") {
+			t.Errorf("group %d replica stale after push", g.ID())
+		}
+	}
+}
+
+func TestLookupAtQueuesRequests(t *testing.T) {
+	c := newPopulated(t, 4, 2, 100)
+	entry := c.MDSIDs()[0]
+	// Two simultaneous arrivals at the same MDS: the second waits.
+	r1 := c.LookupAt("/f1", entry, 0)
+	r2 := c.LookupAt("/f2", entry, 0)
+	if r2.Latency < r1.ServerTime {
+		t.Errorf("second request (%v) did not wait for first (%v busy)", r2.Latency, r1.ServerTime)
+	}
+	c.ResetQueues()
+	r3 := c.LookupAt("/f3", entry, 0)
+	if r3.Latency > r1.Latency+r2.Latency {
+		t.Error("queue reset did not clear backlog")
+	}
+}
+
+func TestRandomMDSCoversAll(t *testing.T) {
+	c := newPopulated(t, 5, 2, 10)
+	seen := make(map[int]bool)
+	for i := 0; i < 500; i++ {
+		seen[c.RandomMDS()] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("RandomMDS covered %d of 5", len(seen))
+	}
+}
+
+func TestRatesAndFootprint(t *testing.T) {
+	c := newPopulated(t, 6, 3, 200)
+	for i := 0; i < 300; i++ {
+		c.Lookup("/f"+strconv.Itoa(i%100), c.RandomMDS())
+	}
+	r := c.Rates()
+	if r.PLRU < 0 || r.PLRU > 1 || r.PL2 < 0 || r.PL2 > 1 {
+		t.Errorf("rates out of range: %+v", r)
+	}
+	f := c.Footprint(0)
+	if f.LocalFilterBytes == 0 || f.ReplicaBytes == 0 {
+		t.Errorf("footprint zero: %+v", f)
+	}
+	if f.Total() != f.LocalFilterBytes+f.ReplicaBytes+f.LRUBytes+f.IDBFABytes {
+		t.Error("Total inconsistent")
+	}
+	mean := c.MeanFootprint()
+	if mean.Total() == 0 {
+		t.Error("mean footprint zero")
+	}
+	if c.Footprint(999).Total() != 0 {
+		t.Error("unknown MDS footprint non-zero")
+	}
+}

@@ -1,0 +1,117 @@
+// Package core implements the complete G-HBA scheme on the simulated
+// substrate: N metadata servers organized into groups of at most M, the
+// four-level query critical path of Section 2.3 (L1 LRU array → L2 segment
+// array → L3 group multicast → L4 global multicast), the XOR-delta replica
+// update protocol of Section 3.4, and the dynamic reconfiguration driver
+// (MDS join/leave with light-weight migration, group splitting and merging).
+//
+// The cluster charges every operation against the simnet cost model and the
+// per-MDS memory model, producing the latency, hit-rate and message-count
+// measurements the experiment harness (internal/experiments) turns into the
+// paper's figures.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ghba/internal/mds"
+	"ghba/internal/memmodel"
+	"ghba/internal/simnet"
+)
+
+// Config parameterizes a simulated G-HBA cluster.
+type Config struct {
+	// NumMDS is the initial number of metadata servers (the paper's N).
+	NumMDS int
+	// MaxGroupSize is the maximum MDSs per group (the paper's M).
+	MaxGroupSize int
+	// Node sizes each MDS's filter structures.
+	Node mds.Config
+	// Cost is the latency model.
+	Cost simnet.CostModel
+	// MemoryBudgetBytes is each MDS's RAM budget for replica structures.
+	// Zero means unlimited (everything memory resident).
+	MemoryBudgetBytes uint64
+	// VirtualReplicaBytes is the accounted size of one Bloom-filter
+	// replica for memory-pressure purposes. The simulator runs namespaces
+	// thousands of times smaller than the exabyte-scale systems the paper
+	// targets, so pressure is computed at paper scale while membership
+	// behaviour is measured on the real (small) filters. Zero means use
+	// the actual filter sizes.
+	VirtualReplicaBytes uint64
+	// CacheHitRate dampens disk probes of spilled replicas (page-cache
+	// hits on hot pages of cold filters), in [0, 1).
+	CacheHitRate float64
+	// UpdateThresholdBits is the XOR-delta staleness threshold: a home MDS
+	// pushes a replica update once its local filter drifted this many bits
+	// from the last shipped snapshot.
+	UpdateThresholdBits uint64
+	// RebuildDeleteThreshold triggers a local-filter rebuild after this
+	// many deletions (clearing stale bits).
+	RebuildDeleteThreshold uint64
+	// DisableL1 skips the LRU array level entirely — the ablation that
+	// quantifies how much of G-HBA's hit rate comes from exploiting
+	// temporal locality (DESIGN.md, ablation 2).
+	DisableL1 bool
+	// Seed drives home-MDS placement and entry-point selection.
+	Seed int64
+}
+
+// DefaultConfig returns a laptop-scale configuration matching the
+// experiments' defaults: N MDSs in groups of at most m.
+func DefaultConfig(numMDS, maxGroupSize int) Config {
+	return Config{
+		NumMDS:                 numMDS,
+		MaxGroupSize:           maxGroupSize,
+		Node:                   mds.DefaultConfig(),
+		Cost:                   simnet.DefaultCostModel(),
+		MemoryBudgetBytes:      0, // unlimited
+		VirtualReplicaBytes:    0, // actual sizes
+		CacheHitRate:           0.5,
+		UpdateThresholdBits:    64,
+		RebuildDeleteThreshold: 10_000,
+		Seed:                   1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.NumMDS < 1 {
+		return fmt.Errorf("core: NumMDS must be ≥ 1, got %d", c.NumMDS)
+	}
+	if c.MaxGroupSize < 1 {
+		return fmt.Errorf("core: MaxGroupSize must be ≥ 1, got %d", c.MaxGroupSize)
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	if c.CacheHitRate < 0 || c.CacheHitRate >= 1 {
+		return fmt.Errorf("core: CacheHitRate %f outside [0,1)", c.CacheHitRate)
+	}
+	return nil
+}
+
+// LookupResult reports the outcome of one metadata lookup.
+type LookupResult struct {
+	// Path is the queried file path.
+	Path string
+	// Home is the MDS the metadata was found on (-1 when not found).
+	Home int
+	// Found reports whether the file exists.
+	Found bool
+	// Level is the hierarchy level that served the query (1–4).
+	Level int
+	// Latency is the end-to-end client-observed latency.
+	Latency time.Duration
+	// ServerTime is the busy time consumed at the entry MDS, the quantity
+	// the queuing model accumulates.
+	ServerTime time.Duration
+}
+
+// memoryModel builds the memmodel for a node given the config.
+func (c Config) memoryModel() *memmodel.Model {
+	if c.MemoryBudgetBytes == 0 {
+		return memmodel.New(^uint64(0) >> 1) // effectively unlimited
+	}
+	return memmodel.New(c.MemoryBudgetBytes)
+}

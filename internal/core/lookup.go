@@ -1,0 +1,233 @@
+package core
+
+import (
+	"time"
+
+	"ghba/internal/simnet"
+)
+
+// replicaBytes returns the accounted memory footprint of one replica for
+// pressure purposes (virtual paper-scale size when configured, otherwise the
+// node's actual filter size).
+func (c *Cluster) replicaBytes(actual uint64) uint64 {
+	if c.cfg.VirtualReplicaBytes > 0 {
+		return c.cfg.VirtualReplicaBytes
+	}
+	return actual
+}
+
+// segmentProbeCost returns the service time of probing an MDS's segment
+// array (its replicas plus its own filter), charging disk penalties for the
+// spilled fraction under the memory budget.
+func (c *Cluster) segmentProbeCost(id int) time.Duration {
+	node := c.nodes[id]
+	total := node.ReplicaCount() + 1 // replicas + own filter
+	perReplica := c.replicaBytes(node.LocalFilter().SizeBytes())
+	totalBytes := uint64(total) * perReplica
+	return c.mem.ArrayProbeCost(total, totalBytes,
+		c.cfg.Cost.MemProbe, c.cfg.Cost.DiskRead, c.cfg.CacheHitRate)
+}
+
+// l1ProbeCost returns the cost of checking the replicated LRU array: always
+// memory resident (it is deliberately small), one probe per tracked home.
+func (c *Cluster) l1ProbeCost() time.Duration {
+	entries := c.lru.Entries()
+	if entries == 0 {
+		entries = 1
+	}
+	return time.Duration(entries) * c.cfg.Cost.MemProbe
+}
+
+// verify charges the forward-and-check of a candidate home: one unicast RTT
+// plus a memory probe at the target; the target consults its authoritative
+// store (memory-resident index in both the simulator and the prototype).
+func (c *Cluster) verify(candidate int, path string) (bool, time.Duration) {
+	c.msgs.Add(simnet.MsgQueryUnicast, 1)
+	cost := c.cfg.Cost.UnicastRTT + c.cfg.Cost.MemProbe
+	node := c.nodes[candidate]
+	if node == nil {
+		return false, cost
+	}
+	return node.HasFile(path), cost
+}
+
+// remoteWork charges work units to a remote MDS. In queued mode the work
+// lands on the server's queue and the caller observes that server's
+// response time (wait + service); otherwise only the service time is
+// returned. This is how group and global multicasts consume capacity across
+// the system — the effect that makes very large groups counterproductive.
+func (c *Cluster) remoteWork(id int, arrival, work time.Duration, queued bool) time.Duration {
+	if !queued {
+		return work
+	}
+	start := arrival
+	if next := c.queue[id]; next > start {
+		start = next
+	}
+	c.queue[id] = start + work
+	return (start - arrival) + work
+}
+
+// Lookup resolves the home MDS of path starting at the entry MDS, walking
+// the four-level critical path of Section 2.3, without queueing effects
+// (pure service latency). It updates the per-level tallies, latency
+// statistics, and the entry node's L1 array.
+func (c *Cluster) Lookup(path string, entry int) LookupResult {
+	return c.lookup(path, entry, 0, false)
+}
+
+// LookupAt replays a lookup arriving at the given offset through the
+// open-loop queuing model: the request waits for the entry MDS to drain its
+// queue, multicast probes occupy the members they land on, and the returned
+// latency includes all queueing delays.
+func (c *Cluster) LookupAt(path string, entry int, arrival time.Duration) LookupResult {
+	return c.lookup(path, entry, arrival, true)
+}
+
+func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued bool) LookupResult {
+	node := c.nodes[entry]
+	if node == nil {
+		entry = c.RandomMDS()
+		node = c.nodes[entry]
+	}
+
+	latency := c.cfg.Cost.ClientRTT
+	var server time.Duration
+
+	finish := func(res LookupResult) LookupResult {
+		if queued {
+			// The entry server processes this request after draining its
+			// queue; the wait precedes everything the client observes.
+			start := arrival
+			if next := c.queue[entry]; next > start {
+				start = next
+			}
+			c.queue[entry] = start + server
+			latency += start - arrival
+		}
+		res.Path = path
+		res.Latency = latency
+		res.ServerTime = server
+		c.tally.Record(res.Level)
+		c.perLevel[res.Level].Observe(latency)
+		c.overall.Observe(latency)
+		if res.Found {
+			// The home MDS records the access in its LRU filter, whose
+			// replica every server consults at L1.
+			c.lru.ObserveString(path, res.Home)
+		}
+		return res
+	}
+
+	// L1: the replicated LRU Bloom filter array.
+	if !c.cfg.DisableL1 {
+		l1Cost := c.l1ProbeCost()
+		latency += l1Cost
+		server += l1Cost
+		if home, ok := c.lru.QueryString(path).Unique(); ok {
+			ok2, cost := c.verify(home, path)
+			latency += cost
+			if ok2 {
+				return finish(LookupResult{Home: home, Found: true, Level: 1})
+			}
+			// Stale or false L1 hit: fall through to L2 having paid the
+			// penalty.
+		}
+	}
+
+	// L2: the local segment Bloom filter array.
+	l2Cost := c.segmentProbeCost(entry)
+	latency += l2Cost
+	server += l2Cost
+	if home, ok := node.QueryL2(path).Unique(); ok {
+		if home == entry {
+			// Our own filter answered: authoritative check is local.
+			latency += c.cfg.Cost.MemProbe
+			if node.HasFile(path) {
+				return finish(LookupResult{Home: entry, Found: true, Level: 2})
+			}
+		} else {
+			ok2, cost := c.verify(home, path)
+			latency += cost
+			if ok2 {
+				return finish(LookupResult{Home: home, Found: true, Level: 2})
+			}
+		}
+		// False positive at L2: the paper's penalty is the group multicast.
+	}
+
+	// L3: multicast within the group; every member probes its segment
+	// array in parallel, so the client waits for the multicast plus the
+	// slowest member's response (including that member's queue when the
+	// system is loaded).
+	g := c.GroupOf(entry)
+	members := g.Members()
+	c.msgs.Add(simnet.MsgQueryMulticast, uint64(len(members)-1))
+	latency += c.cfg.Cost.Multicast(len(members) - 1)
+	// The entry spends CPU sending the multicast and folding the answers.
+	fanoutCPU := time.Duration(len(members)-1) * c.cfg.Cost.MsgProc
+	latency += fanoutCPU
+	server += fanoutCPU
+	var slowest time.Duration
+	hits := make(map[int]struct{})
+	for _, id := range members {
+		if id == entry {
+			// Entry already probed its own array at L2.
+			continue
+		}
+		resp := c.remoteWork(id, arrival, c.cfg.Cost.MsgProc+c.segmentProbeCost(id), queued)
+		if resp > slowest {
+			slowest = resp
+		}
+		for _, h := range c.nodes[id].QueryL2(path).Hits {
+			hits[h] = struct{}{}
+		}
+	}
+	latency += slowest
+	if len(hits) == 1 {
+		var home int
+		for h := range hits {
+			home = h
+		}
+		ok2, cost := c.verify(home, path)
+		latency += cost
+		if ok2 {
+			return finish(LookupResult{Home: home, Found: true, Level: 3})
+		}
+	}
+
+	// L4: global multicast; every MDS checks its local filter at memory
+	// speed and positives verify on disk. The true home always answers.
+	others := len(c.nodes) - 1
+	c.msgs.Add(simnet.MsgQueryMulticast, uint64(others))
+	latency += c.cfg.Cost.Multicast(others)
+	l4CPU := time.Duration(others) * c.cfg.Cost.MsgProc
+	latency += l4CPU
+	server += l4CPU
+	var slowestL4 time.Duration
+	for id := range c.nodes {
+		if id == entry {
+			continue
+		}
+		resp := c.remoteWork(id, arrival, c.cfg.Cost.MsgProc+c.cfg.Cost.MemProbe, queued)
+		if resp > slowestL4 {
+			slowestL4 = resp
+		}
+	}
+	latency += slowestL4 + c.cfg.Cost.MemProbe
+	if home, ok := c.homes[path]; ok {
+		// The home's positive answer is verified against its store; the
+		// paper charges a disk lookup for this final confirmation.
+		latency += c.cfg.Cost.DiskRead
+		return finish(LookupResult{Home: home, Found: true, Level: 4})
+	}
+	// Definitive miss: every local filter answered negative (or the rare
+	// false positives were refuted by disk checks, charged here).
+	latency += c.cfg.Cost.DiskRead
+	return finish(LookupResult{Home: -1, Found: false, Level: 4})
+}
+
+// ResetQueues clears the queuing state between experiment runs.
+func (c *Cluster) ResetQueues() {
+	c.queue = make(map[int]time.Duration)
+}

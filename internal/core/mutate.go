@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ghba/internal/simnet"
+	"ghba/internal/trace"
+)
+
+// Create homes a new file at a uniformly chosen MDS and, when the home's
+// filter has drifted past the XOR-delta threshold, pushes a replica update.
+// Returns the home MDS ID.
+func (c *Cluster) Create(path string) int {
+	home := c.RandomMDS()
+	c.nodes[home].AddFile(path)
+	c.homes[path] = home
+	if c.nodes[home].NeedsShip(c.cfg.UpdateThresholdBits) {
+		c.PushUpdate(home)
+	}
+	return home
+}
+
+// Delete removes a file from its home. The home's filter goes stale until
+// its rebuild threshold triggers; deletions also count toward the XOR delta
+// once a rebuild regenerates the filter. Reports whether the file existed.
+func (c *Cluster) Delete(path string) bool {
+	home, ok := c.homes[path]
+	if !ok {
+		return false
+	}
+	node := c.nodes[home]
+	node.DeleteFile(path)
+	delete(c.homes, path)
+	if node.DeletesSinceRebuild() >= c.cfg.RebuildDeleteThreshold {
+		node.Rebuild()
+		c.PushUpdate(home)
+	}
+	return true
+}
+
+// PushUpdate ships the origin MDS's current filter to the one replica holder
+// in every other group — the paper's core update saving over HBA's
+// system-wide multicast ("we only need to update the stale replica in each
+// group"). Returns the update latency: the multicast to the groups plus the
+// in-place apply at the slowest holder.
+func (c *Cluster) PushUpdate(origin int) time.Duration {
+	node := c.nodes[origin]
+	if node == nil {
+		return 0
+	}
+	snap := node.Ship()
+	ownGroup := c.groupOf[origin]
+	targets := 0
+	var slowestApply time.Duration
+	for _, g := range c.sortedGroups() {
+		if g.ID() == ownGroup {
+			continue
+		}
+		rep, err := g.UpdateReplica(origin, snap.Clone())
+		if err != nil {
+			// Every other group must mirror this origin; failure means the
+			// coverage invariant broke.
+			panic(fmt.Sprintf("core: pushing update of %d to group %d: %v", origin, g.ID(), err))
+		}
+		c.msgs.Add(simnet.MsgReplicaUpdate, uint64(rep.Messages))
+		targets++
+		// Applying the update costs one probe-equivalent write at the
+		// holder; spilled replicas pay a disk write.
+		holder := g.HolderOf(origin)
+		apply := c.applyCost(holder)
+		if apply > slowestApply {
+			slowestApply = apply
+		}
+	}
+	return c.cfg.Cost.Multicast(targets) + slowestApply
+}
+
+// applyCost returns the cost of rewriting one replica at the holder: a
+// memory write when the holder's replica set is resident, a disk write for
+// the spilled fraction.
+func (c *Cluster) applyCost(holder int) time.Duration {
+	if holder < 0 {
+		return 0
+	}
+	node := c.nodes[holder]
+	total := node.ReplicaCount() + 1
+	perReplica := c.replicaBytes(node.LocalFilter().SizeBytes())
+	totalBytes := uint64(total) * perReplica
+	spilled := c.mem.SpilledReplicas(total, totalBytes)
+	if spilled == 0 {
+		return c.cfg.Cost.MemProbe
+	}
+	// Probability the touched replica is one of the spilled ones.
+	frac := float64(spilled) / float64(total)
+	return c.cfg.Cost.MemProbe +
+		time.Duration(frac*(1-c.cfg.CacheHitRate)*float64(c.cfg.Cost.DiskRead))
+}
+
+// Apply dispatches one trace record against the cluster: mutations create or
+// delete files, reads perform lookups. The entry MDS is chosen uniformly, as
+// in the paper's methodology. Returns the lookup result (zero Result for
+// pure mutations that do not perform a lookup).
+func (c *Cluster) Apply(rec trace.Record) LookupResult {
+	switch rec.Op {
+	case trace.OpCreate:
+		if _, exists := c.homes[rec.Path]; exists {
+			// Creating an existing path degenerates to an open.
+			return c.LookupAt(rec.Path, c.RandomMDS(), rec.At)
+		}
+		home := c.Create(rec.Path)
+		return LookupResult{Path: rec.Path, Home: home, Found: true, Level: 0}
+	case trace.OpDelete:
+		c.Delete(rec.Path)
+		return LookupResult{Path: rec.Path, Home: -1, Found: false, Level: 0}
+	default:
+		return c.LookupAt(rec.Path, c.RandomMDS(), rec.At)
+	}
+}

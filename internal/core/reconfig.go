@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"ghba/internal/group"
+	"ghba/internal/mds"
+	"ghba/internal/simnet"
+)
+
+// AddMDS brings a new metadata server into the system (Section 3.1–3.2):
+// the newcomer joins a group with spare capacity, or triggers a group split
+// when every group is full. The newcomer's own Bloom-filter replica is then
+// distributed to every other group. Returns the new MDS ID and the
+// reconfiguration report (replicas migrated, messages exchanged) that Figs
+// 11 and 15 chart.
+func (c *Cluster) AddMDS() (int, group.Report, error) {
+	var rep group.Report
+	id := c.nextMDSID
+	node, err := mds.NewNode(id, c.cfg.Node)
+	if err != nil {
+		return 0, rep, fmt.Errorf("core: creating MDS %d: %w", id, err)
+	}
+
+	target := c.pickJoinGroup()
+	if target != nil {
+		r, err := target.Join(node, len(c.nodes)+1)
+		if err != nil {
+			return 0, rep, fmt.Errorf("core: joining group %d: %w", target.ID(), err)
+		}
+		rep.Add(r)
+		c.groupOf[id] = target.ID()
+	} else {
+		// All groups full: split the first full group (the paper chooses a
+		// random group; first-by-ID keeps simulations deterministic).
+		victim := c.sortedGroups()[0]
+		newGroup, r, err := victim.Split(c.nextGroupID, node, c.cfg.MaxGroupSize)
+		if err != nil {
+			return 0, rep, fmt.Errorf("core: splitting group %d: %w", victim.ID(), err)
+		}
+		c.nextGroupID++
+		rep.Add(r)
+		c.groups[newGroup.ID()] = newGroup
+		for _, m := range newGroup.Members() {
+			c.groupOf[m] = newGroup.ID()
+		}
+		rep.Messages++ // announce the new group to the system
+	}
+
+	c.nodes[id] = node
+	c.nextMDSID++
+
+	// Multicast the newcomer's replica to one member of each other group.
+	ownGroup := c.groupOf[id]
+	for _, g := range c.sortedGroups() {
+		if g.ID() == ownGroup {
+			continue
+		}
+		if g.HolderOf(id) >= 0 {
+			// The split exchange already copied the newcomer's replica to
+			// its sibling group.
+			continue
+		}
+		r, err := g.InstallReplica(id, node.Ship())
+		if err != nil {
+			return 0, rep, fmt.Errorf("core: distributing replica of %d: %w", id, err)
+		}
+		rep.Add(r)
+	}
+
+	c.msgs.Add(simnet.MsgReplicaMigration, uint64(rep.ReplicasMigrated))
+	c.msgs.Add(simnet.MsgMembership, uint64(rep.Messages-rep.ReplicasMigrated))
+	return id, rep, nil
+}
+
+// pickJoinGroup returns the fullest group that still has room, or nil when
+// all groups are full. Joining the fullest group keeps the newcomer's
+// offload share near the paper's (N−M′)/(M′+1) bound; joining a tiny group
+// would make the newcomer absorb nearly half of that group's replicas.
+func (c *Cluster) pickJoinGroup() *group.Group {
+	var best *group.Group
+	for _, g := range c.sortedGroups() {
+		if g.Size() >= c.cfg.MaxGroupSize {
+			continue
+		}
+		if best == nil || g.Size() > best.Size() {
+			best = g
+		}
+	}
+	return best
+}
+
+// RemoveMDS takes a server out of the system (Fig 4b): its replicas migrate
+// to surviving group members, the other groups delete their replica of it,
+// its files are re-homed across the survivors, and shrunken groups merge
+// when their union fits within M.
+func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
+	var rep group.Report
+	node, ok := c.nodes[id]
+	if !ok {
+		return rep, fmt.Errorf("core: unknown MDS %d", id)
+	}
+	if len(c.nodes) == 1 {
+		return rep, fmt.Errorf("core: refusing to remove the last MDS")
+	}
+	g := c.GroupOf(id)
+
+	// (1) Migrate its replicas to the surviving members.
+	r, err := g.Leave(id)
+	if err != nil {
+		return rep, fmt.Errorf("core: leaving group: %w", err)
+	}
+	rep.Add(r)
+	delete(c.groupOf, id)
+	delete(c.nodes, id)
+	if g.Size() == 0 {
+		delete(c.groups, g.ID())
+	}
+
+	// (2)–(3) Delete its replica everywhere else.
+	for _, other := range c.sortedGroups() {
+		rep.Add(other.RemoveOrigin(id))
+	}
+
+	// Re-home the departed server's files across the survivors. The paper
+	// treats metadata re-distribution as orthogonal (fail-over keeps
+	// serving at degraded coverage); the simulator re-homes so ground
+	// truth stays consistent.
+	survivors := c.MDSIDs()
+	for _, path := range node.Store().Paths() {
+		newHome := survivors[c.rng.Intn(len(survivors))]
+		c.nodes[newHome].AddFile(path)
+		c.homes[path] = newHome
+	}
+	for _, sid := range survivors {
+		if c.nodes[sid].NeedsShip(c.cfg.UpdateThresholdBits) {
+			c.PushUpdate(sid)
+		}
+	}
+	// Stale L1 entries pointing at the dead server are flushed.
+	c.lru.Forget(id)
+
+	// (4) Merge groups whose union now fits within M.
+	rep.Add(c.mergeWherePossible())
+
+	c.msgs.Add(simnet.MsgReplicaMigration, uint64(rep.ReplicasMigrated))
+	return rep, nil
+}
+
+// mergeWherePossible repeatedly merges the two smallest groups while their
+// union fits within M, per Section 3.2 ("this process repeats until no
+// merging can be performed").
+func (c *Cluster) mergeWherePossible() group.Report {
+	var rep group.Report
+	for {
+		groups := c.sortedGroups()
+		if len(groups) < 2 {
+			return rep
+		}
+		// Find the two smallest.
+		a, b := groups[0], groups[1]
+		if b.Size() < a.Size() {
+			a, b = b, a
+		}
+		for _, g := range groups[2:] {
+			if g.Size() < a.Size() {
+				a, b = g, a
+			} else if g.Size() < b.Size() {
+				b = g
+			}
+		}
+		if a.Size()+b.Size() > c.cfg.MaxGroupSize {
+			return rep
+		}
+		r, err := b.Merge(a)
+		if err != nil {
+			panic(fmt.Sprintf("core: merging groups %d and %d: %v", b.ID(), a.ID(), err))
+		}
+		rep.Add(r)
+		for _, m := range b.Members() {
+			c.groupOf[m] = b.ID()
+		}
+		delete(c.groups, a.ID())
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import "time"
+
+// MemoryFootprint describes one MDS's filter memory, the raw data behind
+// Table 5's relative overhead comparison.
+type MemoryFootprint struct {
+	// LocalFilterBytes is the filter over locally homed files.
+	LocalFilterBytes uint64
+	// ReplicaBytes is the segment array (held replicas).
+	ReplicaBytes uint64
+	// LRUBytes is the L1 array.
+	LRUBytes uint64
+	// IDBFABytes is the replica-location array.
+	IDBFABytes uint64
+}
+
+// Total returns the combined footprint.
+func (f MemoryFootprint) Total() uint64 {
+	return f.LocalFilterBytes + f.ReplicaBytes + f.LRUBytes + f.IDBFABytes
+}
+
+// Footprint returns the memory footprint of one MDS, or a zero value for an
+// unknown ID.
+func (c *Cluster) Footprint(id int) MemoryFootprint {
+	node := c.nodes[id]
+	if node == nil {
+		return MemoryFootprint{}
+	}
+	return MemoryFootprint{
+		LocalFilterBytes: node.LocalFilter().SizeBytes(),
+		ReplicaBytes:     node.Replicas().SizeBytes(),
+		// Each MDS stores a replica of every home's LRU filter.
+		LRUBytes:   c.lru.SizeBytes(),
+		IDBFABytes: node.IDBFA().SizeBytes(),
+	}
+}
+
+// MeanFootprint averages the footprint across all MDSs.
+func (c *Cluster) MeanFootprint() MemoryFootprint {
+	var sum MemoryFootprint
+	ids := c.MDSIDs()
+	if len(ids) == 0 {
+		return sum
+	}
+	for _, id := range ids {
+		f := c.Footprint(id)
+		sum.LocalFilterBytes += f.LocalFilterBytes
+		sum.ReplicaBytes += f.ReplicaBytes
+		sum.LRUBytes += f.LRUBytes
+		sum.IDBFABytes += f.IDBFABytes
+	}
+	n := uint64(len(ids))
+	return MemoryFootprint{
+		LocalFilterBytes: sum.LocalFilterBytes / n,
+		ReplicaBytes:     sum.ReplicaBytes / n,
+		LRUBytes:         sum.LRUBytes / n,
+		IDBFABytes:       sum.IDBFABytes / n,
+	}
+}
+
+// MeasuredRates exposes the observed multi-level behaviour in the terms of
+// Equation 4: unique-hit rates and mean latencies at L1 and L2, and the mean
+// latencies of group- and system-level resolution.
+type MeasuredRates struct {
+	PLRU   float64       // share of queries served at L1
+	PL2    float64       // share of queries served at L2
+	DLRU   time.Duration // mean latency of L1-served queries
+	DL2    time.Duration // mean latency of L2-served queries
+	DGroup time.Duration // mean latency of L3-served queries
+	DNet   time.Duration // mean latency of L4-served queries
+}
+
+// Rates summarizes the cluster's observed per-level behaviour. Levels with
+// no samples report zero latency.
+func (c *Cluster) Rates() MeasuredRates {
+	return MeasuredRates{
+		PLRU:   c.tally.Fraction(1),
+		PL2:    c.tally.Fraction(2),
+		DLRU:   c.perLevel[1].Mean(),
+		DL2:    c.perLevel[2].Mean(),
+		DGroup: c.perLevel[3].Mean(),
+		DNet:   c.perLevel[4].Mean(),
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationL1(t *testing.T) {
+	rows, err := AblationL1(12, 4, 5_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var with, without AblationL1Row
+	for _, r := range rows {
+		if r.L1Enabled {
+			with = r
+		} else {
+			without = r
+		}
+	}
+	if with.L1Share < 0.5 {
+		t.Errorf("L1 share with L1 enabled = %.2f, want substantial", with.L1Share)
+	}
+	if without.L1Share != 0 {
+		t.Errorf("L1 share with L1 disabled = %.2f, want 0", without.L1Share)
+	}
+	// Both configurations stay correct; the ablation shows the latency and
+	// traffic cost of dropping locality capture.
+	if without.MeanLatency <= with.MeanLatency {
+		t.Errorf("no-L1 latency (%v) not worse than with-L1 (%v)",
+			without.MeanLatency, with.MeanLatency)
+	}
+	if !strings.Contains(FormatAblationL1(rows), "Ablation") {
+		t.Error("format missing header")
+	}
+}
+
+func TestAblationUpdateThreshold(t *testing.T) {
+	rows, err := AblationUpdateThreshold(12, 4, 8_000, []uint64{1, 512, 1 << 30}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Eager shipping sends more update messages than batched shipping.
+	if rows[0].UpdateMessages <= rows[2].UpdateMessages {
+		t.Errorf("eager updates (%d msgs) not more than never-ship (%d)",
+			rows[0].UpdateMessages, rows[2].UpdateMessages)
+	}
+	// Never shipping leaves every created file stale: strictly more L4
+	// traffic than eager shipping.
+	if rows[2].L4Share < rows[0].L4Share {
+		t.Errorf("never-ship L4 share %.3f below eager %.3f",
+			rows[2].L4Share, rows[0].L4Share)
+	}
+	if !strings.Contains(FormatAblationUpdate(rows), "threshold") {
+		t.Error("format missing header")
+	}
+}

@@ -1,0 +1,93 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 4 simulation, Section 5 prototype). Each
+// driver builds the systems it compares, generates the workload, runs the
+// measurement, and returns printable rows mirroring the paper's series.
+// cmd/ghbabench and bench_test.go are thin wrappers around these drivers.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator with
+// synthetic traces, not a 2007 Linux cluster); the reproduced quantity is
+// the relative behaviour — who wins, by roughly what factor, and where
+// curves cross. EXPERIMENTS.md records paper-versus-measured for each
+// experiment.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ghba/internal/core"
+	"ghba/internal/trace"
+)
+
+// System is the scheme-side contract shared by core.Cluster (G-HBA) and
+// hba.Cluster: dispatch one trace record, report a lookup outcome.
+type System interface {
+	Name() string
+	Apply(rec trace.Record) core.LookupResult
+	Populate(each func(fn func(path string) bool))
+}
+
+// Checkpoint is one point of a latency-versus-operations series.
+type Checkpoint struct {
+	// Ops is the number of operations replayed so far.
+	Ops int
+	// MeanLatency is the running average lookup latency (queue inclusive).
+	MeanLatency time.Duration
+}
+
+// Replay feeds totalOps records from gen into sys, sampling the running
+// mean latency every interval operations. Mutation records (create/delete)
+// are applied but excluded from the latency average, as the paper measures
+// metadata lookup operations.
+func Replay(sys System, gen *trace.Generator, totalOps, interval int) []Checkpoint {
+	if interval <= 0 {
+		interval = totalOps
+	}
+	var (
+		sum     float64
+		lookups int
+		points  []Checkpoint
+	)
+	for op := 1; op <= totalOps; op++ {
+		res := sys.Apply(gen.Next())
+		if res.Level > 0 {
+			sum += float64(res.Latency)
+			lookups++
+		}
+		if op%interval == 0 || op == totalOps {
+			mean := time.Duration(0)
+			if lookups > 0 {
+				mean = time.Duration(sum / float64(lookups))
+			}
+			points = append(points, Checkpoint{Ops: op, MeanLatency: mean})
+		}
+	}
+	return points
+}
+
+// populateFromGenerator pre-creates the generator's initial namespace on a
+// system ("all MDSs are initially populated randomly").
+func populateFromGenerator(sys System, gen *trace.Generator) {
+	sys.Populate(func(fn func(string) bool) {
+		gen.EachInitialPath(fn)
+	})
+}
+
+// formatSeries renders checkpoints as "ops→latency" pairs for banners.
+func formatSeries(points []Checkpoint) string {
+	var b strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%d→%v", p.Ops, p.MeanLatency.Round(10*time.Microsecond))
+	}
+	return b.String()
+}
+
+// newCoreCluster wraps core.New so tests inside the package can build a
+// System without importing core on their own.
+func newCoreCluster(cfg core.Config) (*core.Cluster, error) {
+	return core.New(cfg)
+}

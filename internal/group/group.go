@@ -1,0 +1,232 @@
+// Package group implements G-HBA's group layer: the assignment of
+// Bloom-filter replicas to group members, the light-weight migration that
+// rebalances replicas when an MDS joins or leaves (Section 3.1, Figs 3–4),
+// and group splitting and merging (Section 3.2, Fig 5).
+//
+// The invariant every operation preserves is the paper's "global mirror
+// image": the union of a group's member IDs and the origins of the replicas
+// its members hold covers every MDS in the system, with each replica stored
+// on exactly one member. Member IDBFAs stay consistent with the actual
+// replica placement so updates can be routed to the right holder.
+package group
+
+import (
+	"fmt"
+	"sort"
+
+	"ghba/internal/bloom"
+	"ghba/internal/mds"
+)
+
+// Report tallies the cost of a reconfiguration operation in the units the
+// paper charts: replicas moved over the network (Fig 11) and total messages
+// exchanged (Fig 15).
+type Report struct {
+	// ReplicasMigrated counts Bloom-filter replicas that crossed the
+	// network to a new holder.
+	ReplicasMigrated int
+	// Messages counts all protocol messages: migrations, IDBFA multicasts,
+	// membership announcements, and replica distribution.
+	Messages int
+}
+
+// Add folds another report into r.
+func (r *Report) Add(other Report) {
+	r.ReplicasMigrated += other.ReplicasMigrated
+	r.Messages += other.Messages
+}
+
+// Group is one MDS group.
+type Group struct {
+	id      int
+	members map[int]*mds.Node
+}
+
+// New creates an empty group.
+func New(id int) *Group {
+	return &Group{id: id, members: make(map[int]*mds.Node)}
+}
+
+// ID returns the group identifier.
+func (g *Group) ID() int { return g.id }
+
+// Size returns the number of members (the paper's M′).
+func (g *Group) Size() int { return len(g.members) }
+
+// Members returns member IDs in ascending order.
+func (g *Group) Members() []int {
+	ids := make([]int, 0, len(g.members))
+	for id := range g.members {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Member returns the node with the given ID, or nil.
+func (g *Group) Member(id int) *mds.Node { return g.members[id] }
+
+// HasMember reports whether id is in the group.
+func (g *Group) HasMember(id int) bool {
+	_, ok := g.members[id]
+	return ok
+}
+
+// Nodes returns the member nodes in ascending ID order.
+func (g *Group) Nodes() []*mds.Node {
+	out := make([]*mds.Node, 0, len(g.members))
+	for _, id := range g.Members() {
+		out = append(out, g.members[id])
+	}
+	return out
+}
+
+// lightestMember returns the member holding the fewest replicas, breaking
+// ties by ascending ID for determinism. Nil when the group is empty.
+func (g *Group) lightestMember() *mds.Node {
+	var best *mds.Node
+	for _, id := range g.Members() {
+		n := g.members[id]
+		if best == nil || n.ReplicaCount() < best.ReplicaCount() {
+			best = n
+		}
+	}
+	return best
+}
+
+// grantAll records on every member's IDBFA that holder stores origin's
+// replica. Pure state maintenance: message accounting is done by the public
+// operations, which batch IDBFA changes into one multicast as the paper
+// describes.
+func (g *Group) grantAll(holder, origin int) {
+	for id, n := range g.members {
+		if err := n.IDBFA().Grant(holder, origin); err != nil {
+			panic(fmt.Sprintf("group %d: IDBFA grant(%d,%d) on member %d: %v",
+				g.id, holder, origin, id, err))
+		}
+	}
+}
+
+// revokeAll removes the (holder, origin) entry from every member's IDBFA.
+func (g *Group) revokeAll(holder, origin int) {
+	for id, n := range g.members {
+		if err := n.IDBFA().Revoke(holder, origin); err != nil {
+			panic(fmt.Sprintf("group %d: IDBFA revoke(%d,%d) on member %d: %v",
+				g.id, holder, origin, id, err))
+		}
+	}
+}
+
+// InstallReplica places origin's replica on the lightest member (Fig 3) and
+// updates every member's IDBFA. It is an error to install a replica of a
+// current member or a duplicate origin.
+func (g *Group) InstallReplica(origin int, f *bloom.Filter) (Report, error) {
+	var rep Report
+	if g.HasMember(origin) {
+		return rep, fmt.Errorf("group %d: refusing replica of own member %d", g.id, origin)
+	}
+	if holder := g.HolderOf(origin); holder >= 0 {
+		return rep, fmt.Errorf("group %d: origin %d already held by member %d", g.id, origin, holder)
+	}
+	target := g.lightestMember()
+	if target == nil {
+		return rep, fmt.Errorf("group %d: empty group cannot hold replicas", g.id)
+	}
+	target.InstallReplica(origin, f)
+	g.grantAll(target.ID(), origin)
+	rep.Messages++               // the replica transfer itself
+	rep.Messages += g.Size() - 1 // IDBFA multicast to the other members
+	return rep, nil
+}
+
+// HolderOf returns the ID of the member holding origin's replica, or -1.
+// It consults actual replica placement (ground truth), not the IDBFA.
+func (g *Group) HolderOf(origin int) int {
+	for _, id := range g.Members() {
+		if g.members[id].Replicas().Has(origin) {
+			return id
+		}
+	}
+	return -1
+}
+
+// LocateViaIDBFA resolves origin's holder the way the protocol does: by
+// querying a member's IDBFA. False positives may return extra candidates;
+// the caller probes them in order and drops misses, paying one message per
+// false candidate.
+func (g *Group) LocateViaIDBFA(origin int) []int {
+	for _, n := range g.members {
+		return n.IDBFA().Locate(origin)
+	}
+	return nil
+}
+
+// UpdateReplica refreshes origin's replica in place via the IDBFA route,
+// returning the messages spent (1 per candidate probed). Unknown origins are
+// an error.
+func (g *Group) UpdateReplica(origin int, f *bloom.Filter) (Report, error) {
+	var rep Report
+	for _, candidate := range g.LocateViaIDBFA(origin) {
+		rep.Messages++
+		n := g.members[candidate]
+		if n == nil {
+			continue
+		}
+		if old := n.Replicas().Get(origin); old != nil {
+			n.InstallReplica(origin, f)
+			return rep, nil
+		}
+		// False positive: candidate drops the request (light penalty).
+	}
+	return rep, fmt.Errorf("group %d: no member holds replica of origin %d", g.id, origin)
+}
+
+// RemoveOrigin drops origin's replica wherever it is held (used when that
+// MDS leaves the system) and clears IDBFA entries.
+func (g *Group) RemoveOrigin(origin int) Report {
+	var rep Report
+	holder := g.HolderOf(origin)
+	if holder < 0 {
+		return rep
+	}
+	g.members[holder].DropReplica(origin)
+	g.revokeAll(holder, origin)
+	rep.Messages++               // deletion request to the holder
+	rep.Messages += g.Size() - 1 // IDBFA multicast to the other members
+	return rep
+}
+
+// ReplicaOrigins returns the origins of all replicas held by the group, in
+// ascending order.
+func (g *Group) ReplicaOrigins() []int {
+	var out []int
+	for _, n := range g.members {
+		out = append(out, n.Replicas().IDs()...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CoverageError verifies the global-mirror-image invariant against the full
+// MDS population: every ID must be either a member or a held origin, exactly
+// once. A nil return means the invariant holds.
+func (g *Group) CoverageError(allIDs []int) error {
+	seen := make(map[int]int)
+	for _, id := range g.Members() {
+		seen[id]++
+	}
+	for _, o := range g.ReplicaOrigins() {
+		seen[o]++
+	}
+	for _, id := range allIDs {
+		switch seen[id] {
+		case 0:
+			return fmt.Errorf("group %d: MDS %d not covered", g.id, id)
+		case 1:
+			// covered exactly once
+		default:
+			return fmt.Errorf("group %d: MDS %d covered %d times", g.id, id, seen[id])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package group
+
+import (
+	"fmt"
+	"sort"
+
+	"ghba/internal/mds"
+)
+
+// rebuildIDBFA reconstructs every member's IDBFA from the actual replica
+// placement. Split and merge reshape placement wholesale; rebuilding is the
+// simplest way to restore consistency, and corresponds to the paper's
+// "multicast ID Bloom Filter Array" step.
+func (g *Group) rebuildIDBFA() {
+	for _, n := range g.members {
+		fresh := n.IDBFA()
+		// Reset in place by removing and re-adding members.
+		for _, m := range fresh.Members() {
+			fresh.RemoveMember(m)
+		}
+		for _, id := range g.Members() {
+			if err := fresh.AddMember(id); err != nil {
+				panic(fmt.Sprintf("group %d: rebuild IDBFA add member %d: %v", g.id, id, err))
+			}
+		}
+		for _, holderID := range g.Members() {
+			holder := g.members[holderID]
+			for _, origin := range holder.Replicas().IDs() {
+				if err := fresh.Grant(holderID, origin); err != nil {
+					panic(fmt.Sprintf("group %d: rebuild IDBFA grant: %v", g.id, err))
+				}
+			}
+		}
+	}
+}
+
+// Rebalance evens replica counts across members by moving replicas from the
+// heaviest to the lightest member until the spread is at most one. Returns
+// the migration report.
+func (g *Group) Rebalance() Report {
+	var rep Report
+	if g.Size() < 2 {
+		return rep
+	}
+	for {
+		ids := g.Members()
+		sort.Slice(ids, func(i, j int) bool {
+			ri := g.members[ids[i]].ReplicaCount()
+			rj := g.members[ids[j]].ReplicaCount()
+			if ri != rj {
+				return ri < rj
+			}
+			return ids[i] < ids[j]
+		})
+		lightest, heaviest := g.members[ids[0]], g.members[ids[len(ids)-1]]
+		if heaviest.ReplicaCount()-lightest.ReplicaCount() <= 1 {
+			break
+		}
+		for origin, f := range heaviest.Replicas().PopRandom(1) {
+			lightest.InstallReplica(origin, f)
+			g.revokeAll(heaviest.ID(), origin)
+			g.grantAll(lightest.ID(), origin)
+			rep.ReplicasMigrated++
+			rep.Messages++
+		}
+	}
+	if rep.ReplicasMigrated > 0 {
+		rep.Messages += g.Size() - 1 // batched IDBFA multicast
+	}
+	return rep
+}
+
+// Split handles the arrival of newcomer at a group that is already at the
+// maximum size M (Section 3.2, Fig 5a): the group divides into itself
+// (keeping M−⌊M/2⌋ members) and a new group (the ⌊M/2⌋ highest-ID members
+// plus the newcomer). Replica copies are exchanged so that each side again
+// holds a complete global mirror image:
+//
+//   - external origins held only by the other side are copied over,
+//   - each side receives fresh replicas of the other side's members (they
+//     ceased being groupmates and became external MDSs).
+//
+// Returns the new group and the migration report. The caller announces the
+// new group to the rest of the system and distributes the newcomer's own
+// replica to all other groups.
+func (g *Group) Split(newGroupID int, newcomer *mds.Node, maxGroupSize int) (*Group, Report, error) {
+	var rep Report
+	if newcomer == nil {
+		return nil, rep, fmt.Errorf("group %d: nil newcomer", g.id)
+	}
+	if g.Size() < maxGroupSize {
+		return nil, rep, fmt.Errorf("group %d: split with %d < M=%d members", g.id, g.Size(), maxGroupSize)
+	}
+	if g.HasMember(newcomer.ID()) {
+		return nil, rep, fmt.Errorf("group %d: newcomer %d already a member", g.id, newcomer.ID())
+	}
+
+	m := g.Size()
+	moveCount := m / 2 // ⌊M/2⌋ members move to the new group
+	ids := g.Members()
+	moving := ids[len(ids)-moveCount:]
+
+	b := New(newGroupID)
+	b.members[newcomer.ID()] = newcomer
+	for _, id := range moving {
+		b.members[id] = g.members[id]
+		delete(g.members, id)
+	}
+
+	// Exchange external-origin copies: whichever side lacks an origin both
+	// groups must mirror copies it from the side that has it.
+	for _, pair := range []struct{ dst, src *Group }{{g, b}, {b, g}} {
+		for _, origin := range pair.src.ReplicaOrigins() {
+			if pair.dst.HasMember(origin) || pair.dst.HolderOf(origin) >= 0 {
+				continue
+			}
+			srcHolder := pair.src.members[pair.src.HolderOf(origin)]
+			target := pair.dst.lightestMember()
+			target.InstallReplica(origin, srcHolder.Replicas().Get(origin).Clone())
+			rep.ReplicasMigrated++
+			rep.Messages++
+		}
+	}
+
+	// Each side needs replicas of the other side's members.
+	for _, pair := range []struct{ dst, src *Group }{{g, b}, {b, g}} {
+		for _, id := range pair.src.Members() {
+			if pair.dst.HolderOf(id) >= 0 {
+				continue
+			}
+			target := pair.dst.lightestMember()
+			target.InstallReplica(id, pair.src.members[id].Ship())
+			rep.ReplicasMigrated++
+			rep.Messages++
+		}
+	}
+
+	// Drop any replica whose origin ended up inside its own group (a moved
+	// member's replica of a fellow mover is impossible by construction, but
+	// external origins cannot alias members either; this is a guard).
+	for _, grp := range []*Group{g, b} {
+		for _, id := range grp.Members() {
+			node := grp.members[id]
+			for _, origin := range node.Replicas().IDs() {
+				if grp.HasMember(origin) {
+					node.DropReplica(origin)
+				}
+			}
+		}
+	}
+
+	g.rebuildIDBFA()
+	b.rebuildIDBFA()
+	rep.Add(g.Rebalance())
+	rep.Add(b.Rebalance())
+	rep.Messages += g.Size() - 1 // IDBFA multicast in A
+	rep.Messages += b.Size() - 1 // IDBFA multicast in B
+	return b, rep, nil
+}
+
+// Merge absorbs other into g (Section 3.2, Fig 5b), used when departures
+// shrink two groups enough that their union fits within M. Replicas of MDSs
+// that are now groupmates are dropped, duplicate external replicas are
+// deduplicated, IDBFAs are rebuilt, and replica counts rebalanced.
+func (g *Group) Merge(other *Group) (Report, error) {
+	var rep Report
+	if other == nil || other == g {
+		return rep, fmt.Errorf("group %d: invalid merge partner", g.id)
+	}
+	for _, id := range other.Members() {
+		if g.HasMember(id) {
+			return rep, fmt.Errorf("group %d: member %d present in both groups", g.id, id)
+		}
+		g.members[id] = other.members[id]
+		delete(other.members, id)
+	}
+
+	// Drop replicas of now-internal origins and deduplicate external
+	// origins (the union holds two copies of everything both sides
+	// mirrored; keep the first holder in ID order).
+	seen := make(map[int]int) // origin → holder
+	for _, id := range g.Members() {
+		node := g.members[id]
+		for _, origin := range node.Replicas().IDs() {
+			if g.HasMember(origin) {
+				node.DropReplica(origin)
+				continue
+			}
+			if _, dup := seen[origin]; dup {
+				node.DropReplica(origin)
+				continue
+			}
+			seen[origin] = id
+		}
+	}
+
+	g.rebuildIDBFA()
+	rep.Add(g.Rebalance())
+	if g.Size() > 0 {
+		rep.Messages += g.Size() - 1 // IDBFA multicast
+	}
+	return rep, nil
+}

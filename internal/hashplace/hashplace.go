@@ -1,0 +1,106 @@
+// Package hashplace implements the modular-hash replica placement the paper
+// argues against in Section 2.4: within a group, the replica of origin o is
+// stored on member h(o) mod M′. Placement is stateless and lookup is O(1),
+// but any change in the member count re-targets almost every replica —
+// ⌈(N−M′)·M′/(M′+1)⌉ migrations in expectation versus G-HBA's
+// (N−M′)/(M′+1). Fig 11 charts exactly this comparison.
+package hashplace
+
+import "fmt"
+
+// fnv1a64 hashes an origin ID deterministically (same constants as the
+// Bloom substrate, reimplemented here to keep the package dependency-free).
+func fnv1a64(x int) uint64 {
+	h := uint64(14695981039346656037)
+	v := uint64(x)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// Placement tracks the hash-based assignment of replica origins to the
+// members of one group.
+type Placement struct {
+	members []int // member slots, order-sensitive: h(o) mod len(members)
+	origins []int
+}
+
+// New creates a placement over the given member IDs (order matters: modular
+// hashing addresses slots, not IDs).
+func New(memberIDs []int) (*Placement, error) {
+	if len(memberIDs) == 0 {
+		return nil, fmt.Errorf("hashplace: need at least one member")
+	}
+	m := make([]int, len(memberIDs))
+	copy(m, memberIDs)
+	return &Placement{members: m}, nil
+}
+
+// AddOrigin registers an external origin whose replica the group must hold.
+func (p *Placement) AddOrigin(origin int) {
+	p.origins = append(p.origins, origin)
+}
+
+// HolderOf returns the member currently assigned origin's replica.
+func (p *Placement) HolderOf(origin int) int {
+	return p.members[fnv1a64(origin)%uint64(len(p.members))]
+}
+
+// Origins returns the number of registered origins.
+func (p *Placement) Origins() int { return len(p.origins) }
+
+// Members returns the current member count.
+func (p *Placement) Members() int { return len(p.members) }
+
+// AddMember appends a member slot and returns the number of replicas whose
+// assignment changed — each is a migration the reconfiguration must pay.
+func (p *Placement) AddMember(id int) int {
+	before := make(map[int]int, len(p.origins))
+	for _, o := range p.origins {
+		before[o] = p.HolderOf(o)
+	}
+	p.members = append(p.members, id)
+	migrations := 0
+	for _, o := range p.origins {
+		if p.HolderOf(o) != before[o] {
+			migrations++
+		}
+	}
+	return migrations
+}
+
+// RemoveMember drops the member at the given slot index and returns the
+// migration count, defined the same way.
+func (p *Placement) RemoveMember(slot int) (int, error) {
+	if slot < 0 || slot >= len(p.members) {
+		return 0, fmt.Errorf("hashplace: slot %d out of range [0,%d)", slot, len(p.members))
+	}
+	if len(p.members) == 1 {
+		return 0, fmt.Errorf("hashplace: cannot remove the last member")
+	}
+	before := make(map[int]int, len(p.origins))
+	for _, o := range p.origins {
+		before[o] = p.HolderOf(o)
+	}
+	p.members = append(p.members[:slot], p.members[slot+1:]...)
+	migrations := 0
+	for _, o := range p.origins {
+		if p.HolderOf(o) != before[o] {
+			migrations++
+		}
+	}
+	return migrations, nil
+}
+
+// ExpectedJoinMigrations returns the analytic expectation for a join:
+// changing the modulus from m to m+1 re-targets a fraction m/(m+1) of the
+// origins.
+func ExpectedJoinMigrations(origins, members int) float64 {
+	if members <= 0 {
+		return 0
+	}
+	return float64(origins) * float64(members) / float64(members+1)
+}

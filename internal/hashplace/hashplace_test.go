@@ -1,0 +1,108 @@
+package hashplace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty member list accepted")
+	}
+}
+
+func TestHolderDeterministic(t *testing.T) {
+	p, err := New([]int{10, 11, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.AddOrigin(7)
+	if p.HolderOf(7) != p.HolderOf(7) {
+		t.Error("holder not stable")
+	}
+	if p.Origins() != 1 || p.Members() != 3 {
+		t.Error("counters wrong")
+	}
+}
+
+func TestAddMemberMigratesMostReplicas(t *testing.T) {
+	p, err := New([]int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const origins = 1000
+	for o := 100; o < 100+origins; o++ {
+		p.AddOrigin(o)
+	}
+	migrations := p.AddMember(6)
+	expected := ExpectedJoinMigrations(origins, 6) // 1000·6/7 ≈ 857
+	if float64(migrations) < expected*0.8 || float64(migrations) > float64(origins) {
+		t.Errorf("migrations = %d, analytic expectation %.0f", migrations, expected)
+	}
+}
+
+func TestRemoveMember(t *testing.T) {
+	p, err := New([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 10; o < 110; o++ {
+		p.AddOrigin(o)
+	}
+	migrations, err := p.RemoveMember(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migrations == 0 {
+		t.Error("removal migrated nothing")
+	}
+	if p.Members() != 2 {
+		t.Errorf("Members = %d", p.Members())
+	}
+	if _, err := p.RemoveMember(9); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+}
+
+func TestRemoveLastMemberRefused(t *testing.T) {
+	p, err := New([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RemoveMember(0); err == nil {
+		t.Error("removed last member")
+	}
+}
+
+func TestExpectedJoinMigrationsBounds(t *testing.T) {
+	if ExpectedJoinMigrations(100, 0) != 0 {
+		t.Error("zero members expectation non-zero")
+	}
+	got := ExpectedJoinMigrations(700, 6)
+	if got != 600 {
+		t.Errorf("E[700, 6] = %f, want 600", got)
+	}
+}
+
+func TestMigrationsNeverExceedOrigins(t *testing.T) {
+	err := quick.Check(func(seed uint8, count uint16) bool {
+		members := 1 + int(seed%9)
+		ids := make([]int, members)
+		for i := range ids {
+			ids[i] = i
+		}
+		p, err := New(ids)
+		if err != nil {
+			return false
+		}
+		n := int(count % 500)
+		for o := 0; o < n; o++ {
+			p.AddOrigin(1000 + o)
+		}
+		m := p.AddMember(members)
+		return m >= 0 && m <= n
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Errorf("migration bound violated: %v", err)
+	}
+}

@@ -1,0 +1,445 @@
+// Package hba implements the paper's main comparator: Hierarchical Bloom
+// filter Arrays (Zhu, Jiang, Wang 2004). Every MDS stores an LRU Bloom
+// filter array plus a *global* array holding one replica of every other
+// MDS's filter, so any server can answer any lookup locally — at the cost of
+// O(N) replicas per server. At exabyte scale that array outgrows RAM, every
+// probe of the spilled fraction pays a disk access, and replica updates
+// require a system-wide multicast. Those two costs are exactly what G-HBA's
+// grouping removes, and what Figs 8–12 and 14–15 chart.
+package hba
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"ghba/internal/bloomarray"
+	"ghba/internal/core"
+	"ghba/internal/mds"
+	"ghba/internal/memmodel"
+	"ghba/internal/metrics"
+	"ghba/internal/simnet"
+	"ghba/internal/trace"
+)
+
+// Cluster is a simulated HBA deployment. It reuses core.Config (group
+// parameters are ignored) and produces core.LookupResult values so the
+// experiment drivers treat both schemes uniformly.
+type Cluster struct {
+	cfg core.Config
+
+	nodes map[int]*mds.Node
+	homes map[string]int
+
+	// lru models the replicated LRU Bloom filter arrays of L1 (see the
+	// corresponding field in core.Cluster): one shared array standing in
+	// for promptly propagated per-home LRU replicas.
+	lru *bloomarray.LRUArray
+
+	mem *memmodel.Model
+	rng *rand.Rand
+
+	msgs    *simnet.Counter
+	tally   metrics.LevelTally
+	overall metrics.LatencyStats
+
+	queue map[int]time.Duration
+
+	nextMDSID int
+}
+
+// New builds an HBA cluster with cfg.NumMDS servers, each holding replicas
+// of all others.
+func New(cfg core.Config) (*Cluster, error) {
+	if cfg.NumMDS < 1 {
+		return nil, fmt.Errorf("hba: NumMDS must be ≥ 1, got %d", cfg.NumMDS)
+	}
+	if err := cfg.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	lru, err := bloomarray.NewLRUArray(cfg.Node.LRUCapacity, cfg.Node.LRUBitsPerFile)
+	if err != nil {
+		return nil, fmt.Errorf("hba: sizing LRU array: %w", err)
+	}
+	c := &Cluster{
+		cfg:   cfg,
+		nodes: make(map[int]*mds.Node),
+		homes: make(map[string]int),
+		lru:   lru,
+		mem:   memModelFor(cfg),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		msgs:  simnet.NewCounter(),
+		queue: make(map[int]time.Duration),
+	}
+	for i := 0; i < cfg.NumMDS; i++ {
+		node, err := mds.NewNode(i, cfg.Node)
+		if err != nil {
+			return nil, fmt.Errorf("hba: creating MDS %d: %w", i, err)
+		}
+		c.nodes[i] = node
+	}
+	c.nextMDSID = cfg.NumMDS
+	c.syncAll()
+	return c, nil
+}
+
+func memModelFor(cfg core.Config) *memmodel.Model {
+	if cfg.MemoryBudgetBytes == 0 {
+		return memmodel.New(^uint64(0) >> 1)
+	}
+	return memmodel.New(cfg.MemoryBudgetBytes)
+}
+
+// syncAll installs a fresh replica of every MDS on every other MDS.
+func (c *Cluster) syncAll() {
+	for _, origin := range c.MDSIDs() {
+		snap := c.nodes[origin].Ship()
+		for _, id := range c.MDSIDs() {
+			if id == origin {
+				continue
+			}
+			c.nodes[id].InstallReplica(origin, snap.Clone())
+		}
+	}
+}
+
+// Name identifies the scheme in experiment output.
+func (c *Cluster) Name() string { return "HBA" }
+
+// NumMDS returns the number of servers.
+func (c *Cluster) NumMDS() int { return len(c.nodes) }
+
+// MDSIDs returns server IDs in ascending order.
+func (c *Cluster) MDSIDs() []int {
+	ids := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Node returns one server, or nil.
+func (c *Cluster) Node(id int) *mds.Node { return c.nodes[id] }
+
+// Messages exposes the message counter.
+func (c *Cluster) Messages() *simnet.Counter { return c.msgs }
+
+// Tally exposes per-level hit counts (levels 1, 2 and 4 are used: HBA has
+// no group level).
+func (c *Cluster) Tally() *metrics.LevelTally { return &c.tally }
+
+// OverallLatency returns latency statistics across all lookups.
+func (c *Cluster) OverallLatency() *metrics.LatencyStats { return &c.overall }
+
+// HomeOf returns the ground-truth home of a path (-1 when absent).
+func (c *Cluster) HomeOf(path string) int {
+	home, ok := c.homes[path]
+	if !ok {
+		return -1
+	}
+	return home
+}
+
+// FileCount returns the number of files in the system.
+func (c *Cluster) FileCount() int { return len(c.homes) }
+
+// RandomMDS returns a uniformly chosen server ID.
+func (c *Cluster) RandomMDS() int {
+	ids := c.MDSIDs()
+	return ids[c.rng.Intn(len(ids))]
+}
+
+// Populate homes every path at a random MDS and synchronizes all replicas.
+func (c *Cluster) Populate(each func(fn func(path string) bool)) {
+	ids := c.MDSIDs()
+	each(func(path string) bool {
+		home := ids[c.rng.Intn(len(ids))]
+		c.nodes[home].AddFile(path)
+		c.homes[path] = home
+		return true
+	})
+	c.syncAll()
+}
+
+// arrayProbeCost is the cost of probing the full global array (N−1 replicas
+// plus the local filter) under the memory budget — the term that blows up
+// when HBA outgrows RAM.
+func (c *Cluster) arrayProbeCost(id int) time.Duration {
+	node := c.nodes[id]
+	total := node.ReplicaCount() + 1
+	per := c.cfg.VirtualReplicaBytes
+	if per == 0 {
+		per = node.LocalFilter().SizeBytes()
+	}
+	return c.mem.ArrayProbeCost(total, uint64(total)*per,
+		c.cfg.Cost.MemProbe, c.cfg.Cost.DiskRead, c.cfg.CacheHitRate)
+}
+
+func (c *Cluster) l1ProbeCost() time.Duration {
+	entries := c.lru.Entries()
+	if entries == 0 {
+		entries = 1
+	}
+	return time.Duration(entries) * c.cfg.Cost.MemProbe
+}
+
+func (c *Cluster) verify(candidate int, path string) (bool, time.Duration) {
+	c.msgs.Add(simnet.MsgQueryUnicast, 1)
+	cost := c.cfg.Cost.UnicastRTT + c.cfg.Cost.MemProbe
+	node := c.nodes[candidate]
+	if node == nil {
+		return false, cost
+	}
+	return node.HasFile(path), cost
+}
+
+// remoteWork mirrors core's queue-aware remote charging: multicast probes
+// occupy the servers they land on when queued mode is active.
+func (c *Cluster) remoteWork(id int, arrival, work time.Duration, queued bool) time.Duration {
+	if !queued {
+		return work
+	}
+	start := arrival
+	if next := c.queue[id]; next > start {
+		start = next
+	}
+	c.queue[id] = start + work
+	return (start - arrival) + work
+}
+
+// Lookup resolves path starting at entry: L1 LRU array, then the global
+// replica array, then a system-wide multicast as the last resort. Levels are
+// tallied as 1 (LRU), 2 (global array) and 4 (multicast) so HBA and G-HBA
+// tallies share a scale. Queueing effects are excluded; see LookupAt.
+func (c *Cluster) Lookup(path string, entry int) core.LookupResult {
+	return c.lookup(path, entry, 0, false)
+}
+
+func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued bool) core.LookupResult {
+	node := c.nodes[entry]
+	if node == nil {
+		entry = c.RandomMDS()
+		node = c.nodes[entry]
+	}
+	latency := c.cfg.Cost.ClientRTT
+	var server time.Duration
+
+	finish := func(res core.LookupResult) core.LookupResult {
+		if queued {
+			start := arrival
+			if next := c.queue[entry]; next > start {
+				start = next
+			}
+			c.queue[entry] = start + server
+			latency += start - arrival
+		}
+		res.Path = path
+		res.Latency = latency
+		res.ServerTime = server
+		c.tally.Record(res.Level)
+		c.overall.Observe(latency)
+		if res.Found {
+			c.lru.ObserveString(path, res.Home)
+		}
+		return res
+	}
+
+	// L1: the replicated LRU array (always memory resident).
+	l1Cost := c.l1ProbeCost()
+	latency += l1Cost
+	server += l1Cost
+	if home, ok := c.lru.QueryString(path).Unique(); ok {
+		ok2, cost := c.verify(home, path)
+		latency += cost
+		if ok2 {
+			return finish(core.LookupResult{Home: home, Found: true, Level: 1})
+		}
+	}
+
+	// L2: the global replica array.
+	probe := c.arrayProbeCost(entry)
+	latency += probe
+	server += probe
+	if home, ok := node.QueryL2(path).Unique(); ok {
+		if home == entry {
+			latency += c.cfg.Cost.MemProbe
+			if node.HasFile(path) {
+				return finish(core.LookupResult{Home: entry, Found: true, Level: 2})
+			}
+		} else {
+			ok2, cost := c.verify(home, path)
+			latency += cost
+			if ok2 {
+				return finish(core.LookupResult{Home: home, Found: true, Level: 2})
+			}
+		}
+	}
+
+	// Last resort: system-wide multicast with disk verification.
+	others := len(c.nodes) - 1
+	c.msgs.Add(simnet.MsgQueryMulticast, uint64(others))
+	latency += c.cfg.Cost.Multicast(others)
+	l4CPU := time.Duration(others) * c.cfg.Cost.MsgProc
+	latency += l4CPU
+	server += l4CPU
+	var slowest time.Duration
+	for _, id := range c.MDSIDs() {
+		if id == entry {
+			continue
+		}
+		resp := c.remoteWork(id, arrival, c.cfg.Cost.MsgProc+c.cfg.Cost.MemProbe, queued)
+		if resp > slowest {
+			slowest = resp
+		}
+	}
+	latency += slowest + c.cfg.Cost.MemProbe + c.cfg.Cost.DiskRead
+	if home, ok := c.homes[path]; ok {
+		return finish(core.LookupResult{Home: home, Found: true, Level: 4})
+	}
+	return finish(core.LookupResult{Home: -1, Found: false, Level: 4})
+}
+
+// LookupAt is Lookup through the open-loop queuing model: the request waits
+// for the entry MDS's queue, and multicast probes occupy the servers they
+// land on.
+func (c *Cluster) LookupAt(path string, entry int, arrival time.Duration) core.LookupResult {
+	return c.lookup(path, entry, arrival, true)
+}
+
+// ResetQueues clears queuing state between runs.
+func (c *Cluster) ResetQueues() {
+	c.queue = make(map[int]time.Duration)
+}
+
+// Create homes a new file and pushes a replica update to all servers when
+// the XOR-delta threshold trips.
+func (c *Cluster) Create(path string) int {
+	home := c.RandomMDS()
+	c.nodes[home].AddFile(path)
+	c.homes[path] = home
+	if c.nodes[home].NeedsShip(c.cfg.UpdateThresholdBits) {
+		c.PushUpdate(home)
+	}
+	return home
+}
+
+// Delete removes a file; the home filter stays stale until rebuilt.
+func (c *Cluster) Delete(path string) bool {
+	home, ok := c.homes[path]
+	if !ok {
+		return false
+	}
+	node := c.nodes[home]
+	node.DeleteFile(path)
+	delete(c.homes, path)
+	if node.DeletesSinceRebuild() >= c.cfg.RebuildDeleteThreshold {
+		node.Rebuild()
+		c.PushUpdate(home)
+	}
+	return true
+}
+
+// PushUpdate multicasts origin's fresh filter to every other MDS — HBA's
+// system-wide update, the cost Fig 12 compares against G-HBA's one-per-group
+// update. Returns the update latency: the multicast plus the slowest apply.
+func (c *Cluster) PushUpdate(origin int) time.Duration {
+	node := c.nodes[origin]
+	if node == nil {
+		return 0
+	}
+	snap := node.Ship()
+	var slowest time.Duration
+	count := 0
+	for _, id := range c.MDSIDs() {
+		if id == origin {
+			continue
+		}
+		c.nodes[id].InstallReplica(origin, snap.Clone())
+		count++
+		if a := c.applyCost(id); a > slowest {
+			slowest = a
+		}
+	}
+	c.msgs.Add(simnet.MsgReplicaUpdate, uint64(count))
+	return c.cfg.Cost.Multicast(count) + slowest
+}
+
+// applyCost mirrors core's replica-write cost under memory pressure.
+func (c *Cluster) applyCost(holder int) time.Duration {
+	node := c.nodes[holder]
+	total := node.ReplicaCount() + 1
+	per := c.cfg.VirtualReplicaBytes
+	if per == 0 {
+		per = node.LocalFilter().SizeBytes()
+	}
+	spilled := c.mem.SpilledReplicas(total, uint64(total)*per)
+	if spilled == 0 {
+		return c.cfg.Cost.MemProbe
+	}
+	frac := float64(spilled) / float64(total)
+	return c.cfg.Cost.MemProbe +
+		time.Duration(frac*(1-c.cfg.CacheHitRate)*float64(c.cfg.Cost.DiskRead))
+}
+
+// AddMDS brings a new server in. HBA must (a) ship every existing replica to
+// the newcomer and (b) multicast the newcomer's filter to everyone — the
+// O(N) reconfiguration cost of Figs 11 and 15.
+func (c *Cluster) AddMDS() (int, int, int) {
+	id := c.nextMDSID
+	node, err := mds.NewNode(id, c.cfg.Node)
+	if err != nil {
+		// Config was validated at New; this cannot fail for a fixed config.
+		panic(fmt.Sprintf("hba: creating MDS %d: %v", id, err))
+	}
+	migrated, messages := 0, 0
+	// Newcomer receives a replica of every existing server.
+	for _, origin := range c.MDSIDs() {
+		node.InstallReplica(origin, c.nodes[origin].Ship())
+		migrated++
+		messages++
+	}
+	// Everyone receives the newcomer's (empty) filter.
+	snap := node.Ship()
+	for _, other := range c.MDSIDs() {
+		c.nodes[other].InstallReplica(id, snap.Clone())
+		messages++
+	}
+	c.nodes[id] = node
+	c.nextMDSID++
+	c.msgs.Add(simnet.MsgReplicaMigration, uint64(migrated))
+	c.msgs.Add(simnet.MsgMembership, uint64(messages-migrated))
+	return id, migrated, messages
+}
+
+// Apply dispatches one trace record, mirroring core.Cluster.Apply.
+func (c *Cluster) Apply(rec trace.Record) core.LookupResult {
+	switch rec.Op {
+	case trace.OpCreate:
+		if _, exists := c.homes[rec.Path]; exists {
+			// Creating an existing path degenerates to an open.
+			return c.LookupAt(rec.Path, c.RandomMDS(), rec.At)
+		}
+		home := c.Create(rec.Path)
+		return core.LookupResult{Path: rec.Path, Home: home, Found: true, Level: 0}
+	case trace.OpDelete:
+		c.Delete(rec.Path)
+		return core.LookupResult{Path: rec.Path, Home: -1, Found: false, Level: 0}
+	default:
+		return c.LookupAt(rec.Path, c.RandomMDS(), rec.At)
+	}
+}
+
+// Footprint returns one server's filter memory, for Table 5.
+func (c *Cluster) Footprint(id int) core.MemoryFootprint {
+	node := c.nodes[id]
+	if node == nil {
+		return core.MemoryFootprint{}
+	}
+	return core.MemoryFootprint{
+		LocalFilterBytes: node.LocalFilter().SizeBytes(),
+		ReplicaBytes:     node.Replicas().SizeBytes(),
+		LRUBytes:         c.lru.SizeBytes(),
+	}
+}

@@ -1,0 +1,226 @@
+package hba
+
+import (
+	"strconv"
+	"testing"
+
+	"ghba/internal/core"
+	"ghba/internal/mds"
+	"ghba/internal/trace"
+)
+
+func smallConfig(n int) core.Config {
+	cfg := core.DefaultConfig(n, 1) // group size unused by HBA
+	cfg.Node = mds.Config{
+		ExpectedFiles:  2_000,
+		BitsPerFile:    16,
+		LRUCapacity:    256,
+		LRUBitsPerFile: 16,
+	}
+	return cfg
+}
+
+func newPopulated(t *testing.T, n, files int) *Cluster {
+	t.Helper()
+	c, err := New(smallConfig(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Populate(func(fn func(string) bool) {
+		for i := 0; i < files; i++ {
+			if !fn("/f" + strconv.Itoa(i)) {
+				return
+			}
+		}
+	})
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(smallConfig(0)); err == nil {
+		t.Error("NumMDS 0 accepted")
+	}
+}
+
+func TestEveryNodeHoldsAllReplicas(t *testing.T) {
+	c := newPopulated(t, 8, 100)
+	for _, id := range c.MDSIDs() {
+		if rc := c.Node(id).ReplicaCount(); rc != 7 {
+			t.Errorf("MDS %d holds %d replicas, want 7 (N−1)", id, rc)
+		}
+	}
+}
+
+func TestLookupFindsEveryFile(t *testing.T) {
+	c := newPopulated(t, 8, 300)
+	for i := 0; i < 300; i++ {
+		path := "/f" + strconv.Itoa(i)
+		res := c.Lookup(path, c.RandomMDS())
+		if !res.Found || res.Home != c.HomeOf(path) {
+			t.Fatalf("lookup %s = %+v (truth %d)", path, res, c.HomeOf(path))
+		}
+	}
+	if c.FileCount() != 300 {
+		t.Errorf("FileCount = %d", c.FileCount())
+	}
+}
+
+func TestLookupResolvesLocallyWhenFresh(t *testing.T) {
+	// With fresh replicas, HBA should answer almost everything at L1/L2 —
+	// that is its whole selling point.
+	c := newPopulated(t, 10, 400)
+	for i := 0; i < 400; i++ {
+		c.Lookup("/f"+strconv.Itoa(i), c.RandomMDS())
+	}
+	if frac := c.Tally().CumulativeFraction(2); frac < 0.95 {
+		t.Errorf("only %.2f of lookups served locally, want ≥0.95", frac)
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	c := newPopulated(t, 4, 50)
+	res := c.Lookup("/ghost", c.RandomMDS())
+	if res.Found || res.Level != 4 {
+		t.Errorf("missing lookup = %+v", res)
+	}
+}
+
+func TestCreateDeleteAndUpdatePropagation(t *testing.T) {
+	cfg := smallConfig(6)
+	cfg.UpdateThresholdBits = 1 << 30 // manual pushes
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Populate(func(fn func(string) bool) { fn("/seed") })
+	home := c.Create("/new")
+	if c.HomeOf("/new") != home {
+		t.Error("create lost home")
+	}
+	d := c.PushUpdate(home)
+	if d <= 0 {
+		t.Error("push latency not positive")
+	}
+	// Every other node's replica of home must now contain the file.
+	for _, id := range c.MDSIDs() {
+		if id == home {
+			continue
+		}
+		f := c.Node(id).Replicas().Get(home)
+		if !f.ContainsString("/new") {
+			t.Errorf("MDS %d replica of %d stale after push", id, home)
+		}
+	}
+	if !c.Delete("/new") || c.Delete("/new") {
+		t.Error("delete semantics wrong")
+	}
+}
+
+func TestAddMDSCostIsLinear(t *testing.T) {
+	c := newPopulated(t, 10, 100)
+	id, migrated, messages := c.AddMDS()
+	if id != 10 {
+		t.Errorf("id = %d", id)
+	}
+	if migrated != 10 {
+		t.Errorf("migrated = %d, want N=10 (all replicas to newcomer)", migrated)
+	}
+	if messages < 2*10 {
+		t.Errorf("messages = %d, want ≥ 2N", messages)
+	}
+	if c.NumMDS() != 11 {
+		t.Errorf("NumMDS = %d", c.NumMDS())
+	}
+	// Newcomer can serve lookups.
+	if res := c.Lookup("/f5", id); !res.Found {
+		t.Error("lookup via newcomer failed")
+	}
+}
+
+func TestQueuingAccumulates(t *testing.T) {
+	c := newPopulated(t, 4, 100)
+	entry := c.MDSIDs()[0]
+	r1 := c.LookupAt("/f1", entry, 0)
+	r2 := c.LookupAt("/f2", entry, 0)
+	if r2.Latency < r1.ServerTime {
+		t.Error("no queueing delay on simultaneous arrivals")
+	}
+	c.ResetQueues()
+}
+
+func TestMemoryPressureSlowsHBA(t *testing.T) {
+	// Same cluster, two budgets: constrained memory must produce strictly
+	// slower array probes — the effect behind Figs 8–10.
+	mk := func(budget uint64) *Cluster {
+		cfg := smallConfig(8)
+		cfg.MemoryBudgetBytes = budget
+		cfg.VirtualReplicaBytes = 8 << 20 // 8 MB per replica at paper scale
+		cfg.CacheHitRate = 0.5
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Populate(func(fn func(string) bool) {
+			for i := 0; i < 200; i++ {
+				if !fn("/f" + strconv.Itoa(i)) {
+					return
+				}
+			}
+		})
+		return c
+	}
+	big := mk(0)          // unlimited
+	small := mk(16 << 20) // 16 MB: 2 of 8 replicas resident
+	var bigLat, smallLat float64
+	for i := 0; i < 200; i++ {
+		path := "/f" + strconv.Itoa(i)
+		bigLat += float64(big.Lookup(path, big.MDSIDs()[0]).Latency)
+		smallLat += float64(small.Lookup(path, small.MDSIDs()[0]).Latency)
+	}
+	if smallLat <= bigLat*2 {
+		t.Errorf("memory pressure barely visible: constrained %.0f vs unlimited %.0f", smallLat, bigLat)
+	}
+}
+
+func TestApplyDispatch(t *testing.T) {
+	c := newPopulated(t, 4, 50)
+	res := c.Apply(traceRecord("/f1", 's'))
+	if !res.Found {
+		t.Error("stat record not found")
+	}
+	res = c.Apply(traceRecord("/brandnew", 'c'))
+	if !res.Found || c.HomeOf("/brandnew") < 0 {
+		t.Error("create record failed")
+	}
+	c.Apply(traceRecord("/brandnew", 'd'))
+	if c.HomeOf("/brandnew") != -1 {
+		t.Error("delete record failed")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	c := newPopulated(t, 5, 50)
+	f := c.Footprint(0)
+	if f.ReplicaBytes == 0 || f.LocalFilterBytes == 0 {
+		t.Errorf("footprint = %+v", f)
+	}
+	if c.Footprint(99).Total() != 0 {
+		t.Error("unknown footprint non-zero")
+	}
+	if c.Name() != "HBA" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+// traceRecord builds a minimal record for dispatch tests: 's' stat,
+// 'c' create, 'd' delete.
+func traceRecord(path string, kind byte) trace.Record {
+	op := trace.OpStat
+	switch kind {
+	case 'c':
+		op = trace.OpCreate
+	case 'd':
+		op = trace.OpDelete
+	}
+	return trace.Record{Op: op, Path: path}
+}

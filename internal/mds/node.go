@@ -1,0 +1,249 @@
+// Package mds implements the state and level-local behaviour of one metadata
+// server: its authoritative metadata store, the Bloom filter summarizing its
+// local files, the L1 LRU array, the replica array (the L2 segment array in
+// G-HBA, the global array in the HBA baseline), the IDBFA, and the
+// XOR-delta update protocol of Section 3.4.
+//
+// A Node answers the "what do you know locally" half of every query level;
+// the routing between nodes — multicasts, forwards, verification — belongs
+// to the scheme layers (internal/core, internal/hba) that own the topology.
+package mds
+
+import (
+	"fmt"
+
+	"ghba/internal/bloom"
+	"ghba/internal/bloomarray"
+	"ghba/internal/metastore"
+)
+
+// Config sizes a node's filter structures.
+type Config struct {
+	// ExpectedFiles sizes the local Bloom filter (files homed per MDS).
+	ExpectedFiles uint64
+	// BitsPerFile is the filter ratio m/n. G-HBA "can afford to increase
+	// the number of bits per file" thanks to its memory savings; 16 is the
+	// default, 8 matches the BFA8 baseline of Table 5.
+	BitsPerFile float64
+	// LRUCapacity is the per-home-MDS generation size of the L1 array.
+	LRUCapacity uint64
+	// LRUBitsPerFile is the filter ratio of L1 generations.
+	LRUBitsPerFile float64
+}
+
+// DefaultConfig returns the sizing used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		ExpectedFiles:  50_000,
+		BitsPerFile:    16,
+		LRUCapacity:    2_048,
+		LRUBitsPerFile: 16,
+	}
+}
+
+func (c Config) validate() error {
+	if c.ExpectedFiles == 0 || c.BitsPerFile <= 0 {
+		return fmt.Errorf("mds: invalid filter sizing: files=%d bits=%f",
+			c.ExpectedFiles, c.BitsPerFile)
+	}
+	if c.LRUCapacity == 0 || c.LRUBitsPerFile <= 0 {
+		return fmt.Errorf("mds: invalid LRU sizing: cap=%d bits=%f",
+			c.LRUCapacity, c.LRUBitsPerFile)
+	}
+	return nil
+}
+
+// Node is one metadata server.
+type Node struct {
+	id  int
+	cfg Config
+
+	store *metastore.Store
+	local *bloom.Filter
+
+	lru      *bloomarray.LRUArray
+	replicas *bloomarray.Array
+	idbfa    *bloomarray.IDBFA
+
+	// lastShipped is the snapshot of the local filter most recently
+	// distributed to remote replica holders; the XOR delta against it
+	// drives the update protocol.
+	lastShipped *bloom.Filter
+
+	// staleLocalBits counts bits that are set in the local filter but
+	// belong to deleted files; Rebuild clears them.
+	deletesSinceRebuild uint64
+}
+
+// NewNode creates a node with the given ID and sizing.
+func NewNode(id int, cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	local, err := bloom.NewForCapacity(cfg.ExpectedFiles, cfg.BitsPerFile)
+	if err != nil {
+		return nil, fmt.Errorf("mds: sizing local filter: %w", err)
+	}
+	lru, err := bloomarray.NewLRUArray(cfg.LRUCapacity, cfg.LRUBitsPerFile)
+	if err != nil {
+		return nil, fmt.Errorf("mds: sizing LRU array: %w", err)
+	}
+	return &Node{
+		id:          id,
+		cfg:         cfg,
+		store:       metastore.NewStore(),
+		local:       local,
+		lru:         lru,
+		replicas:    bloomarray.NewArray(),
+		idbfa:       bloomarray.NewDefaultIDBFA(),
+		lastShipped: local.Clone(),
+	}, nil
+}
+
+// ID returns the node's MDS identifier.
+func (n *Node) ID() int { return n.id }
+
+// Store exposes the authoritative metadata store.
+func (n *Node) Store() *metastore.Store { return n.store }
+
+// LRU exposes the L1 array.
+func (n *Node) LRU() *bloomarray.LRUArray { return n.lru }
+
+// Replicas exposes the replica array (segment array in G-HBA).
+func (n *Node) Replicas() *bloomarray.Array { return n.replicas }
+
+// IDBFA exposes the replica-location array.
+func (n *Node) IDBFA() *bloomarray.IDBFA { return n.idbfa }
+
+// LocalFilter returns the filter over locally homed files. Callers must not
+// mutate it; use AddFile/DeleteFile.
+func (n *Node) LocalFilter() *bloom.Filter { return n.local }
+
+// FileCount returns the number of files homed here.
+func (n *Node) FileCount() int { return n.store.Len() }
+
+// AddFile homes a file at this node: metadata is stored and the local filter
+// updated.
+func (n *Node) AddFile(path string) {
+	n.store.PutPath(path)
+	n.local.AddString(path)
+}
+
+// AddFileMeta homes a file with full attributes.
+func (n *Node) AddFileMeta(md metastore.Metadata) {
+	n.store.Put(md)
+	n.local.AddString(md.Path)
+}
+
+// DeleteFile removes a file from this node. The local Bloom filter cannot
+// unset bits, so the filter goes stale until Rebuild; the store answer stays
+// authoritative. Reports whether the file was homed here.
+func (n *Node) DeleteFile(path string) bool {
+	ok := n.store.Delete(path)
+	if ok {
+		n.deletesSinceRebuild++
+	}
+	return ok
+}
+
+// HasFile reports authoritatively whether the file is homed here (the "disk
+// verify" behind a positive L4 answer; the caller charges the disk cost).
+func (n *Node) HasFile(path string) bool { return n.store.Has(path) }
+
+// LocalPositive reports whether the local filter answers positively — the
+// memory-speed part of an L4 check. A negative is definitive (no false
+// negatives for undeleted files); a positive requires verification.
+func (n *Node) LocalPositive(path string) bool { return n.local.ContainsString(path) }
+
+// DeletesSinceRebuild returns how many deletions the local filter has not
+// yet absorbed; schemes use it to schedule rebuilds.
+func (n *Node) DeletesSinceRebuild() uint64 { return n.deletesSinceRebuild }
+
+// Rebuild regenerates the local filter from the store, clearing stale bits
+// left by deletions. The caller charges the appropriate cost.
+func (n *Node) Rebuild() {
+	n.local.Clear()
+	n.store.Range(func(md metastore.Metadata) bool {
+		n.local.AddString(md.Path)
+		return true
+	})
+	n.deletesSinceRebuild = 0
+}
+
+// DeltaBits returns the Hamming distance between the local filter and the
+// snapshot last shipped to replica holders — the staleness measure of the
+// XOR-delta protocol.
+func (n *Node) DeltaBits() uint64 {
+	d, err := n.local.XorBits(n.lastShipped)
+	if err != nil {
+		// local and lastShipped are created from the same geometry and
+		// only ever replaced together; a mismatch is internal corruption.
+		panic(fmt.Sprintf("mds: local/lastShipped geometry diverged: %v", err))
+	}
+	return d
+}
+
+// NeedsShip reports whether the local filter drifted at least thresholdBits
+// from the last shipped snapshot.
+func (n *Node) NeedsShip(thresholdBits uint64) bool {
+	return n.DeltaBits() >= thresholdBits
+}
+
+// Ship returns a fresh replica of the local filter and records it as the
+// last shipped snapshot. The caller distributes the clone and charges
+// message costs.
+func (n *Node) Ship() *bloom.Filter {
+	snap := n.local.Clone()
+	n.lastShipped = snap.Clone()
+	return snap
+}
+
+// InstallReplica stores (or refreshes) the replica of origin's filter.
+func (n *Node) InstallReplica(origin int, f *bloom.Filter) {
+	n.replicas.Put(origin, f)
+}
+
+// DropReplica removes origin's replica, returning it (nil if absent).
+func (n *Node) DropReplica(origin int) *bloom.Filter {
+	return n.replicas.Remove(origin)
+}
+
+// ReplicaCount returns how many remote replicas this node stores.
+func (n *Node) ReplicaCount() int { return n.replicas.Len() }
+
+// QueryL1 runs the L1 check: the LRU array.
+func (n *Node) QueryL1(path string) bloomarray.Result {
+	return n.lru.QueryString(path)
+}
+
+// QueryL2 runs the L2 check: the replica array plus the node's own filter
+// (the node is knowledgeable about its own files at memory speed). The
+// node's own ID participates like any replica.
+func (n *Node) QueryL2(path string) bloomarray.Result {
+	r := n.replicas.QueryString(path)
+	if n.local.ContainsString(path) {
+		r.Hits = insertSorted(r.Hits, n.id)
+	}
+	return r
+}
+
+// ObserveHit feeds a confirmed (path → home) mapping into the L1 array.
+func (n *Node) ObserveHit(path string, home int) {
+	n.lru.ObserveString(path, home)
+}
+
+// insertSorted inserts v into ascending xs, preserving order and uniqueness.
+func insertSorted(xs []int, v int) []int {
+	for i, x := range xs {
+		if x == v {
+			return xs
+		}
+		if x > v {
+			xs = append(xs, 0)
+			copy(xs[i+1:], xs[i:])
+			xs[i] = v
+			return xs
+		}
+	}
+	return append(xs, v)
+}

@@ -1,0 +1,232 @@
+package mds
+
+import (
+	"strconv"
+	"testing"
+
+	"ghba/internal/bloom"
+	"ghba/internal/metastore"
+)
+
+func newTestNode(t *testing.T, id int) *Node {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.ExpectedFiles = 2000
+	n, err := NewNode(id, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	bad := []Config{
+		{ExpectedFiles: 0, BitsPerFile: 16, LRUCapacity: 10, LRUBitsPerFile: 16},
+		{ExpectedFiles: 10, BitsPerFile: 0, LRUCapacity: 10, LRUBitsPerFile: 16},
+		{ExpectedFiles: 10, BitsPerFile: 16, LRUCapacity: 0, LRUBitsPerFile: 16},
+		{ExpectedFiles: 10, BitsPerFile: 16, LRUCapacity: 10, LRUBitsPerFile: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewNode(1, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestAddDeleteFile(t *testing.T) {
+	n := newTestNode(t, 1)
+	n.AddFile("/a")
+	if !n.HasFile("/a") || !n.LocalPositive("/a") {
+		t.Error("added file not visible")
+	}
+	if n.FileCount() != 1 {
+		t.Errorf("FileCount = %d", n.FileCount())
+	}
+	if !n.DeleteFile("/a") {
+		t.Error("DeleteFile returned false")
+	}
+	if n.HasFile("/a") {
+		t.Error("deleted file still authoritative")
+	}
+	// Filter is stale (bits cannot be unset) until rebuild.
+	if n.DeletesSinceRebuild() != 1 {
+		t.Errorf("DeletesSinceRebuild = %d", n.DeletesSinceRebuild())
+	}
+	if n.DeleteFile("/never") {
+		t.Error("deleting absent file returned true")
+	}
+}
+
+func TestAddFileMeta(t *testing.T) {
+	n := newTestNode(t, 1)
+	n.AddFileMeta(metastore.Metadata{Path: "/m", Size: 42})
+	md, ok := n.Store().Get("/m")
+	if !ok || md.Size != 42 {
+		t.Error("metadata not stored")
+	}
+	if !n.LocalPositive("/m") {
+		t.Error("filter not updated by AddFileMeta")
+	}
+}
+
+func TestRebuildClearsStaleBits(t *testing.T) {
+	n := newTestNode(t, 1)
+	for i := 0; i < 100; i++ {
+		n.AddFile("/keep" + strconv.Itoa(i))
+	}
+	for i := 0; i < 100; i++ {
+		n.AddFile("/drop" + strconv.Itoa(i))
+	}
+	for i := 0; i < 100; i++ {
+		n.DeleteFile("/drop" + strconv.Itoa(i))
+	}
+	n.Rebuild()
+	if n.DeletesSinceRebuild() != 0 {
+		t.Error("rebuild did not reset delete counter")
+	}
+	for i := 0; i < 100; i++ {
+		if !n.LocalPositive("/keep" + strconv.Itoa(i)) {
+			t.Fatalf("rebuild lost kept file %d", i)
+		}
+	}
+	// Most dropped files must now answer negatively (allow Bloom FPs).
+	stale := 0
+	for i := 0; i < 100; i++ {
+		if n.LocalPositive("/drop" + strconv.Itoa(i)) {
+			stale++
+		}
+	}
+	if stale > 10 {
+		t.Errorf("%d/100 deleted files still positive after rebuild", stale)
+	}
+}
+
+func TestShipAndDeltaBits(t *testing.T) {
+	n := newTestNode(t, 1)
+	if n.DeltaBits() != 0 {
+		t.Errorf("fresh node delta = %d", n.DeltaBits())
+	}
+	n.AddFile("/x")
+	if n.DeltaBits() == 0 {
+		t.Error("delta zero after mutation")
+	}
+	if !n.NeedsShip(1) {
+		t.Error("NeedsShip(1) false after mutation")
+	}
+	snap := n.Ship()
+	if !snap.ContainsString("/x") {
+		t.Error("shipped snapshot missing file")
+	}
+	if n.DeltaBits() != 0 {
+		t.Error("delta non-zero immediately after ship")
+	}
+	if n.NeedsShip(1) {
+		t.Error("NeedsShip true after ship")
+	}
+	// Shipped snapshot is independent of future mutations.
+	n.AddFile("/y")
+	if snap.ContainsString("/y") && snap.Count() > 1 {
+		t.Error("snapshot aliases live filter")
+	}
+}
+
+func TestReplicaManagement(t *testing.T) {
+	n := newTestNode(t, 1)
+	f, err := bloom.NewForCapacity(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.AddString("/remote/file")
+	n.InstallReplica(7, f)
+	if n.ReplicaCount() != 1 {
+		t.Errorf("ReplicaCount = %d", n.ReplicaCount())
+	}
+	r := n.QueryL2("/remote/file")
+	if id, ok := r.Unique(); !ok || id != 7 {
+		t.Errorf("QueryL2 = %v, want unique 7", r.Hits)
+	}
+	if got := n.DropReplica(7); got != f {
+		t.Error("DropReplica returned wrong filter")
+	}
+	if n.ReplicaCount() != 0 {
+		t.Error("replica not dropped")
+	}
+	if n.DropReplica(7) != nil {
+		t.Error("double drop returned non-nil")
+	}
+}
+
+func TestQueryL2IncludesSelf(t *testing.T) {
+	n := newTestNode(t, 5)
+	n.AddFile("/mine")
+	r := n.QueryL2("/mine")
+	if id, ok := r.Unique(); !ok || id != 5 {
+		t.Errorf("QueryL2 for own file = %v, want unique 5", r.Hits)
+	}
+}
+
+func TestQueryL2SelfAndReplicaMultiHit(t *testing.T) {
+	n := newTestNode(t, 5)
+	n.AddFile("/dup")
+	f, err := bloom.NewForCapacity(100, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.AddString("/dup")
+	n.InstallReplica(2, f)
+	r := n.QueryL2("/dup")
+	if !r.Multiple() {
+		t.Fatalf("QueryL2 = %v, want multiple", r.Hits)
+	}
+	if r.Hits[0] != 2 || r.Hits[1] != 5 {
+		t.Errorf("hits = %v, want [2 5]", r.Hits)
+	}
+}
+
+func TestL1ObserveAndQuery(t *testing.T) {
+	n := newTestNode(t, 1)
+	if !n.QueryL1("/f").Miss() {
+		t.Error("cold L1 hit")
+	}
+	n.ObserveHit("/f", 9)
+	if id, ok := n.QueryL1("/f").Unique(); !ok || id != 9 {
+		t.Error("L1 did not learn observation")
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	cases := []struct {
+		in   []int
+		v    int
+		want []int
+	}{
+		{nil, 5, []int{5}},
+		{[]int{1, 3}, 2, []int{1, 2, 3}},
+		{[]int{1, 3}, 0, []int{0, 1, 3}},
+		{[]int{1, 3}, 4, []int{1, 3, 4}},
+		{[]int{1, 3}, 3, []int{1, 3}}, // dedup
+	}
+	for _, c := range cases {
+		got := insertSorted(append([]int(nil), c.in...), c.v)
+		if len(got) != len(c.want) {
+			t.Errorf("insertSorted(%v, %d) = %v, want %v", c.in, c.v, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("insertSorted(%v, %d) = %v, want %v", c.in, c.v, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	n := newTestNode(t, 42)
+	if n.ID() != 42 {
+		t.Errorf("ID = %d", n.ID())
+	}
+	if n.Store() == nil || n.LRU() == nil || n.Replicas() == nil || n.IDBFA() == nil || n.LocalFilter() == nil {
+		t.Error("nil accessor")
+	}
+}

@@ -1,0 +1,121 @@
+// Package metastore is the per-MDS metadata repository: the authoritative
+// record of which files are homed at one server, with the attribute payload
+// a real file system would keep (size, mode, timestamps). Positive Bloom
+// answers at L4 are verified against this store; in the simulator that
+// verification charges a disk read, in the prototype it is an actual map
+// lookup behind the RPC boundary.
+package metastore
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metadata is the attribute record of one file, the payload a successful
+// metadata lookup returns to the client.
+type Metadata struct {
+	// Path is the full file path, the lookup key.
+	Path string
+	// Size is the file size in bytes.
+	Size uint64
+	// Mode is the POSIX permission/type bits.
+	Mode uint32
+	// UID and GID identify the owner.
+	UID uint32
+	GID uint32
+	// MTime is the last-modification time.
+	MTime time.Time
+	// InodeID is the server-local inode number.
+	InodeID uint64
+}
+
+// Store holds the metadata of all files homed at one MDS. It is safe for
+// concurrent use; the prototype serves RPCs against it from many goroutines.
+type Store struct {
+	mu      sync.RWMutex
+	files   map[string]Metadata
+	nextIno uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{files: make(map[string]Metadata)}
+}
+
+// Put inserts or replaces metadata for md.Path, assigning an inode number on
+// first insertion.
+func (s *Store) Put(md Metadata) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.files[md.Path]; ok {
+		md.InodeID = old.InodeID
+	} else {
+		s.nextIno++
+		md.InodeID = s.nextIno
+	}
+	s.files[md.Path] = md
+}
+
+// PutPath inserts a minimal record for path; convenience for trace replay
+// where only existence matters.
+func (s *Store) PutPath(path string) {
+	s.Put(Metadata{Path: path, Mode: 0o644})
+}
+
+// Get returns the metadata for path and whether it exists.
+func (s *Store) Get(path string) (Metadata, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	md, ok := s.files[path]
+	return md, ok
+}
+
+// Has reports whether path is homed here.
+func (s *Store) Has(path string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.files[path]
+	return ok
+}
+
+// Delete removes path, reporting whether it was present.
+func (s *Store) Delete(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.files[path]
+	delete(s.files, path)
+	return ok
+}
+
+// Len returns the number of files homed here.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}
+
+// Paths returns all homed paths in sorted order. Intended for tests and
+// migration tooling, not the query path.
+func (s *Store) Paths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Range calls fn for every record until fn returns false. The store is
+// read-locked for the duration; fn must not call back into the store.
+func (s *Store) Range(fn func(Metadata) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, md := range s.files {
+		if !fn(md) {
+			return
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package metastore
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGet(t *testing.T) {
+	s := NewStore()
+	md := Metadata{Path: "/a/b", Size: 123, Mode: 0o755, UID: 10, GID: 20, MTime: time.Unix(1e9, 0)}
+	s.Put(md)
+	got, ok := s.Get("/a/b")
+	if !ok {
+		t.Fatal("Get after Put missed")
+	}
+	if got.Size != 123 || got.Mode != 0o755 || got.UID != 10 {
+		t.Errorf("Get = %+v", got)
+	}
+	if got.InodeID == 0 {
+		t.Error("inode not assigned")
+	}
+}
+
+func TestInodeStableAcrossUpdates(t *testing.T) {
+	s := NewStore()
+	s.Put(Metadata{Path: "/f"})
+	first, _ := s.Get("/f")
+	s.Put(Metadata{Path: "/f", Size: 999})
+	second, _ := s.Get("/f")
+	if first.InodeID != second.InodeID {
+		t.Errorf("inode changed on update: %d → %d", first.InodeID, second.InodeID)
+	}
+	if second.Size != 999 {
+		t.Error("update did not apply")
+	}
+}
+
+func TestInodesUnique(t *testing.T) {
+	s := NewStore()
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		p := "/f" + strconv.Itoa(i)
+		s.PutPath(p)
+		md, _ := s.Get(p)
+		if seen[md.InodeID] {
+			t.Fatalf("duplicate inode %d", md.InodeID)
+		}
+		seen[md.InodeID] = true
+	}
+}
+
+func TestHasDeleteLen(t *testing.T) {
+	s := NewStore()
+	s.PutPath("/x")
+	if !s.Has("/x") || s.Has("/y") {
+		t.Error("Has inconsistent")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if !s.Delete("/x") {
+		t.Error("Delete of present path returned false")
+	}
+	if s.Delete("/x") {
+		t.Error("Delete of absent path returned true")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after delete, want 0", s.Len())
+	}
+}
+
+func TestPathsSorted(t *testing.T) {
+	s := NewStore()
+	for _, p := range []string{"/c", "/a", "/b"} {
+		s.PutPath(p)
+	}
+	got := s.Paths()
+	want := []string{"/a", "/b", "/c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Paths = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 10; i++ {
+		s.PutPath("/f" + strconv.Itoa(i))
+	}
+	visits := 0
+	s.Range(func(Metadata) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Errorf("Range visited %d, want 3", visits)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p := "/w" + strconv.Itoa(w) + "/f" + strconv.Itoa(i)
+				s.PutPath(p)
+				if !s.Has(p) {
+					t.Errorf("lost %s", p)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 2000 {
+		t.Errorf("Len = %d, want 2000", s.Len())
+	}
+}

@@ -1,0 +1,247 @@
+// Package metrics provides the small statistical toolkit the experiment
+// harness reports with: streaming mean/min/max (Welford), fixed-boundary
+// latency histograms with percentile estimation, and per-level hit-rate
+// tallies for the four-level query hierarchy.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// LatencyStats accumulates durations with O(1) memory.
+type LatencyStats struct {
+	count uint64
+	mean  float64 // nanoseconds
+	m2    float64
+	min   float64
+	max   float64
+}
+
+// Observe adds one sample.
+func (s *LatencyStats) Observe(d time.Duration) {
+	x := float64(d)
+	s.count++
+	if s.count == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.count)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Count returns the number of samples.
+func (s *LatencyStats) Count() uint64 { return s.count }
+
+// Mean returns the average duration (zero when empty).
+func (s *LatencyStats) Mean() time.Duration { return time.Duration(s.mean) }
+
+// Min returns the smallest sample (zero when empty).
+func (s *LatencyStats) Min() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.min)
+}
+
+// Max returns the largest sample (zero when empty).
+func (s *LatencyStats) Max() time.Duration {
+	if s.count == 0 {
+		return 0
+	}
+	return time.Duration(s.max)
+}
+
+// StdDev returns the sample standard deviation (zero for <2 samples).
+func (s *LatencyStats) StdDev() time.Duration {
+	if s.count < 2 {
+		return 0
+	}
+	return time.Duration(math.Sqrt(s.m2 / float64(s.count-1)))
+}
+
+// Merge folds other into s, as if all of other's samples had been observed
+// on s (Chan et al. parallel-variance combination).
+func (s *LatencyStats) Merge(other LatencyStats) {
+	if other.count == 0 {
+		return
+	}
+	if s.count == 0 {
+		*s = other
+		return
+	}
+	n1, n2 := float64(s.count), float64(other.count)
+	delta := other.mean - s.mean
+	total := n1 + n2
+	s.mean += delta * n2 / total
+	s.m2 += other.m2 + delta*delta*n1*n2/total
+	s.count += other.count
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+}
+
+// String formats mean/min/max compactly.
+func (s *LatencyStats) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v max=%v",
+		s.count, s.Mean().Round(time.Microsecond),
+		s.Min().Round(time.Microsecond), s.Max().Round(time.Microsecond))
+}
+
+// Histogram is a fixed-boundary latency histogram supporting percentile
+// estimation by linear interpolation within buckets.
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds; implicit +Inf last bucket
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds. An implicit overflow bucket catches samples beyond the last bound.
+func NewHistogram(bounds []time.Duration) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: bounds not ascending at %d", i)
+		}
+	}
+	b := make([]time.Duration, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}, nil
+}
+
+// DefaultLatencyHistogram covers 1 µs – 10 s in logarithmic steps, suitable
+// for the mixed memory/disk/network latencies of the simulator.
+func DefaultLatencyHistogram() *Histogram {
+	var bounds []time.Duration
+	for _, base := range []time.Duration{time.Microsecond, 10 * time.Microsecond,
+		100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+		100 * time.Millisecond, time.Second} {
+		for _, mult := range []time.Duration{1, 2, 5} {
+			bounds = append(bounds, base*mult)
+		}
+	}
+	bounds = append(bounds, 10*time.Second)
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		panic(fmt.Sprintf("metrics: default histogram invalid: %v", err))
+	}
+	return h
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return h.bounds[i] >= d })
+	h.counts[idx]++
+	h.total++
+}
+
+// Count returns total samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation.
+// Samples in the overflow bucket are attributed to the last finite bound.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = h.bounds[min(i-1, len(h.bounds)-1)]
+			}
+			hi := h.bounds[min(i, len(h.bounds)-1)]
+			if hi <= lo {
+				return hi
+			}
+			frac := (target - cum) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// LevelTally counts which level of the four-level hierarchy served each
+// query, the raw data behind Fig 13.
+type LevelTally struct {
+	counts [5]uint64 // index 1..4 = L1..L4
+}
+
+// Record notes a query served at level (1–4). Out-of-range levels are
+// ignored.
+func (t *LevelTally) Record(level int) {
+	if level >= 1 && level <= 4 {
+		t.counts[level]++
+	}
+}
+
+// Total returns the number of recorded queries.
+func (t *LevelTally) Total() uint64 {
+	var sum uint64
+	for _, c := range t.counts[1:] {
+		sum += c
+	}
+	return sum
+}
+
+// Fraction returns the share of queries served at level, in [0,1].
+func (t *LevelTally) Fraction(level int) float64 {
+	total := t.Total()
+	if total == 0 || level < 1 || level > 4 {
+		return 0
+	}
+	return float64(t.counts[level]) / float64(total)
+}
+
+// CumulativeFraction returns the share of queries served at or below level.
+func (t *LevelTally) CumulativeFraction(level int) float64 {
+	total := t.Total()
+	if total == 0 {
+		return 0
+	}
+	var sum uint64
+	for l := 1; l <= level && l <= 4; l++ {
+		sum += t.counts[l]
+	}
+	return float64(sum) / float64(total)
+}
+
+// Count returns raw hits at one level.
+func (t *LevelTally) Count(level int) uint64 {
+	if level < 1 || level > 4 {
+		return 0
+	}
+	return t.counts[level]
+}

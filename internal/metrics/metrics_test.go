@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestLatencyStatsEmpty(t *testing.T) {
+	var s LatencyStats
+	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 {
+		t.Error("empty stats not all zero")
+	}
+}
+
+func TestLatencyStatsBasic(t *testing.T) {
+	var s LatencyStats
+	for _, d := range []time.Duration{10, 20, 30} {
+		s.Observe(d * time.Millisecond)
+	}
+	if s.Count() != 3 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if s.Mean() != 20*time.Millisecond {
+		t.Errorf("Mean = %v, want 20ms", s.Mean())
+	}
+	if s.Min() != 10*time.Millisecond || s.Max() != 30*time.Millisecond {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	// Sample stddev of {10,20,30} ms = 10 ms.
+	if got := s.StdDev(); math.Abs(float64(got-10*time.Millisecond)) > float64(time.Microsecond) {
+		t.Errorf("StdDev = %v, want 10ms", got)
+	}
+}
+
+func TestLatencyStatsMerge(t *testing.T) {
+	var a, b, all LatencyStats
+	samples := []time.Duration{1, 5, 9, 13, 2, 8}
+	for i, d := range samples {
+		v := d * time.Millisecond
+		all.Observe(v)
+		if i < 3 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), all.Count())
+	}
+	if a.Mean() != all.Mean() {
+		t.Errorf("merged mean %v, want %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(float64(a.StdDev()-all.StdDev())) > float64(time.Microsecond) {
+		t.Errorf("merged stddev %v, want %v", a.StdDev(), all.StdDev())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Errorf("merged min/max %v/%v, want %v/%v", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+}
+
+func TestLatencyStatsMergeEmptySides(t *testing.T) {
+	var a, b LatencyStats
+	b.Observe(time.Second)
+	a.Merge(b) // empty receiver
+	if a.Count() != 1 || a.Mean() != time.Second {
+		t.Error("merge into empty failed")
+	}
+	var c LatencyStats
+	a.Merge(c) // empty argument
+	if a.Count() != 1 {
+		t.Error("merge of empty changed stats")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]time.Duration{5, 5}); err == nil {
+		t.Error("non-ascending bounds accepted")
+	}
+	if _, err := NewHistogram([]time.Duration{10, 5}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram([]time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile non-zero")
+	}
+	// 100 samples at ~1.5ms (bucket (1ms, 2ms]).
+	for i := 0; i < 100; i++ {
+		h.Observe(1500 * time.Microsecond)
+	}
+	q50 := h.Quantile(0.5)
+	if q50 < time.Millisecond || q50 > 2*time.Millisecond {
+		t.Errorf("q50 = %v, want within (1ms, 2ms]", q50)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	h.Observe(3 * time.Millisecond)
+	if h.Quantile(-1) != h.Quantile(0) {
+		t.Error("q<0 not clamped")
+	}
+	if h.Quantile(2) != h.Quantile(1) {
+		t.Error("q>1 not clamped")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h, err := NewHistogram([]time.Duration{time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Observe(time.Hour) // overflow
+	if got := h.Quantile(1); got != time.Millisecond {
+		t.Errorf("overflow quantile = %v, want clamp to last bound", got)
+	}
+}
+
+func TestHistogramOrderedQuantiles(t *testing.T) {
+	h := DefaultLatencyHistogram()
+	for _, d := range []time.Duration{
+		5 * time.Microsecond, 50 * time.Microsecond, 500 * time.Microsecond,
+		5 * time.Millisecond, 50 * time.Millisecond,
+	} {
+		for i := 0; i < 20; i++ {
+			h.Observe(d)
+		}
+	}
+	prev := time.Duration(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantiles not monotone: q=%v → %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLevelTally(t *testing.T) {
+	var lt LevelTally
+	for i := 0; i < 70; i++ {
+		lt.Record(1)
+	}
+	for i := 0; i < 20; i++ {
+		lt.Record(2)
+	}
+	for i := 0; i < 7; i++ {
+		lt.Record(3)
+	}
+	for i := 0; i < 3; i++ {
+		lt.Record(4)
+	}
+	lt.Record(0)  // ignored
+	lt.Record(5)  // ignored
+	lt.Record(-1) // ignored
+	if lt.Total() != 100 {
+		t.Fatalf("Total = %d, want 100", lt.Total())
+	}
+	if lt.Fraction(1) != 0.70 || lt.Fraction(4) != 0.03 {
+		t.Errorf("fractions = %v, %v", lt.Fraction(1), lt.Fraction(4))
+	}
+	if lt.CumulativeFraction(2) != 0.90 {
+		t.Errorf("cum(2) = %v, want 0.90", lt.CumulativeFraction(2))
+	}
+	if lt.CumulativeFraction(4) != 1.0 {
+		t.Errorf("cum(4) = %v, want 1.0", lt.CumulativeFraction(4))
+	}
+	if lt.Count(3) != 7 || lt.Count(9) != 0 {
+		t.Error("Count wrong")
+	}
+}
+
+func TestLevelTallyEmpty(t *testing.T) {
+	var lt LevelTally
+	if lt.Fraction(1) != 0 || lt.CumulativeFraction(4) != 0 {
+		t.Error("empty tally fractions non-zero")
+	}
+}
+
+func TestLatencyStatsString(t *testing.T) {
+	var s LatencyStats
+	s.Observe(time.Millisecond)
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}

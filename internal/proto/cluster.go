@@ -1,0 +1,523 @@
+package proto
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghba/internal/mds"
+	"ghba/internal/rpcnet"
+)
+
+// Mode selects the scheme the prototype runs.
+type Mode int
+
+// Prototype modes.
+const (
+	// ModeGHBA runs grouped servers with segment arrays (θ replicas each).
+	ModeGHBA Mode = iota + 1
+	// ModeHBA runs the baseline: every server mirrors every other.
+	ModeHBA
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeGHBA:
+		return "G-HBA"
+	case ModeHBA:
+		return "HBA"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options configures a prototype cluster.
+type Options struct {
+	// N is the number of MDS daemons.
+	N int
+	// M is the maximum group size (G-HBA mode; the paper's prototype uses
+	// M=7 on its 60-node cluster).
+	M int
+	// Mode selects G-HBA or HBA.
+	Mode Mode
+	// Node sizes each daemon's filter structures.
+	Node mds.Config
+	// ResidentReplicaLimit is how many replicas fit in one daemon's RAM;
+	// holdings beyond it pay DiskPenalty per query. Zero disables.
+	ResidentReplicaLimit int
+	// DiskPenalty is the emulated disk cost for over-RAM replica arrays.
+	DiskPenalty time.Duration
+	// Seed drives placement and entry selection.
+	Seed int64
+}
+
+func (o *Options) validate() error {
+	if o.N < 1 {
+		return fmt.Errorf("proto: N must be ≥ 1, got %d", o.N)
+	}
+	if o.Mode == ModeGHBA && o.M < 1 {
+		return fmt.Errorf("proto: M must be ≥ 1 in G-HBA mode, got %d", o.M)
+	}
+	if o.Mode != ModeGHBA && o.Mode != ModeHBA {
+		return fmt.Errorf("proto: unknown mode %d", int(o.Mode))
+	}
+	return nil
+}
+
+// Cluster is a running prototype: N daemons plus the coordinator state that
+// drives queries and reconfiguration against them.
+type Cluster struct {
+	opts Options
+
+	mu      sync.Mutex
+	servers map[int]*NodeServer
+	clients map[int]*rpcnet.Client
+	groups  map[int][]int       // group index → member IDs (G-HBA)
+	holders map[int]map[int]int // group index → origin → holding member
+	homes   map[string]int
+	rng     *rand.Rand
+	nextID  int
+
+	// pendingObs accumulates confirmed (path → home) mappings; every
+	// obsBatchSize lookups the batch is multicast to all daemons,
+	// refreshing their replicated LRU arrays the way HBA piggybacks LRU
+	// replica updates.
+	pendingObs []observation
+
+	messages atomic.Uint64
+}
+
+// obsBatchSize is how many confirmed lookups accumulate before the LRU
+// observation batch is multicast to every daemon.
+const obsBatchSize = 64
+
+// Start builds, populates and launches a prototype cluster on loopback
+// ports. Callers must Close it.
+func Start(opts Options) (*Cluster, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		opts:    opts,
+		servers: make(map[int]*NodeServer),
+		clients: make(map[int]*rpcnet.Client),
+		groups:  make(map[int][]int),
+		holders: make(map[int]map[int]int),
+		homes:   make(map[string]int),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		nextID:  opts.N,
+	}
+	for i := 0; i < opts.N; i++ {
+		node, err := mds.NewNode(i, opts.Node)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("proto: node %d: %w", i, err)
+		}
+		ns, err := StartNode(node, "127.0.0.1:0", opts.ResidentReplicaLimit, opts.DiskPenalty)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.servers[i] = ns
+	}
+	// Group layout (G-HBA) or flat (HBA).
+	if opts.Mode == ModeGHBA {
+		gi := 0
+		for start := 0; start < opts.N; start += opts.M {
+			end := start + opts.M
+			if end > opts.N {
+				end = opts.N
+			}
+			var members []int
+			for id := start; id < end; id++ {
+				members = append(members, id)
+			}
+			c.groups[gi] = members
+			c.holders[gi] = make(map[int]int)
+			gi++
+		}
+	}
+	c.seedReplicas()
+	return c, nil
+}
+
+// seedReplicas distributes initial (empty) replicas directly, before any
+// measurement traffic.
+func (c *Cluster) seedReplicas() {
+	switch c.opts.Mode {
+	case ModeHBA:
+		for origin, src := range c.servers {
+			snap := src.ShipDirect()
+			for id, dst := range c.servers {
+				if id != origin {
+					dst.InstallReplicaDirect(origin, snap.Clone())
+				}
+			}
+		}
+	case ModeGHBA:
+		for gi, members := range c.groups {
+			inGroup := make(map[int]bool, len(members))
+			for _, id := range members {
+				inGroup[id] = true
+			}
+			slot := 0
+			for _, origin := range c.sortedIDs() {
+				if inGroup[origin] {
+					continue
+				}
+				target := members[slot%len(members)]
+				slot++
+				c.servers[target].InstallReplicaDirect(origin, c.servers[origin].ShipDirect())
+				c.holders[gi][origin] = target
+			}
+		}
+	}
+}
+
+func (c *Cluster) sortedIDs() []int {
+	ids := make([]int, 0, len(c.servers))
+	for id := range c.servers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// NumMDS returns the daemon count.
+func (c *Cluster) NumMDS() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.servers)
+}
+
+// Mode returns the running scheme.
+func (c *Cluster) Mode() Mode { return c.opts.Mode }
+
+// Messages returns the total RPC messages issued by the coordinator.
+func (c *Cluster) Messages() uint64 { return c.messages.Load() }
+
+// ResetMessages zeroes the message counter between experiment phases.
+func (c *Cluster) ResetMessages() { c.messages.Store(0) }
+
+// Close shuts down all daemons and connections.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	c.clients = make(map[int]*rpcnet.Client)
+	for _, s := range c.servers {
+		s.Close()
+	}
+}
+
+// client returns (dialing lazily) the coordinator's connection to an MDS.
+func (c *Cluster) client(id int) (*rpcnet.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clientLocked(id)
+}
+
+func (c *Cluster) clientLocked(id int) (*rpcnet.Client, error) {
+	if cl, ok := c.clients[id]; ok {
+		return cl, nil
+	}
+	srv, ok := c.servers[id]
+	if !ok {
+		return nil, fmt.Errorf("proto: unknown MDS %d", id)
+	}
+	cl, err := rpcnet.Dial(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	c.clients[id] = cl
+	return cl, nil
+}
+
+// call issues one counted RPC.
+func (c *Cluster) call(id int, msgType uint8, payload []byte) ([]byte, error) {
+	cl, err := c.client(id)
+	if err != nil {
+		return nil, err
+	}
+	c.messages.Add(1)
+	return cl.Call(msgType, payload)
+}
+
+// Populate homes paths at random daemons (direct, unmeasured) and refreshes
+// replicas.
+func (c *Cluster) Populate(paths []string) {
+	ids := c.sortedIDs()
+	for _, p := range paths {
+		home := ids[c.rng.Intn(len(ids))]
+		c.servers[home].AddFileDirect(p)
+		c.homes[p] = home
+	}
+	c.refreshReplicas()
+}
+
+// refreshReplicas re-ships every filter to its current holders (direct).
+func (c *Cluster) refreshReplicas() {
+	switch c.opts.Mode {
+	case ModeHBA:
+		for origin, src := range c.servers {
+			snap := src.ShipDirect()
+			for id, dst := range c.servers {
+				if id != origin {
+					dst.InstallReplicaDirect(origin, snap.Clone())
+				}
+			}
+		}
+	case ModeGHBA:
+		for gi := range c.groups {
+			for origin, holder := range c.holders[gi] {
+				c.servers[holder].InstallReplicaDirect(origin, c.servers[origin].ShipDirect())
+			}
+		}
+	}
+}
+
+// HomeOf returns the ground-truth home (-1 when absent).
+func (c *Cluster) HomeOf(path string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	home, ok := c.homes[path]
+	if !ok {
+		return -1
+	}
+	return home
+}
+
+// groupOf returns the group index containing id (G-HBA), or -1.
+func (c *Cluster) groupOf(id int) int {
+	for gi, members := range c.groups {
+		for _, m := range members {
+			if m == id {
+				return gi
+			}
+		}
+	}
+	return -1
+}
+
+// LookupResult reports one prototype lookup.
+type LookupResult struct {
+	// Home is the resolved MDS (-1 when not found).
+	Home int
+	// Found reports existence.
+	Found bool
+	// Level is the hierarchy level that answered (1, 2, 3 or 4).
+	Level int
+	// Latency is the measured wall-clock duration.
+	Latency time.Duration
+	// Messages is the number of RPCs this lookup issued.
+	Messages int
+}
+
+// Lookup resolves path through real RPCs, starting at a random entry MDS.
+func (c *Cluster) Lookup(path string) (LookupResult, error) {
+	ids := c.sortedIDs()
+	c.mu.Lock()
+	entry := ids[c.rng.Intn(len(ids))]
+	c.mu.Unlock()
+	return c.LookupVia(path, entry)
+}
+
+// LookupVia resolves path with the given entry MDS.
+func (c *Cluster) LookupVia(path string, entry int) (LookupResult, error) {
+	start := time.Now()
+	msgsBefore := c.messages.Load()
+	res, err := c.lookup(path, entry)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	res.Latency = time.Since(start)
+	res.Messages = int(c.messages.Load() - msgsBefore)
+	if res.Found {
+		if err := c.observe(path, res.Home); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// observe queues one L1 learning record and multicasts the batch to every
+// daemon once it is full. Batching amortizes the replication cost of the
+// LRU arrays to a fraction of a message per lookup.
+func (c *Cluster) observe(path string, home int) error {
+	c.mu.Lock()
+	c.pendingObs = append(c.pendingObs, observation{home: home, path: path})
+	if len(c.pendingObs) < obsBatchSize {
+		c.mu.Unlock()
+		return nil
+	}
+	batch := c.pendingObs
+	c.pendingObs = nil
+	c.mu.Unlock()
+	payload := encodeObservations(batch)
+	for _, id := range c.sortedIDs() {
+		if _, err := c.call(id, opObserveBatch, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Cluster) lookup(path string, entry int) (LookupResult, error) {
+	// Entry query: L1 + L2 in one RPC.
+	resp, err := c.call(entry, opQueryEntry, []byte(path))
+	if err != nil {
+		return LookupResult{}, err
+	}
+	l1Hits, rest, err := decodeHits(resp)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	l2Hits, _, err := decodeHits(rest)
+	if err != nil {
+		return LookupResult{}, err
+	}
+
+	if len(l1Hits) == 1 {
+		if ok, err := c.verify(l1Hits[0], path); err != nil {
+			return LookupResult{}, err
+		} else if ok {
+			return LookupResult{Home: l1Hits[0], Found: true, Level: 1}, nil
+		}
+	}
+	if len(l2Hits) == 1 {
+		if ok, err := c.verify(l2Hits[0], path); err != nil {
+			return LookupResult{}, err
+		} else if ok {
+			return LookupResult{Home: l2Hits[0], Found: true, Level: 2}, nil
+		}
+	}
+
+	// L3 (G-HBA only): parallel multicast to the entry's groupmates.
+	if c.opts.Mode == ModeGHBA {
+		gi := c.groupOf(entry)
+		if gi >= 0 {
+			hits, err := c.multicastQuery(c.groups[gi], entry, opQueryMember, path)
+			if err != nil {
+				return LookupResult{}, err
+			}
+			for _, h := range l2Hits {
+				hits[h] = struct{}{}
+			}
+			if len(hits) == 1 {
+				var home int
+				for h := range hits {
+					home = h
+				}
+				if ok, err := c.verify(home, path); err != nil {
+					return LookupResult{}, err
+				} else if ok {
+					return LookupResult{Home: home, Found: true, Level: 3}, nil
+				}
+			}
+		}
+	}
+
+	// L4: global multicast; every daemon checks its local filter + store.
+	home, err := c.globalSearch(path, entry)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	if home >= 0 {
+		return LookupResult{Home: home, Found: true, Level: 4}, nil
+	}
+	return LookupResult{Home: -1, Found: false, Level: 4}, nil
+}
+
+func (c *Cluster) verify(id int, path string) (bool, error) {
+	resp, err := c.call(id, opVerify, []byte(path))
+	if err != nil {
+		return false, err
+	}
+	return byteBool(resp), nil
+}
+
+// multicastQuery fans a query out to members (minus the entry) in parallel
+// and returns the union of their hits.
+func (c *Cluster) multicastQuery(members []int, entry int, msgType uint8, path string) (map[int]struct{}, error) {
+	type answer struct {
+		hits []int
+		err  error
+	}
+	var wg sync.WaitGroup
+	answers := make(chan answer, len(members))
+	for _, id := range members {
+		if id == entry {
+			continue
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			resp, err := c.call(id, msgType, []byte(path))
+			if err != nil {
+				answers <- answer{err: err}
+				return
+			}
+			hits, _, err := decodeHits(resp)
+			answers <- answer{hits: hits, err: err}
+		}(id)
+	}
+	wg.Wait()
+	close(answers)
+	union := make(map[int]struct{})
+	for a := range answers {
+		if a.err != nil {
+			return nil, a.err
+		}
+		for _, h := range a.hits {
+			union[h] = struct{}{}
+		}
+	}
+	return union, nil
+}
+
+// globalSearch asks every daemon (minus the entry) whether it homes path.
+func (c *Cluster) globalSearch(path string, entry int) (int, error) {
+	ids := c.sortedIDs()
+	type answer struct {
+		id  int
+		has bool
+		err error
+	}
+	var wg sync.WaitGroup
+	answers := make(chan answer, len(ids))
+	for _, id := range ids {
+		if id == entry {
+			continue
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			resp, err := c.call(id, opHasLocal, []byte(path))
+			answers <- answer{id: id, has: err == nil && byteBool(resp), err: err}
+		}(id)
+	}
+	// The entry checks itself locally too (no extra message: it is the
+	// server driving the query; count one self-check call for symmetry
+	// with the simulator's accounting).
+	selfResp, selfErr := c.call(entry, opHasLocal, []byte(path))
+	wg.Wait()
+	close(answers)
+	if selfErr == nil && byteBool(selfResp) {
+		return entry, nil
+	}
+	for a := range answers {
+		if a.err != nil {
+			return -1, a.err
+		}
+		if a.has {
+			return a.id, nil
+		}
+	}
+	return -1, nil
+}

@@ -1,0 +1,138 @@
+// Package proto implements the paper's Section 5 prototype: metadata
+// servers as real TCP daemons (one rpcnet server each, loopback in tests and
+// examples, any address in cmd/mdsd), exchanging genuine socket traffic for
+// queries, verification, replica installation and reconfiguration. Message
+// counts are therefore exact (Fig 15) and lookup latencies include the real
+// network stack (Fig 14).
+//
+// The coordinator (Cluster) drives the multi-level query on behalf of the
+// entry MDS — the same messages a server-driven implementation would send,
+// issued from the client side for simplicity — and tracks replica placement
+// the way member IDBFAs do in the simulator.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// RPC message types.
+const (
+	opQueryEntry     uint8 = iota + 1 // path → L1 hits + L2 hits
+	opQueryMember                     // path → L2 hits (group multicast leg)
+	opVerify                          // path → 1/0 authoritative answer
+	opHasLocal                        // path → 1/0 local-filter + store check (L4 leg)
+	opAddFile                         // path → ack
+	opInstallReplica                  // origin + filter → ack
+	opDropReplica                     // origin → filter bytes
+	opShipFilter                      // (empty) → origin's current filter
+	opObserve                         // home + path → ack (L1 learning)
+	opObserveBatch                    // batched L1 observations → ack
+	opPing                            // membership/IDBFA-update stand-in → ack
+)
+
+// observation is one (home, path) L1 learning record.
+type observation struct {
+	home int
+	path string
+}
+
+// encodeObservations serializes a batch: count uint16, then per record
+// origin uint32 | pathLen uint16 | path.
+func encodeObservations(obs []observation) []byte {
+	size := 2
+	for _, o := range obs {
+		size += 4 + 2 + len(o.path)
+	}
+	buf := make([]byte, 0, size)
+	var tmp [4]byte
+	binary.BigEndian.PutUint16(tmp[:2], uint16(len(obs)))
+	buf = append(buf, tmp[:2]...)
+	for _, o := range obs {
+		binary.BigEndian.PutUint32(tmp[:4], uint32(o.home))
+		buf = append(buf, tmp[:4]...)
+		binary.BigEndian.PutUint16(tmp[:2], uint16(len(o.path)))
+		buf = append(buf, tmp[:2]...)
+		buf = append(buf, o.path...)
+	}
+	return buf
+}
+
+// decodeObservations parses a batch.
+func decodeObservations(data []byte) ([]observation, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("proto: truncated observation batch")
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	data = data[2:]
+	out := make([]observation, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 6 {
+			return nil, fmt.Errorf("proto: truncated observation %d", i)
+		}
+		home := int(binary.BigEndian.Uint32(data))
+		plen := int(binary.BigEndian.Uint16(data[4:]))
+		data = data[6:]
+		if len(data) < plen {
+			return nil, fmt.Errorf("proto: truncated path in observation %d", i)
+		}
+		out = append(out, observation{home: home, path: string(data[:plen])})
+		data = data[plen:]
+	}
+	return out, nil
+}
+
+// encodeHits serializes an MDS-ID hit list.
+func encodeHits(hits []int) []byte {
+	buf := make([]byte, 2+4*len(hits))
+	binary.BigEndian.PutUint16(buf, uint16(len(hits)))
+	for i, h := range hits {
+		binary.BigEndian.PutUint32(buf[2+4*i:], uint32(h))
+	}
+	return buf
+}
+
+// decodeHits parses a hit list, returning the remaining bytes.
+func decodeHits(data []byte) ([]int, []byte, error) {
+	if len(data) < 2 {
+		return nil, nil, fmt.Errorf("proto: truncated hit list")
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	if len(data) < 2+4*n {
+		return nil, nil, fmt.Errorf("proto: hit list wants %d entries, have %d bytes", n, len(data)-2)
+	}
+	hits := make([]int, n)
+	for i := range hits {
+		hits[i] = int(binary.BigEndian.Uint32(data[2+4*i:]))
+	}
+	return hits, data[2+4*n:], nil
+}
+
+// encodeOriginPayload prefixes a payload with an origin MDS ID.
+func encodeOriginPayload(origin int, payload []byte) []byte {
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(origin))
+	copy(buf[4:], payload)
+	return buf
+}
+
+// decodeOriginPayload splits an origin-prefixed payload.
+func decodeOriginPayload(data []byte) (int, []byte, error) {
+	if len(data) < 4 {
+		return 0, nil, fmt.Errorf("proto: truncated origin prefix")
+	}
+	return int(binary.BigEndian.Uint32(data)), data[4:], nil
+}
+
+// boolByte encodes a boolean answer.
+func boolByte(b bool) []byte {
+	if b {
+		return []byte{1}
+	}
+	return []byte{0}
+}
+
+// byteBool decodes a boolean answer.
+func byteBool(data []byte) bool {
+	return len(data) == 1 && data[0] == 1
+}

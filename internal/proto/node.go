@@ -1,0 +1,181 @@
+package proto
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ghba/internal/bloom"
+	"ghba/internal/mds"
+	"ghba/internal/rpcnet"
+)
+
+// NodeServer is one prototype MDS daemon: an mds.Node behind a TCP server.
+// The node mutex serializes request processing, so concurrent load produces
+// genuine queueing at hot servers — the effect Fig 14 measures.
+type NodeServer struct {
+	id  int
+	srv *rpcnet.Server
+
+	mu   sync.Mutex
+	node *mds.Node
+
+	// residentLimit is the number of replicas that fit in RAM; when the
+	// node holds more, queries against the replica array pay diskPenalty —
+	// the prototype's stand-in for the disk accesses a spilled Bloom
+	// filter array incurs on real hardware.
+	residentLimit int
+	diskPenalty   time.Duration
+}
+
+// StartNode launches a daemon for the given node on addr ("127.0.0.1:0"
+// for tests). residentLimit ≤ 0 means everything fits.
+func StartNode(node *mds.Node, addr string, residentLimit int, diskPenalty time.Duration) (*NodeServer, error) {
+	ns := &NodeServer{
+		id:            node.ID(),
+		node:          node,
+		residentLimit: residentLimit,
+		diskPenalty:   diskPenalty,
+	}
+	srv, err := rpcnet.Serve(addr, ns.handle)
+	if err != nil {
+		return nil, fmt.Errorf("proto: starting MDS %d: %w", node.ID(), err)
+	}
+	ns.srv = srv
+	return ns, nil
+}
+
+// ID returns the MDS identifier.
+func (ns *NodeServer) ID() int { return ns.id }
+
+// Addr returns the daemon's listen address.
+func (ns *NodeServer) Addr() string { return ns.srv.Addr() }
+
+// Close shuts the daemon down.
+func (ns *NodeServer) Close() { ns.srv.Close() }
+
+// ReplicaCount returns the replicas currently held (for planning joins).
+func (ns *NodeServer) ReplicaCount() int {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.node.ReplicaCount()
+}
+
+// AddFileDirect homes a file without the RPC path; used for bulk population
+// before measurement starts.
+func (ns *NodeServer) AddFileDirect(path string) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.node.AddFile(path)
+}
+
+// InstallReplicaDirect installs a replica without RPC, for initial seeding.
+func (ns *NodeServer) InstallReplicaDirect(origin int, f *bloom.Filter) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	ns.node.InstallReplica(origin, f)
+}
+
+// ShipDirect snapshots the node's local filter, for initial seeding.
+func (ns *NodeServer) ShipDirect() *bloom.Filter {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.node.Ship()
+}
+
+// spilledSleep emulates disk accesses for the over-RAM replica fraction.
+// Called with the mutex held so the penalty occupies the server, queueing
+// concurrent requests behind it exactly as a blocked disk read would.
+func (ns *NodeServer) spilledSleep() {
+	if ns.residentLimit <= 0 || ns.diskPenalty <= 0 {
+		return
+	}
+	total := ns.node.ReplicaCount()
+	if total <= ns.residentLimit {
+		return
+	}
+	frac := float64(total-ns.residentLimit) / float64(total)
+	time.Sleep(time.Duration(frac * float64(ns.diskPenalty)))
+}
+
+// handle dispatches one RPC.
+func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	switch msgType {
+	case opQueryEntry:
+		path := string(payload)
+		l1 := ns.node.QueryL1(path)
+		ns.spilledSleep()
+		l2 := ns.node.QueryL2(path)
+		return append(encodeHits(l1.Hits), encodeHits(l2.Hits)...), nil
+
+	case opQueryMember:
+		ns.spilledSleep()
+		return encodeHits(ns.node.QueryL2(string(payload)).Hits), nil
+
+	case opVerify:
+		return boolByte(ns.node.HasFile(string(payload))), nil
+
+	case opHasLocal:
+		if !ns.node.LocalPositive(string(payload)) {
+			return boolByte(false), nil
+		}
+		// Positive filter answer → authoritative store check ("disk").
+		return boolByte(ns.node.HasFile(string(payload))), nil
+
+	case opAddFile:
+		ns.node.AddFile(string(payload))
+		return nil, nil
+
+	case opInstallReplica:
+		origin, body, err := decodeOriginPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		var f bloom.Filter
+		if err := f.UnmarshalBinary(body); err != nil {
+			return nil, fmt.Errorf("proto: bad replica payload: %w", err)
+		}
+		ns.node.InstallReplica(origin, &f)
+		return nil, nil
+
+	case opDropReplica:
+		origin, _, err := decodeOriginPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		f := ns.node.DropReplica(origin)
+		if f == nil {
+			return nil, fmt.Errorf("proto: MDS %d holds no replica of %d", ns.id, origin)
+		}
+		return f.MarshalBinary()
+
+	case opShipFilter:
+		return ns.node.Ship().MarshalBinary()
+
+	case opObserve:
+		home, body, err := decodeOriginPayload(payload)
+		if err != nil {
+			return nil, err
+		}
+		ns.node.ObserveHit(string(body), home)
+		return nil, nil
+
+	case opObserveBatch:
+		obs, err := decodeObservations(payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, o := range obs {
+			ns.node.ObserveHit(o.path, o.home)
+		}
+		return nil, nil
+
+	case opPing:
+		return nil, nil
+
+	default:
+		return nil, fmt.Errorf("proto: unknown message type %d", msgType)
+	}
+}

@@ -1,0 +1,277 @@
+package proto
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ghba/internal/mds"
+)
+
+func testOptions(n, m int, mode Mode) Options {
+	return Options{
+		N:    n,
+		M:    m,
+		Mode: mode,
+		Node: mds.Config{
+			ExpectedFiles:  2_000,
+			BitsPerFile:    16,
+			LRUCapacity:    256,
+			LRUBitsPerFile: 16,
+		},
+		Seed: 1,
+	}
+}
+
+func startPopulated(t *testing.T, n, m int, mode Mode, files int) *Cluster {
+	t.Helper()
+	c, err := Start(testOptions(n, m, mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	paths := make([]string, files)
+	for i := range paths {
+		paths[i] = "/p/f" + strconv.Itoa(i)
+	}
+	c.Populate(paths)
+	return c
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Options{N: 0, M: 3, Mode: ModeGHBA}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := Start(Options{N: 3, M: 0, Mode: ModeGHBA}); err == nil {
+		t.Error("M=0 accepted in G-HBA mode")
+	}
+	if _, err := Start(Options{N: 3, Mode: Mode(9)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeGHBA.String() != "G-HBA" || ModeHBA.String() != "HBA" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode empty string")
+	}
+}
+
+func TestGHBALookupOverRealSockets(t *testing.T) {
+	c := startPopulated(t, 6, 3, ModeGHBA, 200)
+	for i := 0; i < 100; i++ {
+		path := "/p/f" + strconv.Itoa(i)
+		res, err := c.Lookup(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Home != c.HomeOf(path) {
+			t.Fatalf("lookup %s = %+v (truth %d)", path, res, c.HomeOf(path))
+		}
+		if res.Latency <= 0 || res.Messages < 1 {
+			t.Fatalf("implausible measurement: %+v", res)
+		}
+	}
+}
+
+func TestHBALookupOverRealSockets(t *testing.T) {
+	c := startPopulated(t, 6, 0, ModeHBA, 200)
+	for i := 0; i < 100; i++ {
+		path := "/p/f" + strconv.Itoa(i)
+		res, err := c.Lookup(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Home != c.HomeOf(path) {
+			t.Fatalf("lookup %s = %+v", path, res)
+		}
+	}
+}
+
+func TestLookupMissingFile(t *testing.T) {
+	for _, mode := range []Mode{ModeGHBA, ModeHBA} {
+		c := startPopulated(t, 4, 2, mode, 50)
+		res, err := c.Lookup("/ghost")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found || res.Level != 4 {
+			t.Errorf("%v: ghost = %+v", mode, res)
+		}
+	}
+}
+
+func TestL1LearningAfterBatchFlush(t *testing.T) {
+	c := startPopulated(t, 6, 3, ModeGHBA, 200)
+	const hot = "/p/f7"
+	// Drive enough confirmed lookups to flush the observation batch; the
+	// hot path is among them, so every daemon's LRU array learns it.
+	for i := 0; i < 70; i++ {
+		path := hot
+		if i%2 == 0 {
+			path = "/p/f" + strconv.Itoa(i%200)
+		}
+		if _, err := c.LookupVia(path, i%6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.LookupVia(hot, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != 1 {
+		t.Errorf("hot lookup after batch flush served at level %d, want 1", res.Level)
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	c := startPopulated(t, 6, 3, ModeGHBA, 300)
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				path := "/p/f" + strconv.Itoa((w*50+i)%300)
+				res, err := c.LookupVia(path, w)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Found {
+					errs <- fmt.Errorf("%s not found", path)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestAddMDSMessageCounts is the heart of Fig 15: adding a node to HBA costs
+// ~2N messages; to G-HBA it costs a small group-local amount plus one
+// message per other group.
+func TestAddMDSMessageCounts(t *testing.T) {
+	const n = 12
+	hba := startPopulated(t, n, 0, ModeHBA, 100)
+	_, hbaMsgs, err := hba.AddMDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hbaMsgs < 2*n {
+		t.Errorf("HBA join = %d messages, want ≥ 2N = %d", hbaMsgs, 2*n)
+	}
+
+	ghba := startPopulated(t, n, 4, ModeGHBA, 100) // groups of 4, full → split
+	_, ghbaMsgs, err := ghba.AddMDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ghbaMsgs >= hbaMsgs {
+		t.Errorf("G-HBA join (%d msgs) not cheaper than HBA (%d msgs)", ghbaMsgs, hbaMsgs)
+	}
+}
+
+func TestAddMDSJoinThenLookup(t *testing.T) {
+	// 7 servers, M=4 → groups 4+3, room in the second.
+	c := startPopulated(t, 7, 4, ModeGHBA, 200)
+	id, msgs, err := c.AddMDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs == 0 {
+		t.Error("join cost nothing")
+	}
+	if c.NumMDS() != 8 {
+		t.Errorf("NumMDS = %d", c.NumMDS())
+	}
+	// Lookups still resolve, including via the newcomer.
+	for i := 0; i < 50; i++ {
+		path := "/p/f" + strconv.Itoa(i*3%200)
+		res, err := c.LookupVia(path, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Home != c.HomeOf(path) {
+			t.Fatalf("post-join lookup %s = %+v", path, res)
+		}
+	}
+}
+
+func TestAddMDSSplitThenLookup(t *testing.T) {
+	c := startPopulated(t, 4, 2, ModeGHBA, 150)
+	if _, _, err := c.AddMDS(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150; i += 11 {
+		path := "/p/f" + strconv.Itoa(i)
+		res, err := c.Lookup(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Home != c.HomeOf(path) {
+			t.Fatalf("post-split lookup %s = %+v", path, res)
+		}
+	}
+}
+
+// TestDiskPenaltySlowsOverloadedNodes verifies the prototype's memory-
+// pressure emulation: HBA daemons holding more replicas than fit in RAM
+// serve queries measurably slower than unconstrained ones.
+func TestDiskPenaltySlowsOverloadedNodes(t *testing.T) {
+	fast := startPopulated(t, 6, 0, ModeHBA, 100)
+	slowOpts := testOptions(6, 0, ModeHBA)
+	slowOpts.ResidentReplicaLimit = 1
+	slowOpts.DiskPenalty = 2 * time.Millisecond
+	slow, err := Start(slowOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(slow.Close)
+	paths := make([]string, 100)
+	for i := range paths {
+		paths[i] = "/p/f" + strconv.Itoa(i)
+	}
+	slow.Populate(paths)
+
+	var fastTotal, slowTotal time.Duration
+	for i := 0; i < 30; i++ {
+		path := "/p/f" + strconv.Itoa(i)
+		rf, err := fast.Lookup(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := slow.Lookup(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastTotal += rf.Latency
+		slowTotal += rs.Latency
+	}
+	if slowTotal < fastTotal+30*time.Millisecond {
+		t.Errorf("disk penalty invisible: slow %v vs fast %v", slowTotal, fastTotal)
+	}
+}
+
+func TestMessagesCounterAndReset(t *testing.T) {
+	c := startPopulated(t, 4, 2, ModeGHBA, 50)
+	if _, err := c.Lookup("/p/f1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Messages() == 0 {
+		t.Error("no messages counted")
+	}
+	c.ResetMessages()
+	if c.Messages() != 0 {
+		t.Error("reset failed")
+	}
+}

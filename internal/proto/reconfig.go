@@ -1,0 +1,266 @@
+package proto
+
+import (
+	"fmt"
+
+	"ghba/internal/mds"
+)
+
+// AddMDS brings a new daemon into the running prototype, performing the
+// reconfiguration over real RPCs and returning the new ID and the number of
+// messages the operation cost — the quantity Fig 15 charts per scheme.
+//
+// HBA: the newcomer fetches a replica from every existing server and every
+// server receives the newcomer's filter — 2N messages.
+//
+// G-HBA: the newcomer joins a group with room (offload migrations + IDBFA
+// multicast) or splits a full group (replica-copy exchange), then its filter
+// goes to one member of each other group.
+func (c *Cluster) AddMDS() (int, int, error) {
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	c.mu.Unlock()
+
+	node, err := mds.NewNode(id, c.opts.Node)
+	if err != nil {
+		return 0, 0, fmt.Errorf("proto: node %d: %w", id, err)
+	}
+	ns, err := StartNode(node, "127.0.0.1:0", c.opts.ResidentReplicaLimit, c.opts.DiskPenalty)
+	if err != nil {
+		return 0, 0, err
+	}
+	c.mu.Lock()
+	c.servers[id] = ns
+	c.mu.Unlock()
+
+	before := c.messages.Load()
+	switch c.opts.Mode {
+	case ModeHBA:
+		err = c.addHBA(id)
+	case ModeGHBA:
+		err = c.addGHBA(id)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return id, int(c.messages.Load() - before), nil
+}
+
+// addHBA: full replica exchange with every existing server.
+func (c *Cluster) addHBA(id int) error {
+	for _, other := range c.sortedIDs() {
+		if other == id {
+			continue
+		}
+		// Fetch the peer's filter and install it on the newcomer.
+		snap, err := c.call(other, opShipFilter, nil)
+		if err != nil {
+			return err
+		}
+		if _, err := c.call(id, opInstallReplica, encodeOriginPayload(other, snap)); err != nil {
+			return err
+		}
+	}
+	// Distribute the newcomer's filter to everyone.
+	snap, err := c.call(id, opShipFilter, nil)
+	if err != nil {
+		return err
+	}
+	for _, other := range c.sortedIDs() {
+		if other == id {
+			continue
+		}
+		if _, err := c.call(other, opInstallReplica, encodeOriginPayload(id, snap)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addGHBA: join-with-room or split, then replica distribution.
+func (c *Cluster) addGHBA(id int) error {
+	gi := c.pickGroupWithRoom()
+	if gi >= 0 {
+		if err := c.joinGroup(gi, id); err != nil {
+			return err
+		}
+	} else {
+		if err := c.splitGroup(id); err != nil {
+			return err
+		}
+	}
+	// Distribute the newcomer's filter to one member of each other group.
+	ownGroup := c.groupOf(id)
+	snap, err := c.call(id, opShipFilter, nil)
+	if err != nil {
+		return err
+	}
+	for gi, members := range c.groups {
+		if gi == ownGroup || len(members) == 0 {
+			continue
+		}
+		target := c.lightestMember(gi)
+		if _, err := c.call(target, opInstallReplica, encodeOriginPayload(id, snap)); err != nil {
+			return err
+		}
+		c.holders[gi][id] = target
+	}
+	return nil
+}
+
+func (c *Cluster) pickGroupWithRoom() int {
+	best, bestSize := -1, c.opts.M
+	for gi, members := range c.groups {
+		if len(members) < bestSize {
+			best, bestSize = gi, len(members)
+		}
+	}
+	return best
+}
+
+// lightestMember returns the member of group gi holding the fewest
+// replicas, by ascending ID on ties.
+func (c *Cluster) lightestMember(gi int) int {
+	counts := make(map[int]int)
+	for origin, holder := range c.holders[gi] {
+		_ = origin
+		counts[holder]++
+	}
+	members := append([]int(nil), c.groups[gi]...)
+	best := members[0]
+	for _, m := range members[1:] {
+		if counts[m] < counts[best] || (counts[m] == counts[best] && m < best) {
+			best = m
+		}
+	}
+	return best
+}
+
+// joinGroup performs the light-weight migration: members above the target
+// replica count offload their excess to the newcomer over RPC, then the
+// updated IDBFA is multicast (a ping per member).
+func (c *Cluster) joinGroup(gi, id int) error {
+	members := c.groups[gi]
+	newSize := len(members) + 1
+	external := len(c.servers) - newSize
+	target := (external + newSize - 1) / newSize
+	counts := make(map[int][]int) // holder → origins
+	for origin, holder := range c.holders[gi] {
+		counts[holder] = append(counts[holder], origin)
+	}
+	for _, m := range members {
+		origins := counts[m]
+		excess := len(origins) - target
+		for i := 0; i < excess; i++ {
+			origin := origins[i]
+			// Fetch-and-drop from the current holder, install on newcomer.
+			snap, err := c.call(m, opDropReplica, encodeOriginPayload(origin, nil))
+			if err != nil {
+				return err
+			}
+			if _, err := c.call(id, opInstallReplica, encodeOriginPayload(origin, snap)); err != nil {
+				return err
+			}
+			c.holders[gi][origin] = id
+		}
+	}
+	// Batched IDBFA multicast to the existing members.
+	for _, m := range members {
+		if _, err := c.call(m, opPing, nil); err != nil {
+			return err
+		}
+	}
+	c.groups[gi] = append(members, id)
+	return nil
+}
+
+// splitGroup divides the first full group into two halves, the newcomer
+// joining the second, with replica-copy exchange so both halves keep a
+// global mirror image.
+func (c *Cluster) splitGroup(id int) error {
+	// Deterministic victim: lowest group index.
+	victim := -1
+	for gi := range c.groups {
+		if victim < 0 || gi < victim {
+			victim = gi
+		}
+	}
+	members := c.groups[victim]
+	move := len(members) / 2
+	moving := append([]int(nil), members[len(members)-move:]...)
+	staying := append([]int(nil), members[:len(members)-move]...)
+
+	newGi := len(c.groups)
+	c.groups[victim] = staying
+	c.groups[newGi] = append(moving, id)
+	c.holders[newGi] = make(map[int]int)
+
+	// Carry moved holders' replicas into the new group's bookkeeping.
+	movingSet := make(map[int]bool, len(moving))
+	for _, m := range moving {
+		movingSet[m] = true
+	}
+	for origin, holder := range c.holders[victim] {
+		if movingSet[holder] {
+			c.holders[newGi][origin] = holder
+			delete(c.holders[victim], origin)
+		}
+	}
+
+	inGroup := func(gi, mdsID int) bool {
+		for _, m := range c.groups[gi] {
+			if m == mdsID {
+				return true
+			}
+		}
+		return false
+	}
+	// Each side copies the external origins it now lacks from the other
+	// side, and fetches fresh filters of the other side's members.
+	for _, pair := range []struct{ dst, src int }{{victim, newGi}, {newGi, victim}} {
+		for origin := range c.holders[pair.src] {
+			if inGroup(pair.dst, origin) {
+				continue
+			}
+			if _, ok := c.holders[pair.dst][origin]; ok {
+				continue
+			}
+			// Fetch a fresh filter from the origin itself (alive in the
+			// prototype); copying the other side's replica bytes would be
+			// equivalent but staler.
+			snap, err := c.call(origin, opShipFilter, nil)
+			if err != nil {
+				return err
+			}
+			target := c.lightestMember(pair.dst)
+			if _, err := c.call(target, opInstallReplica, encodeOriginPayload(origin, snap)); err != nil {
+				return err
+			}
+			c.holders[pair.dst][origin] = target
+		}
+		for _, member := range c.groups[pair.src] {
+			if _, ok := c.holders[pair.dst][member]; ok {
+				continue
+			}
+			snap, err := c.call(member, opShipFilter, nil)
+			if err != nil {
+				return err
+			}
+			target := c.lightestMember(pair.dst)
+			if _, err := c.call(target, opInstallReplica, encodeOriginPayload(member, snap)); err != nil {
+				return err
+			}
+			c.holders[pair.dst][member] = target
+		}
+	}
+	// IDBFA multicast within both halves.
+	for _, gi := range []int{victim, newGi} {
+		for _, m := range c.groups[gi] {
+			if _, err := c.call(m, opPing, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

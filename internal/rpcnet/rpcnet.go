@@ -1,0 +1,224 @@
+// Package rpcnet is the prototype's wire layer: a minimal length-prefixed
+// binary request/response protocol over TCP. The paper's prototype runs one
+// MDS per Linux node; here every MDS daemon listens on a loopback TCP port
+// and peers exchange real socket traffic, so message counts (Fig 15) are
+// exact and latencies (Fig 14) include genuine network stack costs.
+//
+// Wire format, big endian:
+//
+//	request:  len uint32 | type uint8 | payload
+//	response: len uint32 | status uint8 | payload   (status 0 = OK,
+//	          1 = application error, payload = message)
+//
+// where len covers everything after the length field.
+package rpcnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxMessageBytes bounds a single message (filters can be megabytes at
+// paper scale, but the prototype's are far smaller).
+const MaxMessageBytes = 64 << 20
+
+// ErrServerClosed is returned by calls against a closed server.
+var ErrServerClosed = errors.New("rpcnet: server closed")
+
+// Handler processes one request and returns the response payload.
+// Returning an error sends an application-error response; the connection
+// stays usable.
+type Handler func(msgType uint8, payload []byte) ([]byte, error)
+
+// Server accepts connections and dispatches requests to its handler,
+// serving each connection on its own goroutine.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts a server on addr (use "127.0.0.1:0" for an ephemeral port).
+func Serve(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("rpcnet: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		msgType, payload, err := readFrame(br)
+		if err != nil {
+			return // connection closed or malformed stream
+		}
+		resp, herr := s.handler(msgType, payload)
+		status := uint8(0)
+		if herr != nil {
+			status = 1
+			resp = []byte(herr.Error())
+		}
+		if err := writeFrame(bw, status, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}
+
+// readFrame reads one frame: the leading byte after the length prefix is
+// returned separately (request type or response status).
+func readFrame(r io.Reader) (uint8, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 1 || n > MaxMessageBytes {
+		return 0, nil, fmt.Errorf("rpcnet: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// writeFrame writes one frame with the given lead byte.
+func writeFrame(w io.Writer, lead uint8, payload []byte) error {
+	if len(payload)+1 > MaxMessageBytes {
+		return fmt.Errorf("rpcnet: payload %d bytes exceeds limit", len(payload))
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)+1))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{lead}); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Client is a synchronous RPC client over one TCP connection. Calls are
+// serialized by a mutex; use one client per concurrent worker for
+// parallelism.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+	}, nil
+}
+
+// Call sends one request and waits for its response. An application error
+// from the handler is returned as an error with the server's message.
+func (c *Client) Call(msgType uint8, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, ErrServerClosed
+	}
+	if err := writeFrame(c.bw, msgType, payload); err != nil {
+		return nil, fmt.Errorf("rpcnet: write: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, fmt.Errorf("rpcnet: flush: %w", err)
+	}
+	status, resp, err := readFrame(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("rpcnet: read: %w", err)
+	}
+	if status != 0 {
+		return nil, fmt.Errorf("rpcnet: remote error: %s", resp)
+	}
+	return resp, nil
+}
+
+// Close closes the connection; subsequent calls fail.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
