@@ -267,6 +267,33 @@ func BenchmarkCoreLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkLookupParallel measures wall-clock lookup throughput of the
+// concurrent read path at increasing worker counts. On multi-core hardware
+// the lookups/s metric scales with workers until the observability locks or
+// the core count saturate; the single-worker case doubles as the serial
+// baseline for the engine.
+func BenchmarkLookupParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
+			sim, err := New(Config{NumMDS: 30, ExpectedFilesPerMDS: 2_000, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			paths := make([]string, 5_000)
+			for i := range paths {
+				paths[i] = "/bench/par" + strconv.Itoa(i)
+			}
+			sim.CreateAll(paths)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim.LookupParallel(paths, workers)
+			}
+			b.ReportMetric(
+				float64(len(paths))*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+		})
+	}
+}
+
 // BenchmarkBloomFilterOps measures the substrate primitives.
 func BenchmarkBloomFilterOps(b *testing.B) {
 	f, err := bloom.NewForCapacity(100_000, 16)

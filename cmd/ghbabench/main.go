@@ -6,6 +6,12 @@
 //	ghbabench -table 5
 //	ghbabench -all
 //
+// Beyond the paper's figures, -throughput measures the concurrent lookup
+// engine itself: it populates a cluster and hammers it with parallel lookup
+// workers, reporting wall-clock lookups/sec.
+//
+//	ghbabench -throughput -workers 8 -lookups 200000 -n 30
+//
 // Output is the textual equivalent of the paper's chart: the same series,
 // ready to diff against EXPERIMENTS.md.
 package main
@@ -14,7 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"ghba"
 	"ghba/internal/analysis"
 	"ghba/internal/experiments"
 	"ghba/internal/trace"
@@ -22,15 +30,28 @@ import (
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "figure number to regenerate (6–15)")
-		table  = flag.Int("table", 0, "table number to regenerate (3, 4 or 5)")
-		all    = flag.Bool("all", false, "regenerate every figure and table")
-		ops    = flag.Int("ops", 0, "override the operation count (0 = driver default)")
-		n      = flag.Int("n", 0, "override the MDS count where applicable (0 = default)")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		protoN = flag.Int("proto-n", 20, "prototype daemon count (figs 14–15)")
+		fig        = flag.Int("fig", 0, "figure number to regenerate (6–15)")
+		table      = flag.Int("table", 0, "table number to regenerate (3, 4 or 5)")
+		all        = flag.Bool("all", false, "regenerate every figure and table")
+		ops        = flag.Int("ops", 0, "override the operation count (0 = driver default)")
+		n          = flag.Int("n", 0, "override the MDS count where applicable (0 = default)")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		protoN     = flag.Int("proto-n", 20, "prototype daemon count (figs 14–15)")
+		throughput = flag.Bool("throughput", false, "measure parallel lookup throughput instead of a figure")
+		workers    = flag.Int("workers", 1, "lookup worker goroutines for -throughput")
+		lookups    = flag.Int("lookups", 100_000, "lookup count for -throughput")
+		files      = flag.Int("files", 20_000, "namespace size for -throughput")
 	)
 	flag.Parse()
+
+	if *throughput {
+		nn := *n
+		if nn == 0 {
+			nn = 30
+		}
+		exitIf(runThroughput(nn, *files, *lookups, *workers, *seed))
+		return
+	}
 
 	if !*all && *fig == 0 && *table == 0 {
 		flag.Usage()
@@ -139,6 +160,54 @@ func main() {
 		exitIf(err)
 		fmt.Println(experiments.FormatTable5(rows))
 	}
+}
+
+// runThroughput populates a cluster with files files and resolves lookups
+// paths across the given worker count, reporting wall-clock lookups/sec and
+// the per-level hit distribution. The path sequence cycles through the
+// namespace so the L1 array sees the temporal locality the scheme exploits.
+func runThroughput(n, files, lookups, workers int, seed int64) error {
+	sim, err := ghba.New(ghba.Config{
+		NumMDS:              n,
+		ExpectedFilesPerMDS: uint64(files/n + 1),
+		Seed:                seed,
+	})
+	if err != nil {
+		return err
+	}
+	paths := make([]string, files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/bench/dir%d/file%d", i%97, i)
+	}
+	sim.CreateAll(paths)
+
+	batch := make([]string, lookups)
+	for i := range batch {
+		batch[i] = paths[i%len(paths)]
+	}
+
+	start := time.Now()
+	results := sim.LookupParallel(batch, workers)
+	elapsed := time.Since(start)
+
+	found := 0
+	for _, r := range results {
+		if r.Found {
+			found++
+		}
+	}
+	frac := sim.LevelFractions()
+	fmt.Printf("Parallel lookup throughput — N=%d M(auto) files=%d seed=%d\n",
+		n, files, seed)
+	fmt.Printf("  workers        %d\n", workers)
+	fmt.Printf("  lookups        %d (%d found)\n", len(results), found)
+	fmt.Printf("  wall time      %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput     %.0f lookups/sec\n",
+		float64(len(results))/elapsed.Seconds())
+	fmt.Printf("  sim latency    %v mean\n", sim.MeanLatency().Round(time.Microsecond))
+	fmt.Printf("  level shares   L1=%.3f L2=%.3f L3=%.3f L4=%.3f\n",
+		frac[1], frac[2], frac[3], frac[4])
+	return nil
 }
 
 // pick returns {override} when the override is set, otherwise the defaults.

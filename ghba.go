@@ -18,6 +18,9 @@ package ghba
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"ghba/internal/core"
@@ -61,8 +64,13 @@ type Result struct {
 }
 
 // Simulation is a simulated G-HBA metadata cluster.
+//
+// Lookups are safe to run from many goroutines concurrently (see
+// LookupParallel); mutations — Create, Delete, AddMDS, RemoveMDS, FailMDS —
+// serialize as exclusive writers against in-flight lookups.
 type Simulation struct {
 	cluster *core.Cluster
+	seed    int64
 }
 
 // New builds a simulation from cfg.
@@ -99,7 +107,7 @@ func New(cfg Config) (*Simulation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulation{cluster: cluster}, nil
+	return &Simulation{cluster: cluster, seed: cfg.Seed}, nil
 }
 
 // RecommendedGroupSize returns the group size the paper recommends for a
@@ -155,9 +163,13 @@ func (s *Simulation) Delete(path string) bool { return s.cluster.Delete(path) }
 func (s *Simulation) Exists(path string) bool { return s.cluster.HomeOf(path) >= 0 }
 
 // Lookup resolves the home MDS of path, entering the hierarchy at a random
-// server as the paper's clients do.
+// server as the paper's clients do. Passing a negative entry lets the
+// cluster draw it under a single lock acquisition.
 func (s *Simulation) Lookup(path string) Result {
-	res := s.cluster.Lookup(path, s.cluster.RandomMDS())
+	return toResult(s.cluster.Lookup(path, -1))
+}
+
+func toResult(res core.LookupResult) Result {
 	return Result{
 		Path:    res.Path,
 		Home:    res.Home,
@@ -165,6 +177,56 @@ func (s *Simulation) Lookup(path string) Result {
 		Level:   res.Level,
 		Latency: res.Latency,
 	}
+}
+
+// workerSeed derives a deterministic per-worker RNG seed (SplitMix64-style
+// spacing keeps neighbouring workers' streams uncorrelated).
+func workerSeed(seed int64, worker int) int64 {
+	const golden = uint64(0x9E3779B97F4A7C15)
+	return seed ^ int64(uint64(worker+1)*golden)
+}
+
+// LookupParallel resolves every path using the given number of worker
+// goroutines and returns the results in path order. Each worker enters the
+// hierarchy at servers drawn from its own seeded RNG, so runs are
+// deterministic for a fixed (seed, paths, workers) triple and a
+// single-worker run is exactly the serial engine driven by worker 0's RNG.
+// workers < 1 selects GOMAXPROCS. Lookups proceed concurrently with each
+// other but serialize against reconfiguration, which remains an exclusive
+// writer.
+func (s *Simulation) LookupParallel(paths []string, workers int) []Result {
+	if len(paths) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	results := make([]Result, len(paths))
+	chunk := (len(paths) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(paths) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(paths) {
+			hi = len(paths)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(s.seed, w)))
+			for i := lo; i < hi; i++ {
+				results[i] = toResult(s.cluster.LookupWith(rng, paths[i], -1))
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return results
 }
 
 // AddMDS grows the cluster by one server (joining a group with room or

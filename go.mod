@@ -1,0 +1,3 @@
+module ghba
+
+go 1.24

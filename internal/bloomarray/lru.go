@@ -2,6 +2,7 @@ package bloomarray
 
 import (
 	"fmt"
+	"sync"
 
 	"ghba/internal/bloom"
 )
@@ -15,7 +16,13 @@ import (
 // one is discarded). The effect is a sliding window covering between one and
 // two capacities of the most recent insertions, which is exactly the "hot
 // data" set the paper wants L1 to capture.
+//
+// The array is safe for concurrent use: lookups from parallel workers record
+// confirmed homes (Observe) while other workers query, so every method takes
+// the internal lock. Observe mutates filter generations and therefore needs
+// the write lock even though queries dominate.
 type LRUArray struct {
+	mu          sync.RWMutex
 	capacity    uint64  // insertions per generation, per MDS
 	bitsPerItem float64 // filter ratio for each generation
 	entries     map[int]*agingFilter
@@ -53,7 +60,27 @@ func (l *LRUArray) newGeneration() *bloom.Filter {
 
 // Observe records that key was confirmed to live at homeMDS, rotating that
 // MDS's generations if the active filter is full.
+//
+// The hot case — re-observing a key already in the current generation — is
+// answered under the read lock so parallel lookup workers hammering the same
+// hot files do not serialize. Skipping the re-add leaves the filter bits
+// unchanged but also leaves the generation's insertion counter where it was,
+// so rotation is driven by (approximately) distinct recent files rather than
+// raw observation count: a hot set smaller than capacity stays resident
+// instead of being aged out by its own repetitions, which is the window the
+// paper wants L1 to capture. Only new keys (and rotations) take the write
+// lock.
 func (l *LRUArray) Observe(key []byte, homeMDS int) {
+	l.mu.RLock()
+	if e := l.entries[homeMDS]; e != nil &&
+		e.active.Count() < l.capacity && e.active.Contains(key) {
+		l.mu.RUnlock()
+		return
+	}
+	l.mu.RUnlock()
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	e := l.entries[homeMDS]
 	if e == nil {
 		e = &agingFilter{active: l.newGeneration()}
@@ -74,6 +101,8 @@ func (l *LRUArray) ObserveString(key string, homeMDS int) {
 // Query returns every MDS whose recent-file window may contain key, with the
 // same unique-hit contract as Array.Query.
 func (l *LRUArray) Query(key []byte) Result {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	var hits []int
 	for id, e := range l.entries {
 		if e.active.Contains(key) || (e.aged != nil && e.aged.Contains(key)) {
@@ -90,19 +119,29 @@ func (l *LRUArray) QueryString(key string) Result { return l.Query([]byte(key)) 
 // Forget drops the entry for an MDS, used when that MDS leaves the system so
 // stale L1 hits cannot route requests to a dead server.
 func (l *LRUArray) Forget(mdsID int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	delete(l.entries, mdsID)
 }
 
 // Reset clears every entry.
 func (l *LRUArray) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.entries = make(map[int]*agingFilter)
 }
 
 // Entries returns the number of MDSs currently tracked.
-func (l *LRUArray) Entries() int { return len(l.entries) }
+func (l *LRUArray) Entries() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
 
 // SizeBytes returns the memory footprint of all generations.
 func (l *LRUArray) SizeBytes() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	var total uint64
 	for _, e := range l.entries {
 		total += e.active.SizeBytes()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"ghba/internal/bloomarray"
@@ -15,12 +16,34 @@ import (
 )
 
 // Cluster is a simulated G-HBA deployment.
+//
+// Concurrency model: the cluster is a single-writer, many-reader structure.
+// Lookups (Lookup, LookupWith) are the read path — they take mu.RLock and may
+// run from any number of goroutines concurrently. Everything that changes the
+// topology or namespace (Create, Delete, Populate, AddMDS, RemoveMDS,
+// FailMDS, PushUpdate, Apply, LookupAt with its queuing state) is the write
+// path and takes mu exclusively. Observability side effects on the read path
+// (tallies, latency stats, the L1 LRU array, message counts) go through
+// structures that carry their own synchronization, so holding only the read
+// lock keeps lookups race-free.
+//
+// Methods suffixed *Locked assume c.mu is already held (read or write as
+// documented) and must not be called without it.
 type Cluster struct {
 	cfg Config
+
+	// mu guards the topology and namespace: nodes, groups, groupOf, homes,
+	// ids, queue, and the nextMDSID/nextGroupID counters.
+	mu sync.RWMutex
 
 	nodes   map[int]*mds.Node
 	groups  map[int]*group.Group
 	groupOf map[int]int // MDS ID → group ID
+
+	// ids caches the sorted MDS IDs so the hot path does not rebuild and
+	// sort the slice on every random entry draw. Maintained on every
+	// membership change; treat as immutable between changes.
+	ids []int
 
 	// homes is the ground truth mapping of file → home MDS, used for
 	// placement and final verification (what the disks would answer).
@@ -31,11 +54,19 @@ type Cluster struct {
 	// replicates it to every server. Because the hot set is tiny, the
 	// paper treats these replicas as promptly propagated; the simulator
 	// models that with one shared array all entry points consult. Every
-	// MDS stores its own copy, so the footprint is charged per MDS.
+	// MDS stores its own copy, so the footprint is charged per MDS. The
+	// array carries its own lock, so lookup workers may observe into it
+	// while holding only the cluster read lock.
 	lru *bloomarray.LRUArray
 
 	mem *memmodel.Model
-	rng *rand.Rand
+
+	// rng drives the legacy serial API (RandomMDS, entry fallback) and all
+	// writer-side placement decisions. rngMu guards it so the serial API
+	// stays usable next to parallel readers; the parallel read path never
+	// touches it — workers supply their own RNG via LookupWith.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	msgs  *simnet.Counter
 	tally metrics.LevelTally
@@ -45,7 +76,8 @@ type Cluster struct {
 	overall  metrics.LatencyStats
 
 	// queue holds each MDS's next-free time for the open-loop queuing
-	// model used by the latency-versus-load experiments.
+	// model used by the latency-versus-load experiments. Only the write
+	// path (LookupAt, Apply) touches it.
 	queue map[int]time.Duration
 
 	nextMDSID   int
@@ -84,6 +116,7 @@ func New(cfg Config) (*Cluster, error) {
 		c.nodes[i] = node
 	}
 	c.nextMDSID = cfg.NumMDS
+	c.refreshIDsLocked()
 
 	// Partition into ⌈N/M⌉ groups with sizes as even as possible (no group
 	// exceeds M, none is left as a tiny tail).
@@ -114,8 +147,8 @@ func New(cfg Config) (*Cluster, error) {
 
 	// Distribute replicas: every group mirrors every external MDS.
 	// Iterate in ID order so replica placement is deterministic.
-	for _, g := range c.sortedGroups() {
-		for _, id := range c.MDSIDs() {
+	for _, g := range c.sortedGroupsLocked() {
+		for _, id := range c.ids {
 			if g.HasMember(id) {
 				continue
 			}
@@ -143,8 +176,20 @@ func seedGroup(g *group.Group, nodes map[int]*mds.Node, memberIDs []int) error {
 	return nil
 }
 
-// sortedGroups returns groups in ascending ID order for determinism.
-func (c *Cluster) sortedGroups() []*group.Group {
+// refreshIDsLocked rebuilds the sorted MDS ID cache after a membership
+// change. Requires the write lock.
+func (c *Cluster) refreshIDsLocked() {
+	ids := make([]int, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	c.ids = ids
+}
+
+// sortedGroupsLocked returns groups in ascending ID order for determinism.
+// Requires c.mu (read suffices).
+func (c *Cluster) sortedGroupsLocked() []*group.Group {
 	ids := make([]int, 0, len(c.groups))
 	for id := range c.groups {
 		ids = append(ids, id)
@@ -161,26 +206,38 @@ func (c *Cluster) sortedGroups() []*group.Group {
 func (c *Cluster) Name() string { return "G-HBA" }
 
 // NumMDS returns the current number of metadata servers.
-func (c *Cluster) NumMDS() int { return len(c.nodes) }
+func (c *Cluster) NumMDS() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.nodes)
+}
 
 // NumGroups returns the current number of groups.
-func (c *Cluster) NumGroups() int { return len(c.groups) }
+func (c *Cluster) NumGroups() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.groups)
+}
 
-// MDSIDs returns all server IDs in ascending order.
+// MDSIDs returns all server IDs in ascending order. The returned slice is
+// the caller's to keep.
 func (c *Cluster) MDSIDs() []int {
-	ids := make([]int, 0, len(c.nodes))
-	for id := range c.nodes {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]int, len(c.ids))
+	copy(out, c.ids)
+	return out
 }
 
 // Node returns the MDS with the given ID, or nil.
-func (c *Cluster) Node(id int) *mds.Node { return c.nodes[id] }
+func (c *Cluster) Node(id int) *mds.Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[id]
+}
 
-// GroupOf returns the group containing the MDS, or nil.
-func (c *Cluster) GroupOf(id int) *group.Group {
+// groupOfLocked returns the group containing the MDS, or nil. Requires c.mu.
+func (c *Cluster) groupOfLocked(id int) *group.Group {
 	gid, ok := c.groupOf[id]
 	if !ok {
 		return nil
@@ -188,13 +245,25 @@ func (c *Cluster) GroupOf(id int) *group.Group {
 	return c.groups[gid]
 }
 
-// Groups returns the groups in ascending ID order.
-func (c *Cluster) Groups() []*group.Group { return c.sortedGroups() }
+// GroupOf returns the group containing the MDS, or nil.
+func (c *Cluster) GroupOf(id int) *group.Group {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.groupOfLocked(id)
+}
 
-// Messages exposes the message counter.
+// Groups returns the groups in ascending ID order.
+func (c *Cluster) Groups() []*group.Group {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sortedGroupsLocked()
+}
+
+// Messages exposes the message counter (internally synchronized).
 func (c *Cluster) Messages() *simnet.Counter { return c.msgs }
 
-// Tally exposes the per-level hit counts (Fig 13).
+// Tally exposes the per-level hit counts (Fig 13); safe to read while
+// lookups run.
 func (c *Cluster) Tally() *metrics.LevelTally { return &c.tally }
 
 // LevelLatency returns latency statistics for queries served at one level.
@@ -210,6 +279,8 @@ func (c *Cluster) OverallLatency() *metrics.LatencyStats { return &c.overall }
 
 // HomeOf returns the ground-truth home of a path (-1 when absent).
 func (c *Cluster) HomeOf(path string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	home, ok := c.homes[path]
 	if !ok {
 		return -1
@@ -218,35 +289,58 @@ func (c *Cluster) HomeOf(path string) int {
 }
 
 // FileCount returns the number of files in the system.
-func (c *Cluster) FileCount() int { return len(c.homes) }
+func (c *Cluster) FileCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.homes)
+}
+
+// randomMDSLocked draws a uniform MDS ID from the cluster's own RNG.
+// Requires c.mu (read suffices); takes rngMu internally.
+func (c *Cluster) randomMDSLocked() int {
+	c.rngMu.Lock()
+	i := c.rng.Intn(len(c.ids))
+	c.rngMu.Unlock()
+	return c.ids[i]
+}
 
 // RandomMDS returns a uniformly chosen MDS ID — the paper's "each request
-// can randomly choose an MDS to carry out query operations".
+// can randomly choose an MDS to carry out query operations". It draws from
+// the cluster's internal RNG; parallel lookup workers should instead draw
+// entries from their own RNG (see LookupWith) to avoid serializing on it.
 func (c *Cluster) RandomMDS() int {
-	ids := c.MDSIDs()
-	return ids[c.rng.Intn(len(ids))]
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.randomMDSLocked()
 }
 
 // Populate homes every path yielded by the iterator at a uniformly random
 // MDS ("all MDSs are initially populated randomly") and then synchronizes
 // all replicas. The iterator keeps namespaces streamable at scale.
 func (c *Cluster) Populate(each func(fn func(path string) bool)) {
-	ids := c.MDSIDs()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	each(func(path string) bool {
-		home := ids[c.rng.Intn(len(ids))]
+		home := c.randomMDSLocked()
 		c.nodes[home].AddFile(path)
 		c.homes[path] = home
 		return true
 	})
-	c.SyncAllReplicas()
+	c.syncAllReplicasLocked()
 }
 
 // SyncAllReplicas refreshes every group's replica of every external MDS,
 // bringing the whole system to a consistent snapshot. Used after bulk
 // population; incremental updates flow through the XOR-delta path.
 func (c *Cluster) SyncAllReplicas() {
-	for _, g := range c.sortedGroups() {
-		for _, id := range c.MDSIDs() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.syncAllReplicasLocked()
+}
+
+func (c *Cluster) syncAllReplicasLocked() {
+	for _, g := range c.sortedGroupsLocked() {
+		for _, id := range c.ids {
 			if g.HasMember(id) {
 				continue
 			}
@@ -263,9 +357,10 @@ func (c *Cluster) SyncAllReplicas() {
 // group. Tests and the simulator's self-checks call this after
 // reconfigurations.
 func (c *Cluster) CheckInvariants() error {
-	all := c.MDSIDs()
-	for _, g := range c.sortedGroups() {
-		if err := g.CoverageError(all); err != nil {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, g := range c.sortedGroupsLocked() {
+		if err := g.CoverageError(c.ids); err != nil {
 			return err
 		}
 		if g.Size() > c.cfg.MaxGroupSize {
@@ -273,7 +368,7 @@ func (c *Cluster) CheckInvariants() error {
 		}
 	}
 	for id := range c.nodes {
-		if c.GroupOf(id) == nil {
+		if c.groupOfLocked(id) == nil {
 			return fmt.Errorf("core: MDS %d belongs to no group", id)
 		}
 	}

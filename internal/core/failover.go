@@ -27,6 +27,8 @@ type FailoverReport struct {
 // replica holdings and the metadata it homed are simply gone, and lookups
 // for its files return not-found until the files are recreated.
 func (c *Cluster) FailMDS(id int) (FailoverReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var rep FailoverReport
 	node, ok := c.nodes[id]
 	if !ok {
@@ -35,7 +37,7 @@ func (c *Cluster) FailMDS(id int) (FailoverReport, error) {
 	if len(c.nodes) == 1 {
 		return rep, fmt.Errorf("core: refusing to fail the last MDS")
 	}
-	g := c.GroupOf(id)
+	g := c.groupOfLocked(id)
 
 	// The replicas the dead member held are lost; note their origins
 	// before tearing the member down.
@@ -51,6 +53,7 @@ func (c *Cluster) FailMDS(id int) (FailoverReport, error) {
 	}
 	delete(c.groupOf, id)
 	delete(c.nodes, id)
+	c.refreshIDsLocked()
 	if g.Size() == 0 {
 		delete(c.groups, g.ID())
 	}
@@ -58,7 +61,7 @@ func (c *Cluster) FailMDS(id int) (FailoverReport, error) {
 	// The dead server's own filter replicas are removed from every other
 	// group ("the corresponding Bloom filters are removed from the other
 	// MDSs to reduce the number of false positives").
-	for _, other := range c.sortedGroups() {
+	for _, other := range c.sortedGroupsLocked() {
 		r := other.RemoveOrigin(id)
 		rep.Messages += r.Messages
 	}

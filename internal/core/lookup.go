@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"time"
 
 	"ghba/internal/simnet"
@@ -16,10 +17,10 @@ func (c *Cluster) replicaBytes(actual uint64) uint64 {
 	return actual
 }
 
-// segmentProbeCost returns the service time of probing an MDS's segment
-// array (its replicas plus its own filter), charging disk penalties for the
-// spilled fraction under the memory budget.
-func (c *Cluster) segmentProbeCost(id int) time.Duration {
+// segmentProbeCostLocked returns the service time of probing an MDS's
+// segment array (its replicas plus its own filter), charging disk penalties
+// for the spilled fraction under the memory budget. Requires c.mu.
+func (c *Cluster) segmentProbeCostLocked(id int) time.Duration {
 	node := c.nodes[id]
 	total := node.ReplicaCount() + 1 // replicas + own filter
 	perReplica := c.replicaBytes(node.LocalFilter().SizeBytes())
@@ -38,10 +39,11 @@ func (c *Cluster) l1ProbeCost() time.Duration {
 	return time.Duration(entries) * c.cfg.Cost.MemProbe
 }
 
-// verify charges the forward-and-check of a candidate home: one unicast RTT
-// plus a memory probe at the target; the target consults its authoritative
-// store (memory-resident index in both the simulator and the prototype).
-func (c *Cluster) verify(candidate int, path string) (bool, time.Duration) {
+// verifyLocked charges the forward-and-check of a candidate home: one
+// unicast RTT plus a memory probe at the target; the target consults its
+// authoritative store (memory-resident index in both the simulator and the
+// prototype). Requires c.mu.
+func (c *Cluster) verifyLocked(candidate int, path string) (bool, time.Duration) {
 	c.msgs.Add(simnet.MsgQueryUnicast, 1)
 	cost := c.cfg.Cost.UnicastRTT + c.cfg.Cost.MemProbe
 	node := c.nodes[candidate]
@@ -51,12 +53,14 @@ func (c *Cluster) verify(candidate int, path string) (bool, time.Duration) {
 	return node.HasFile(path), cost
 }
 
-// remoteWork charges work units to a remote MDS. In queued mode the work
-// lands on the server's queue and the caller observes that server's
+// remoteWorkLocked charges work units to a remote MDS. In queued mode the
+// work lands on the server's queue and the caller observes that server's
 // response time (wait + service); otherwise only the service time is
 // returned. This is how group and global multicasts consume capacity across
 // the system — the effect that makes very large groups counterproductive.
-func (c *Cluster) remoteWork(id int, arrival, work time.Duration, queued bool) time.Duration {
+// Queued mode mutates c.queue and therefore requires the write lock; pure
+// service mode runs under the read lock.
+func (c *Cluster) remoteWorkLocked(id int, arrival, work time.Duration, queued bool) time.Duration {
 	if !queued {
 		return work
 	}
@@ -72,24 +76,55 @@ func (c *Cluster) remoteWork(id int, arrival, work time.Duration, queued bool) t
 // the four-level critical path of Section 2.3, without queueing effects
 // (pure service latency). It updates the per-level tallies, latency
 // statistics, and the entry node's L1 array.
+//
+// Lookup is the read path: any number of goroutines may call it
+// concurrently, also concurrently with reconfiguration (which serializes
+// against it). An unknown entry falls back to a random MDS drawn from the
+// cluster's internal RNG; hot parallel loops should prefer LookupWith to
+// keep RNG state worker-local.
 func (c *Cluster) Lookup(path string, entry int) LookupResult {
-	return c.lookup(path, entry, 0, false)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.nodes[entry] == nil {
+		entry = c.randomMDSLocked()
+	}
+	return c.lookupLocked(path, entry, 0, false)
+}
+
+// LookupWith is Lookup with a caller-supplied RNG: a negative or unknown
+// entry is re-drawn uniformly from rng. Parallel workers give each goroutine
+// its own seeded RNG so lookups share no mutable state beyond the internally
+// synchronized observability structures, and a single-worker run is
+// bit-for-bit reproducible.
+func (c *Cluster) LookupWith(rng *rand.Rand, path string, entry int) LookupResult {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if entry < 0 || c.nodes[entry] == nil {
+		entry = c.ids[rng.Intn(len(c.ids))]
+	}
+	return c.lookupLocked(path, entry, 0, false)
 }
 
 // LookupAt replays a lookup arriving at the given offset through the
 // open-loop queuing model: the request waits for the entry MDS to drain its
 // queue, multicast probes occupy the members they land on, and the returned
-// latency includes all queueing delays.
+// latency includes all queueing delays. Because the queue state is shared
+// mutable, LookupAt is part of the write path and serializes with lookups.
 func (c *Cluster) LookupAt(path string, entry int, arrival time.Duration) LookupResult {
-	return c.lookup(path, entry, arrival, true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nodes[entry] == nil {
+		entry = c.randomMDSLocked()
+	}
+	return c.lookupLocked(path, entry, arrival, true)
 }
 
-func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued bool) LookupResult {
+// lookupLocked walks the four-level hierarchy. The caller must hold c.mu:
+// read suffices when queued is false (the hot path mutates nothing except
+// internally synchronized observability state); queued mode writes c.queue
+// and requires the write lock.
+func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, queued bool) LookupResult {
 	node := c.nodes[entry]
-	if node == nil {
-		entry = c.RandomMDS()
-		node = c.nodes[entry]
-	}
 
 	latency := c.cfg.Cost.ClientRTT
 	var server time.Duration
@@ -125,7 +160,7 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 		latency += l1Cost
 		server += l1Cost
 		if home, ok := c.lru.QueryString(path).Unique(); ok {
-			ok2, cost := c.verify(home, path)
+			ok2, cost := c.verifyLocked(home, path)
 			latency += cost
 			if ok2 {
 				return finish(LookupResult{Home: home, Found: true, Level: 1})
@@ -136,7 +171,7 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 	}
 
 	// L2: the local segment Bloom filter array.
-	l2Cost := c.segmentProbeCost(entry)
+	l2Cost := c.segmentProbeCostLocked(entry)
 	latency += l2Cost
 	server += l2Cost
 	if home, ok := node.QueryL2(path).Unique(); ok {
@@ -147,7 +182,7 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 				return finish(LookupResult{Home: entry, Found: true, Level: 2})
 			}
 		} else {
-			ok2, cost := c.verify(home, path)
+			ok2, cost := c.verifyLocked(home, path)
 			latency += cost
 			if ok2 {
 				return finish(LookupResult{Home: home, Found: true, Level: 2})
@@ -160,7 +195,7 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 	// array in parallel, so the client waits for the multicast plus the
 	// slowest member's response (including that member's queue when the
 	// system is loaded).
-	g := c.GroupOf(entry)
+	g := c.groupOfLocked(entry)
 	members := g.Members()
 	c.msgs.Add(simnet.MsgQueryMulticast, uint64(len(members)-1))
 	latency += c.cfg.Cost.Multicast(len(members) - 1)
@@ -175,7 +210,7 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 			// Entry already probed its own array at L2.
 			continue
 		}
-		resp := c.remoteWork(id, arrival, c.cfg.Cost.MsgProc+c.segmentProbeCost(id), queued)
+		resp := c.remoteWorkLocked(id, arrival, c.cfg.Cost.MsgProc+c.segmentProbeCostLocked(id), queued)
 		if resp > slowest {
 			slowest = resp
 		}
@@ -189,7 +224,7 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 		for h := range hits {
 			home = h
 		}
-		ok2, cost := c.verify(home, path)
+		ok2, cost := c.verifyLocked(home, path)
 		latency += cost
 		if ok2 {
 			return finish(LookupResult{Home: home, Found: true, Level: 3})
@@ -209,7 +244,7 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 		if id == entry {
 			continue
 		}
-		resp := c.remoteWork(id, arrival, c.cfg.Cost.MsgProc+c.cfg.Cost.MemProbe, queued)
+		resp := c.remoteWorkLocked(id, arrival, c.cfg.Cost.MsgProc+c.cfg.Cost.MemProbe, queued)
 		if resp > slowestL4 {
 			slowestL4 = resp
 		}
@@ -229,5 +264,7 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 
 // ResetQueues clears the queuing state between experiment runs.
 func (c *Cluster) ResetQueues() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.queue = make(map[int]time.Duration)
 }

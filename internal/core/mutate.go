@@ -12,11 +12,17 @@ import (
 // filter has drifted past the XOR-delta threshold, pushes a replica update.
 // Returns the home MDS ID.
 func (c *Cluster) Create(path string) int {
-	home := c.RandomMDS()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.createLocked(path)
+}
+
+func (c *Cluster) createLocked(path string) int {
+	home := c.randomMDSLocked()
 	c.nodes[home].AddFile(path)
 	c.homes[path] = home
 	if c.nodes[home].NeedsShip(c.cfg.UpdateThresholdBits) {
-		c.PushUpdate(home)
+		c.pushUpdateLocked(home)
 	}
 	return home
 }
@@ -25,6 +31,12 @@ func (c *Cluster) Create(path string) int {
 // its rebuild threshold triggers; deletions also count toward the XOR delta
 // once a rebuild regenerates the filter. Reports whether the file existed.
 func (c *Cluster) Delete(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.deleteLocked(path)
+}
+
+func (c *Cluster) deleteLocked(path string) bool {
 	home, ok := c.homes[path]
 	if !ok {
 		return false
@@ -34,7 +46,7 @@ func (c *Cluster) Delete(path string) bool {
 	delete(c.homes, path)
 	if node.DeletesSinceRebuild() >= c.cfg.RebuildDeleteThreshold {
 		node.Rebuild()
-		c.PushUpdate(home)
+		c.pushUpdateLocked(home)
 	}
 	return true
 }
@@ -45,6 +57,12 @@ func (c *Cluster) Delete(path string) bool {
 // group"). Returns the update latency: the multicast to the groups plus the
 // in-place apply at the slowest holder.
 func (c *Cluster) PushUpdate(origin int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pushUpdateLocked(origin)
+}
+
+func (c *Cluster) pushUpdateLocked(origin int) time.Duration {
 	node := c.nodes[origin]
 	if node == nil {
 		return 0
@@ -53,7 +71,7 @@ func (c *Cluster) PushUpdate(origin int) time.Duration {
 	ownGroup := c.groupOf[origin]
 	targets := 0
 	var slowestApply time.Duration
-	for _, g := range c.sortedGroups() {
+	for _, g := range c.sortedGroupsLocked() {
 		if g.ID() == ownGroup {
 			continue
 		}
@@ -68,7 +86,7 @@ func (c *Cluster) PushUpdate(origin int) time.Duration {
 		// Applying the update costs one probe-equivalent write at the
 		// holder; spilled replicas pay a disk write.
 		holder := g.HolderOf(origin)
-		apply := c.applyCost(holder)
+		apply := c.applyCostLocked(holder)
 		if apply > slowestApply {
 			slowestApply = apply
 		}
@@ -76,10 +94,10 @@ func (c *Cluster) PushUpdate(origin int) time.Duration {
 	return c.cfg.Cost.Multicast(targets) + slowestApply
 }
 
-// applyCost returns the cost of rewriting one replica at the holder: a
+// applyCostLocked returns the cost of rewriting one replica at the holder: a
 // memory write when the holder's replica set is resident, a disk write for
-// the spilled fraction.
-func (c *Cluster) applyCost(holder int) time.Duration {
+// the spilled fraction. Requires c.mu.
+func (c *Cluster) applyCostLocked(holder int) time.Duration {
 	if holder < 0 {
 		return 0
 	}
@@ -100,20 +118,23 @@ func (c *Cluster) applyCost(holder int) time.Duration {
 // Apply dispatches one trace record against the cluster: mutations create or
 // delete files, reads perform lookups. The entry MDS is chosen uniformly, as
 // in the paper's methodology. Returns the lookup result (zero Result for
-// pure mutations that do not perform a lookup).
+// pure mutations that do not perform a lookup). Apply drives the open-loop
+// queuing model and therefore serializes as a writer.
 func (c *Cluster) Apply(rec trace.Record) LookupResult {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	switch rec.Op {
 	case trace.OpCreate:
 		if _, exists := c.homes[rec.Path]; exists {
 			// Creating an existing path degenerates to an open.
-			return c.LookupAt(rec.Path, c.RandomMDS(), rec.At)
+			return c.lookupLocked(rec.Path, c.randomMDSLocked(), rec.At, true)
 		}
-		home := c.Create(rec.Path)
+		home := c.createLocked(rec.Path)
 		return LookupResult{Path: rec.Path, Home: home, Found: true, Level: 0}
 	case trace.OpDelete:
-		c.Delete(rec.Path)
+		c.deleteLocked(rec.Path)
 		return LookupResult{Path: rec.Path, Home: -1, Found: false, Level: 0}
 	default:
-		return c.LookupAt(rec.Path, c.RandomMDS(), rec.At)
+		return c.lookupLocked(rec.Path, c.randomMDSLocked(), rec.At, true)
 	}
 }

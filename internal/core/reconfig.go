@@ -15,6 +15,8 @@ import (
 // reconfiguration report (replicas migrated, messages exchanged) that Figs
 // 11 and 15 chart.
 func (c *Cluster) AddMDS() (int, group.Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var rep group.Report
 	id := c.nextMDSID
 	node, err := mds.NewNode(id, c.cfg.Node)
@@ -33,7 +35,7 @@ func (c *Cluster) AddMDS() (int, group.Report, error) {
 	} else {
 		// All groups full: split the first full group (the paper chooses a
 		// random group; first-by-ID keeps simulations deterministic).
-		victim := c.sortedGroups()[0]
+		victim := c.sortedGroupsLocked()[0]
 		newGroup, r, err := victim.Split(c.nextGroupID, node, c.cfg.MaxGroupSize)
 		if err != nil {
 			return 0, rep, fmt.Errorf("core: splitting group %d: %w", victim.ID(), err)
@@ -49,10 +51,12 @@ func (c *Cluster) AddMDS() (int, group.Report, error) {
 
 	c.nodes[id] = node
 	c.nextMDSID++
+	// IDs grow monotonically, so appending keeps the cache sorted.
+	c.ids = append(c.ids, id)
 
 	// Multicast the newcomer's replica to one member of each other group.
 	ownGroup := c.groupOf[id]
-	for _, g := range c.sortedGroups() {
+	for _, g := range c.sortedGroupsLocked() {
 		if g.ID() == ownGroup {
 			continue
 		}
@@ -79,7 +83,7 @@ func (c *Cluster) AddMDS() (int, group.Report, error) {
 // would make the newcomer absorb nearly half of that group's replicas.
 func (c *Cluster) pickJoinGroup() *group.Group {
 	var best *group.Group
-	for _, g := range c.sortedGroups() {
+	for _, g := range c.sortedGroupsLocked() {
 		if g.Size() >= c.cfg.MaxGroupSize {
 			continue
 		}
@@ -95,6 +99,8 @@ func (c *Cluster) pickJoinGroup() *group.Group {
 // its files are re-homed across the survivors, and shrunken groups merge
 // when their union fits within M.
 func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var rep group.Report
 	node, ok := c.nodes[id]
 	if !ok {
@@ -103,7 +109,7 @@ func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 	if len(c.nodes) == 1 {
 		return rep, fmt.Errorf("core: refusing to remove the last MDS")
 	}
-	g := c.GroupOf(id)
+	g := c.groupOfLocked(id)
 
 	// (1) Migrate its replicas to the surviving members.
 	r, err := g.Leave(id)
@@ -113,12 +119,13 @@ func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 	rep.Add(r)
 	delete(c.groupOf, id)
 	delete(c.nodes, id)
+	c.refreshIDsLocked()
 	if g.Size() == 0 {
 		delete(c.groups, g.ID())
 	}
 
 	// (2)–(3) Delete its replica everywhere else.
-	for _, other := range c.sortedGroups() {
+	for _, other := range c.sortedGroupsLocked() {
 		rep.Add(other.RemoveOrigin(id))
 	}
 
@@ -126,15 +133,15 @@ func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 	// treats metadata re-distribution as orthogonal (fail-over keeps
 	// serving at degraded coverage); the simulator re-homes so ground
 	// truth stays consistent.
-	survivors := c.MDSIDs()
+	survivors := c.ids
 	for _, path := range node.Store().Paths() {
-		newHome := survivors[c.rng.Intn(len(survivors))]
+		newHome := c.randomMDSLocked()
 		c.nodes[newHome].AddFile(path)
 		c.homes[path] = newHome
 	}
 	for _, sid := range survivors {
 		if c.nodes[sid].NeedsShip(c.cfg.UpdateThresholdBits) {
-			c.PushUpdate(sid)
+			c.pushUpdateLocked(sid)
 		}
 	}
 	// Stale L1 entries pointing at the dead server are flushed.
@@ -153,7 +160,7 @@ func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 func (c *Cluster) mergeWherePossible() group.Report {
 	var rep group.Report
 	for {
-		groups := c.sortedGroups()
+		groups := c.sortedGroupsLocked()
 		if len(groups) < 2 {
 			return rep
 		}

@@ -23,6 +23,12 @@ func (f MemoryFootprint) Total() uint64 {
 // Footprint returns the memory footprint of one MDS, or a zero value for an
 // unknown ID.
 func (c *Cluster) Footprint(id int) MemoryFootprint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.footprintLocked(id)
+}
+
+func (c *Cluster) footprintLocked(id int) MemoryFootprint {
 	node := c.nodes[id]
 	if node == nil {
 		return MemoryFootprint{}
@@ -38,13 +44,15 @@ func (c *Cluster) Footprint(id int) MemoryFootprint {
 
 // MeanFootprint averages the footprint across all MDSs.
 func (c *Cluster) MeanFootprint() MemoryFootprint {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	var sum MemoryFootprint
-	ids := c.MDSIDs()
+	ids := c.ids
 	if len(ids) == 0 {
 		return sum
 	}
 	for _, id := range ids {
-		f := c.Footprint(id)
+		f := c.footprintLocked(id)
 		sum.LocalFilterBytes += f.LocalFilterBytes
 		sum.ReplicaBytes += f.ReplicaBytes
 		sum.LRUBytes += f.LRUBytes

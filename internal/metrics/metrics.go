@@ -2,17 +2,25 @@
 // harness reports with: streaming mean/min/max (Welford), fixed-boundary
 // latency histograms with percentile estimation, and per-level hit-rate
 // tallies for the four-level query hierarchy.
+//
+// LatencyStats and LevelTally are safe for concurrent use so the parallel
+// lookup engine can record observations from many workers; Histogram remains
+// single-writer (it is only fed from serial experiment drivers).
 package metrics
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// LatencyStats accumulates durations with O(1) memory.
+// LatencyStats accumulates durations with O(1) memory. All methods are safe
+// for concurrent use; the zero value is ready.
 type LatencyStats struct {
+	mu    sync.Mutex
 	count uint64
 	mean  float64 // nanoseconds
 	m2    float64
@@ -23,6 +31,8 @@ type LatencyStats struct {
 // Observe adds one sample.
 func (s *LatencyStats) Observe(d time.Duration) {
 	x := float64(d)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.count++
 	if s.count == 1 {
 		s.min, s.max = x, x
@@ -39,64 +49,84 @@ func (s *LatencyStats) Observe(d time.Duration) {
 	s.m2 += delta * (x - s.mean)
 }
 
+// snapshot returns a consistent copy of the accumulator fields.
+func (s *LatencyStats) snapshot() (count uint64, mean, m2, min, max float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count, s.mean, s.m2, s.min, s.max
+}
+
 // Count returns the number of samples.
-func (s *LatencyStats) Count() uint64 { return s.count }
+func (s *LatencyStats) Count() uint64 {
+	n, _, _, _, _ := s.snapshot()
+	return n
+}
 
 // Mean returns the average duration (zero when empty).
-func (s *LatencyStats) Mean() time.Duration { return time.Duration(s.mean) }
+func (s *LatencyStats) Mean() time.Duration {
+	_, mean, _, _, _ := s.snapshot()
+	return time.Duration(mean)
+}
 
 // Min returns the smallest sample (zero when empty).
 func (s *LatencyStats) Min() time.Duration {
-	if s.count == 0 {
+	n, _, _, min, _ := s.snapshot()
+	if n == 0 {
 		return 0
 	}
-	return time.Duration(s.min)
+	return time.Duration(min)
 }
 
 // Max returns the largest sample (zero when empty).
 func (s *LatencyStats) Max() time.Duration {
-	if s.count == 0 {
+	n, _, _, _, max := s.snapshot()
+	if n == 0 {
 		return 0
 	}
-	return time.Duration(s.max)
+	return time.Duration(max)
 }
 
 // StdDev returns the sample standard deviation (zero for <2 samples).
 func (s *LatencyStats) StdDev() time.Duration {
-	if s.count < 2 {
+	n, _, m2, _, _ := s.snapshot()
+	if n < 2 {
 		return 0
 	}
-	return time.Duration(math.Sqrt(s.m2 / float64(s.count-1)))
+	return time.Duration(math.Sqrt(m2 / float64(n-1)))
 }
 
 // Merge folds other into s, as if all of other's samples had been observed
-// on s (Chan et al. parallel-variance combination).
-func (s *LatencyStats) Merge(other LatencyStats) {
-	if other.count == 0 {
+// on s (Chan et al. parallel-variance combination). other is read under its
+// own lock, so per-worker shards can merge into a shared total concurrently.
+func (s *LatencyStats) Merge(other *LatencyStats) {
+	n2u, mean2, m22, min2, max2 := other.snapshot()
+	if n2u == 0 {
 		return
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.count == 0 {
-		*s = other
+		s.count, s.mean, s.m2, s.min, s.max = n2u, mean2, m22, min2, max2
 		return
 	}
-	n1, n2 := float64(s.count), float64(other.count)
-	delta := other.mean - s.mean
+	n1, n2 := float64(s.count), float64(n2u)
+	delta := mean2 - s.mean
 	total := n1 + n2
 	s.mean += delta * n2 / total
-	s.m2 += other.m2 + delta*delta*n1*n2/total
-	s.count += other.count
-	if other.min < s.min {
-		s.min = other.min
+	s.m2 += m22 + delta*delta*n1*n2/total
+	s.count += n2u
+	if min2 < s.min {
+		s.min = min2
 	}
-	if other.max > s.max {
-		s.max = other.max
+	if max2 > s.max {
+		s.max = max2
 	}
 }
 
 // String formats mean/min/max compactly.
 func (s *LatencyStats) String() string {
 	return fmt.Sprintf("n=%d mean=%v min=%v max=%v",
-		s.count, s.Mean().Round(time.Microsecond),
+		s.Count(), s.Mean().Round(time.Microsecond),
 		s.Min().Round(time.Microsecond), s.Max().Round(time.Microsecond))
 }
 
@@ -194,24 +224,26 @@ func min(a, b int) int {
 }
 
 // LevelTally counts which level of the four-level hierarchy served each
-// query, the raw data behind Fig 13.
+// query, the raw data behind Fig 13. Counters are atomic, so many lookup
+// workers can record concurrently; the zero value is ready. A LevelTally
+// must not be copied after first use.
 type LevelTally struct {
-	counts [5]uint64 // index 1..4 = L1..L4
+	counts [5]atomic.Uint64 // index 1..4 = L1..L4
 }
 
 // Record notes a query served at level (1–4). Out-of-range levels are
 // ignored.
 func (t *LevelTally) Record(level int) {
 	if level >= 1 && level <= 4 {
-		t.counts[level]++
+		t.counts[level].Add(1)
 	}
 }
 
 // Total returns the number of recorded queries.
 func (t *LevelTally) Total() uint64 {
 	var sum uint64
-	for _, c := range t.counts[1:] {
-		sum += c
+	for l := 1; l <= 4; l++ {
+		sum += t.counts[l].Load()
 	}
 	return sum
 }
@@ -222,7 +254,7 @@ func (t *LevelTally) Fraction(level int) float64 {
 	if total == 0 || level < 1 || level > 4 {
 		return 0
 	}
-	return float64(t.counts[level]) / float64(total)
+	return float64(t.counts[level].Load()) / float64(total)
 }
 
 // CumulativeFraction returns the share of queries served at or below level.
@@ -233,7 +265,7 @@ func (t *LevelTally) CumulativeFraction(level int) float64 {
 	}
 	var sum uint64
 	for l := 1; l <= level && l <= 4; l++ {
-		sum += t.counts[l]
+		sum += t.counts[l].Load()
 	}
 	return float64(sum) / float64(total)
 }
@@ -243,5 +275,12 @@ func (t *LevelTally) Count(level int) uint64 {
 	if level < 1 || level > 4 {
 		return 0
 	}
-	return t.counts[level]
+	return t.counts[level].Load()
+}
+
+// Reset zeroes all level counters.
+func (t *LevelTally) Reset() {
+	for l := range t.counts {
+		t.counts[l].Store(0)
+	}
 }

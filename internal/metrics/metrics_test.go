@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"time"
 )
@@ -45,7 +46,7 @@ func TestLatencyStatsMerge(t *testing.T) {
 			b.Observe(v)
 		}
 	}
-	a.Merge(b)
+	a.Merge(&b)
 	if a.Count() != all.Count() {
 		t.Fatalf("merged count %d, want %d", a.Count(), all.Count())
 	}
@@ -63,12 +64,12 @@ func TestLatencyStatsMerge(t *testing.T) {
 func TestLatencyStatsMergeEmptySides(t *testing.T) {
 	var a, b LatencyStats
 	b.Observe(time.Second)
-	a.Merge(b) // empty receiver
+	a.Merge(&b) // empty receiver
 	if a.Count() != 1 || a.Mean() != time.Second {
 		t.Error("merge into empty failed")
 	}
 	var c LatencyStats
-	a.Merge(c) // empty argument
+	a.Merge(&c) // empty argument
 	if a.Count() != 1 {
 		t.Error("merge of empty changed stats")
 	}
@@ -197,5 +198,53 @@ func TestLatencyStatsString(t *testing.T) {
 	s.Observe(time.Millisecond)
 	if s.String() == "" {
 		t.Error("empty String()")
+	}
+}
+
+func TestConcurrentObserveAndRecord(t *testing.T) {
+	var s LatencyStats
+	var lt LevelTally
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				s.Observe(time.Duration(i+1) * time.Microsecond)
+				lt.Record(1 + (i+w)%4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Count() != workers*perWorker {
+		t.Errorf("concurrent count = %d, want %d", s.Count(), workers*perWorker)
+	}
+	if lt.Total() != workers*perWorker {
+		t.Errorf("concurrent tally = %d, want %d", lt.Total(), workers*perWorker)
+	}
+}
+
+func TestConcurrentShardMerge(t *testing.T) {
+	var total LatencyStats
+	const workers, perWorker = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var shard LatencyStats
+			for i := 0; i < perWorker; i++ {
+				shard.Observe(time.Millisecond)
+			}
+			total.Merge(&shard)
+		}()
+	}
+	wg.Wait()
+	if total.Count() != workers*perWorker {
+		t.Errorf("merged count = %d, want %d", total.Count(), workers*perWorker)
+	}
+	if total.Mean() != time.Millisecond {
+		t.Errorf("merged mean = %v", total.Mean())
 	}
 }

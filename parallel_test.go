@@ -1,0 +1,145 @@
+package ghba
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// newParallelSim builds a populated simulation plus a lookup batch cycling
+// through its namespace.
+func newParallelSim(t testing.TB, files, lookups int) (*Simulation, []string) {
+	t.Helper()
+	sim, err := New(Config{NumMDS: 20, ExpectedFilesPerMDS: 2_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, files)
+	for i := range paths {
+		paths[i] = "/par/f" + strconv.Itoa(i)
+	}
+	sim.CreateAll(paths)
+	batch := make([]string, lookups)
+	for i := range batch {
+		batch[i] = paths[i%files]
+	}
+	return sim, batch
+}
+
+// TestLookupParallelSingleWorkerMatchesSerial pins the reproducibility
+// contract: a single-worker parallel run is exactly the serial engine driven
+// by worker 0's RNG. Two identically built simulations — one driven through
+// LookupParallel(batch, 1), one serially through the core read path with the
+// same derived RNG — must agree on every home, level, and latency, and on
+// the aggregate tally fractions.
+func TestLookupParallelSingleWorkerMatchesSerial(t *testing.T) {
+	simA, batch := newParallelSim(t, 500, 1_500)
+	simB, _ := newParallelSim(t, 500, 1_500)
+
+	parallel := simA.LookupParallel(batch, 1)
+
+	rng := rand.New(rand.NewSource(workerSeed(simB.seed, 0)))
+	serial := make([]Result, len(batch))
+	for i, p := range batch {
+		serial[i] = toResult(simB.cluster.LookupWith(rng, p, -1))
+	}
+
+	for i := range parallel {
+		if parallel[i] != serial[i] {
+			t.Fatalf("lookup %d diverged: parallel %+v, serial %+v",
+				i, parallel[i], serial[i])
+		}
+	}
+	fa, fb := simA.LevelFractions(), simB.LevelFractions()
+	if fa != fb {
+		t.Errorf("tally fractions diverged: %v vs %v", fa, fb)
+	}
+	if simA.MeanLatency() != simB.MeanLatency() {
+		t.Errorf("mean latency diverged: %v vs %v", simA.MeanLatency(), simB.MeanLatency())
+	}
+}
+
+// TestLookupParallelManyWorkers checks the parallel engine's correctness
+// properties that hold regardless of interleaving: every existing file is
+// found at its ground-truth home, results line up with their input paths,
+// and the tallies account for every lookup.
+func TestLookupParallelManyWorkers(t *testing.T) {
+	sim, batch := newParallelSim(t, 500, 4_000)
+	results := sim.LookupParallel(batch, 8)
+	if len(results) != len(batch) {
+		t.Fatalf("got %d results for %d paths", len(results), len(batch))
+	}
+	for i, res := range results {
+		if res.Path != batch[i] {
+			t.Fatalf("result %d is for %q, want %q", i, res.Path, batch[i])
+		}
+		if !res.Found {
+			t.Fatalf("existing file %s not found", res.Path)
+		}
+		if truth := sim.cluster.HomeOf(res.Path); res.Home != truth {
+			t.Fatalf("%s resolved to %d, truth %d", res.Path, res.Home, truth)
+		}
+	}
+	var sum float64
+	for l := 1; l <= 4; l++ {
+		sum += sim.LevelFractions()[l]
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("level fractions sum to %f", sum)
+	}
+}
+
+// TestLookupParallelWithReconfig drives lookups and facade-level
+// reconfiguration concurrently, the workload the read/write split exists
+// for.
+func TestLookupParallelWithReconfig(t *testing.T) {
+	sim, batch := newParallelSim(t, 300, 2_000)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			id, _, err := sim.AddMDS()
+			if err != nil {
+				t.Errorf("AddMDS: %v", err)
+				return
+			}
+			if err := sim.RemoveMDS(id); err != nil {
+				t.Errorf("RemoveMDS(%d): %v", id, err)
+				return
+			}
+		}
+	}()
+	results := sim.LookupParallel(batch, 4)
+	wg.Wait()
+
+	for _, res := range results {
+		if !res.Found {
+			t.Fatalf("%s lost during reconfiguration", res.Path)
+		}
+	}
+	if err := sim.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after parallel churn: %v", err)
+	}
+}
+
+// TestLookupParallelEdgeCases covers empty input and worker clamping.
+func TestLookupParallelEdgeCases(t *testing.T) {
+	sim, _ := newParallelSim(t, 10, 10)
+	if res := sim.LookupParallel(nil, 4); res != nil {
+		t.Errorf("empty batch returned %v", res)
+	}
+	// More workers than paths: must clamp, not spawn idle goroutines that
+	// index past the batch.
+	res := sim.LookupParallel([]string{"/par/f1", "/par/f2"}, 16)
+	if len(res) != 2 || !res[0].Found || !res[1].Found {
+		t.Errorf("clamped run returned %+v", res)
+	}
+	// workers < 1 selects GOMAXPROCS.
+	res = sim.LookupParallel([]string{"/par/f3"}, 0)
+	if len(res) != 1 || !res[0].Found {
+		t.Errorf("default-worker run returned %+v", res)
+	}
+}
