@@ -5,6 +5,13 @@
 //
 //	ghbactl -n 20 -m 7 -files 10000 -ops 2000
 //	ghbactl -mode hba -n 20 -add 5
+//	ghbactl -throughput -workers 8 -ops 5000
+//
+// -throughput switches the replay to the concurrent driver: the same
+// lookup batch runs through Cluster.LookupParallel at worker counts
+// doubling from 1 up to -workers, reporting wall-clock lookups/sec,
+// per-level hit shares, and RPC message counts over real sockets at each
+// step — the speedup column is the prototype serving parallel clients.
 package main
 
 import (
@@ -19,15 +26,18 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 12, "number of MDS daemons")
-		m       = flag.Int("m", 4, "max group size (G-HBA mode)")
-		mode    = flag.String("mode", "ghba", "scheme: ghba or hba")
-		files   = flag.Int("files", 5_000, "namespace size")
-		ops     = flag.Int("ops", 1_000, "lookups to issue")
-		adds    = flag.Int("add", 0, "MDS insertions to perform after the lookups")
-		seed    = flag.Int64("seed", 1, "random seed")
-		resid   = flag.Int("resident", 0, "replicas fitting in RAM (0 = unlimited)")
-		penalty = flag.Duration("disk-penalty", 0, "emulated disk cost when over the resident limit")
+		n          = flag.Int("n", 12, "number of MDS daemons")
+		m          = flag.Int("m", 4, "max group size (G-HBA mode)")
+		mode       = flag.String("mode", "ghba", "scheme: ghba or hba")
+		files      = flag.Int("files", 5_000, "namespace size")
+		ops        = flag.Int("ops", 1_000, "lookups to issue")
+		adds       = flag.Int("add", 0, "MDS insertions to perform after the lookups")
+		seed       = flag.Int64("seed", 1, "random seed")
+		resid      = flag.Int("resident", 0, "replicas fitting in RAM (0 = unlimited)")
+		penalty    = flag.Duration("disk-penalty", 0, "emulated disk cost when over the resident limit")
+		throughput = flag.Bool("throughput", false, "concurrent driver: sweep worker counts and report lookups/sec")
+		workers    = flag.Int("workers", 8, "max parallel lookup workers in -throughput mode")
+		timeout    = flag.Duration("call-timeout", 0, "per-RPC deadline (0 = library default, negative = none)")
 	)
 	flag.Parse()
 
@@ -56,6 +66,7 @@ func main() {
 		ResidentReplicaLimit: *resid,
 		DiskPenalty:          *penalty,
 		Seed:                 *seed,
+		CallTimeout:          *timeout,
 	})
 	exitIf(err)
 	defer cluster.Close()
@@ -68,10 +79,25 @@ func main() {
 	cluster.Populate(paths)
 	fmt.Printf("ghbactl: populated %d files\n", len(paths))
 
+	if *throughput {
+		runThroughput(cluster, paths, *ops, *workers)
+	} else {
+		runSerial(cluster, paths, *ops)
+	}
+
+	for k := 1; k <= *adds; k++ {
+		id, msgs, err := cluster.AddMDS()
+		exitIf(err)
+		fmt.Printf("ghbactl: added MDS %d (%d messages)\n", id, msgs)
+	}
+}
+
+// runSerial replays ops lookups one at a time — the original Fig 14 driver.
+func runSerial(cluster *proto.Cluster, paths []string, ops int) {
 	levels := map[int]int{}
 	var total time.Duration
 	start := time.Now()
-	for i := 0; i < *ops; i++ {
+	for i := 0; i < ops; i++ {
 		res, err := cluster.Lookup(paths[(i*31)%len(paths)])
 		exitIf(err)
 		if !res.Found {
@@ -82,15 +108,48 @@ func main() {
 	}
 	wall := time.Since(start)
 	fmt.Printf("ghbactl: %d lookups in %v (%.0f req/s), mean RPC latency %v\n",
-		*ops, wall.Round(time.Millisecond),
-		float64(*ops)/wall.Seconds(), (total / time.Duration(*ops)).Round(time.Microsecond))
+		ops, wall.Round(time.Millisecond),
+		float64(ops)/wall.Seconds(), (total / time.Duration(ops)).Round(time.Microsecond))
 	fmt.Printf("ghbactl: levels L1=%d L2=%d L3=%d L4=%d, RPC messages=%d\n",
 		levels[1], levels[2], levels[3], levels[4], cluster.Messages())
+}
 
-	for k := 1; k <= *adds; k++ {
-		id, msgs, err := cluster.AddMDS()
+// runThroughput replays the same batch through the parallel driver at
+// worker counts doubling from 1 to maxWorkers.
+func runThroughput(cluster *proto.Cluster, paths []string, ops, maxWorkers int) {
+	batch := make([]string, ops)
+	for i := range batch {
+		batch[i] = paths[(i*31)%len(paths)]
+	}
+	// Warmup: train the LRU arrays once, unmeasured, so every worker
+	// count then measures the same L1-warm workload.
+	if _, err := cluster.LookupParallel(batch, maxWorkers); err != nil {
 		exitIf(err)
-		fmt.Printf("ghbactl: added MDS %d (%d messages)\n", id, msgs)
+	}
+	fmt.Printf("ghbactl: throughput mode, %d lookups per run (after warmup)\n", len(batch))
+	var base float64
+	for w := 1; w <= maxWorkers; w *= 2 {
+		cluster.ResetMessages()
+		start := time.Now()
+		results, err := cluster.LookupParallel(batch, w)
+		exitIf(err)
+		wall := time.Since(start)
+		levels := map[int]int{}
+		for i, res := range results {
+			if !res.Found {
+				exitIf(fmt.Errorf("lost file %s", batch[i]))
+			}
+			levels[res.Level]++
+		}
+		rate := float64(len(batch)) / wall.Seconds()
+		if w == 1 {
+			base = rate
+		}
+		n := float64(len(batch)) / 100
+		fmt.Printf("ghbactl: workers=%-3d %9.0f lookups/s  (%.2fx)  wall %-10v levels L1=%.1f%% L2=%.1f%% L3=%.1f%% L4=%.1f%%  RPCs=%d\n",
+			w, rate, rate/base, wall.Round(time.Millisecond),
+			float64(levels[1])/n, float64(levels[2])/n, float64(levels[3])/n, float64(levels[4])/n,
+			cluster.Messages())
 	}
 }
 

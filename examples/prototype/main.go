@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"ghba/internal/mds"
 	"ghba/internal/proto"
@@ -61,6 +62,27 @@ func run(mode proto.Mode) {
 	}
 	fmt.Printf("%s: 500 lookups, levels L1=%d L2=%d L3=%d L4=%d, %d RPCs\n",
 		mode, levels[1], levels[2], levels[3], levels[4], cluster.Messages())
+
+	// The same batch through the concurrent driver: 8 workers over the
+	// pooled connections, results still in batch order.
+	batch := make([]string, 500)
+	for i := range batch {
+		batch[i] = paths[(i*13)%len(paths)]
+	}
+	start := time.Now()
+	results, err := cluster.LookupParallel(batch, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+	for i, res := range results {
+		if !res.Found {
+			log.Fatalf("parallel driver lost %s", batch[i])
+		}
+	}
+	fmt.Printf("%s: %d parallel lookups (8 workers) in %v — %.0f lookups/s\n",
+		mode, len(results), wall.Round(time.Millisecond),
+		float64(len(results))/wall.Seconds())
 
 	// The Fig 15 measurement: what one MDS insertion costs in messages.
 	cluster.ResetMessages()

@@ -1,8 +1,10 @@
 package proto
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,6 +37,12 @@ func (m Mode) String() string {
 	}
 }
 
+// DefaultCallTimeout is the per-RPC deadline applied when Options leaves
+// CallTimeout zero: long enough for megabyte filter ships on loopback,
+// short enough that a hung daemon fails a lookup instead of wedging the
+// coordinator.
+const DefaultCallTimeout = 10 * time.Second
+
 // Options configures a prototype cluster.
 type Options struct {
 	// N is the number of MDS daemons.
@@ -53,6 +61,9 @@ type Options struct {
 	DiskPenalty time.Duration
 	// Seed drives placement and entry selection.
 	Seed int64
+	// CallTimeout is the per-RPC deadline. Zero selects
+	// DefaultCallTimeout; negative disables deadlines entirely.
+	CallTimeout time.Duration
 }
 
 func (o *Options) validate() error {
@@ -70,22 +81,38 @@ func (o *Options) validate() error {
 
 // Cluster is a running prototype: N daemons plus the coordinator state that
 // drives queries and reconfiguration against them.
+//
+// The coordinator follows the same single-writer / many-reader discipline
+// as the simulator's core engine: membership, group, holder, and home state
+// live behind an RWMutex, lookups are readers that snapshot what they need
+// and issue RPCs without holding the lock, and Populate/AddMDS are
+// exclusive writers. RPC connections are pooled per daemon (connSet), so
+// concurrent lookups against one daemon ride parallel sockets rather than
+// serializing on a shared connection.
 type Cluster struct {
 	opts Options
 
-	mu      sync.Mutex
-	servers map[int]*NodeServer
-	clients map[int]*rpcnet.Client
-	groups  map[int][]int       // group index → member IDs (G-HBA)
-	holders map[int]map[int]int // group index → origin → holding member
-	homes   map[string]int
-	rng     *rand.Rand
-	nextID  int
+	mu       sync.RWMutex
+	servers  map[int]*NodeServer
+	groups   map[int][]int       // group index → member IDs (G-HBA)
+	holders  map[int]map[int]int // group index → origin → holding member
+	homes    map[string]int
+	ids      []int       // sorted member IDs; rebuilt on mutation, never mutated in place
+	groupIdx map[int]int // member ID → group index; rebuilt with ids
+	nextID   int
+
+	conns *connSet
+
+	// rng drives the serial Lookup path's entry selection; parallel
+	// workers carry their own seeded RNGs and never touch it.
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	// pendingObs accumulates confirmed (path → home) mappings; every
 	// obsBatchSize lookups the batch is multicast to all daemons,
 	// refreshing their replicated LRU arrays the way HBA piggybacks LRU
 	// replica updates.
+	obsMu      sync.Mutex
 	pendingObs []observation
 
 	messages atomic.Uint64
@@ -95,19 +122,87 @@ type Cluster struct {
 // observation batch is multicast to every daemon.
 const obsBatchSize = 64
 
+// connSet owns the coordinator's per-daemon connection pools. It is
+// deliberately independent of Cluster.mu so reconfiguration can issue RPCs
+// to a daemon (including a half-joined newcomer) while holding the
+// membership write lock.
+type connSet struct {
+	callTimeout time.Duration // ≤ 0 disables per-call deadlines
+
+	mu    sync.Mutex
+	pools map[int]*rpcnet.Pool
+}
+
+func newConnSet(callTimeout time.Duration) *connSet {
+	return &connSet{callTimeout: callTimeout, pools: make(map[int]*rpcnet.Pool)}
+}
+
+// register creates (or replaces) the pool for a daemon.
+func (cs *connSet) register(id int, addr string) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if cs.pools == nil {
+		return // closed
+	}
+	if old, ok := cs.pools[id]; ok {
+		old.Close()
+	}
+	timeout := cs.callTimeout
+	if timeout < 0 {
+		timeout = 0
+	}
+	cs.pools[id] = rpcnet.NewPool(addr, rpcnet.PoolOptions{
+		DialTimeout: timeout,
+		CallTimeout: timeout,
+	})
+}
+
+// unregister drops a daemon's pool (failed join, removal).
+func (cs *connSet) unregister(id int) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	if p, ok := cs.pools[id]; ok {
+		p.Close()
+		delete(cs.pools, id)
+	}
+}
+
+func (cs *connSet) pool(id int) (*rpcnet.Pool, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	p, ok := cs.pools[id]
+	if !ok {
+		return nil, fmt.Errorf("proto: unknown MDS %d", id)
+	}
+	return p, nil
+}
+
+func (cs *connSet) closeAll() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for _, p := range cs.pools {
+		p.Close()
+	}
+	cs.pools = nil
+}
+
 // Start builds, populates and launches a prototype cluster on loopback
 // ports. Callers must Close it.
 func Start(opts Options) (*Cluster, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	callTimeout := opts.CallTimeout
+	if callTimeout == 0 {
+		callTimeout = DefaultCallTimeout
+	}
 	c := &Cluster{
 		opts:    opts,
 		servers: make(map[int]*NodeServer),
-		clients: make(map[int]*rpcnet.Client),
 		groups:  make(map[int][]int),
 		holders: make(map[int]map[int]int),
 		homes:   make(map[string]int),
+		conns:   newConnSet(callTimeout),
 		rng:     rand.New(rand.NewSource(opts.Seed)),
 		nextID:  opts.N,
 	}
@@ -123,6 +218,7 @@ func Start(opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		c.servers[i] = ns
+		c.conns.register(i, ns.Addr())
 	}
 	// Group layout (G-HBA) or flat (HBA).
 	if opts.Mode == ModeGHBA {
@@ -141,8 +237,29 @@ func Start(opts Options) (*Cluster, error) {
 			gi++
 		}
 	}
+	c.rebuildIndexLocked()
 	c.seedReplicas()
 	return c, nil
+}
+
+// rebuildIndexLocked recomputes the sorted-ID cache and the member → group
+// index. Callers must hold c.mu exclusively (or be pre-concurrency in
+// Start). Both structures are allocated fresh so snapshots handed to
+// readers stay valid after the next rebuild.
+func (c *Cluster) rebuildIndexLocked() {
+	ids := make([]int, 0, len(c.servers))
+	for id := range c.servers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	c.ids = ids
+	idx := make(map[int]int, len(c.servers))
+	for gi, members := range c.groups {
+		for _, m := range members {
+			idx[m] = gi
+		}
+	}
+	c.groupIdx = idx
 }
 
 // seedReplicas distributes initial (empty) replicas directly, before any
@@ -165,7 +282,7 @@ func (c *Cluster) seedReplicas() {
 				inGroup[id] = true
 			}
 			slot := 0
-			for _, origin := range c.sortedIDs() {
+			for _, origin := range c.ids {
 				if inGroup[origin] {
 					continue
 				}
@@ -178,19 +295,30 @@ func (c *Cluster) seedReplicas() {
 	}
 }
 
-func (c *Cluster) sortedIDs() []int {
-	ids := make([]int, 0, len(c.servers))
-	for id := range c.servers {
-		ids = append(ids, id)
+// snapshotIDs returns the current sorted member IDs. The slice is rebuilt
+// (never mutated) on membership change, so it is safe to use after the
+// lock is released.
+func (c *Cluster) snapshotIDs() []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ids
+}
+
+// groupMembers returns a copy of the group containing id (G-HBA), or nil.
+func (c *Cluster) groupMembers(id int) []int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	gi, ok := c.groupIdx[id]
+	if !ok {
+		return nil
 	}
-	sort.Ints(ids)
-	return ids
+	return append([]int(nil), c.groups[gi]...)
 }
 
 // NumMDS returns the daemon count.
 func (c *Cluster) NumMDS() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.servers)
 }
 
@@ -207,61 +335,50 @@ func (c *Cluster) ResetMessages() { c.messages.Store(0) }
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, cl := range c.clients {
-		cl.Close()
-	}
-	c.clients = make(map[int]*rpcnet.Client)
+	c.conns.closeAll()
 	for _, s := range c.servers {
 		s.Close()
 	}
 }
 
-// client returns (dialing lazily) the coordinator's connection to an MDS.
-func (c *Cluster) client(id int) (*rpcnet.Client, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.clientLocked(id)
-}
-
-func (c *Cluster) clientLocked(id int) (*rpcnet.Client, error) {
-	if cl, ok := c.clients[id]; ok {
-		return cl, nil
-	}
-	srv, ok := c.servers[id]
-	if !ok {
-		return nil, fmt.Errorf("proto: unknown MDS %d", id)
-	}
-	cl, err := rpcnet.Dial(srv.Addr())
-	if err != nil {
-		return nil, err
-	}
-	c.clients[id] = cl
-	return cl, nil
-}
-
-// call issues one counted RPC.
-func (c *Cluster) call(id int, msgType uint8, payload []byte) ([]byte, error) {
-	cl, err := c.client(id)
+// call issues one counted RPC through the daemon's connection pool. ctr,
+// when non-nil, additionally charges the message to one lookup or
+// reconfiguration, keeping per-operation counts exact even while other
+// operations are in flight.
+func (c *Cluster) call(id int, msgType uint8, payload []byte, ctr *atomic.Int64) ([]byte, error) {
+	pool, err := c.conns.pool(id)
 	if err != nil {
 		return nil, err
 	}
 	c.messages.Add(1)
-	return cl.Call(msgType, payload)
+	if ctr != nil {
+		ctr.Add(1)
+	}
+	return pool.Call(msgType, payload)
 }
 
 // Populate homes paths at random daemons (direct, unmeasured) and refreshes
-// replicas.
+// replicas. It is an exclusive writer against the coordinator's home map
+// and RNG; note that a lookup which snapshotted membership before the lock
+// was taken may still have RPCs in flight while daemon stores update —
+// each NodeServer serializes its own state, so such a lookup sees each
+// daemon either before or after its update, never a torn one.
 func (c *Cluster) Populate(paths []string) {
-	ids := c.sortedIDs()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.ids
+	c.rngMu.Lock()
 	for _, p := range paths {
 		home := ids[c.rng.Intn(len(ids))]
 		c.servers[home].AddFileDirect(p)
 		c.homes[p] = home
 	}
+	c.rngMu.Unlock()
 	c.refreshReplicas()
 }
 
 // refreshReplicas re-ships every filter to its current holders (direct).
+// Callers must hold c.mu exclusively.
 func (c *Cluster) refreshReplicas() {
 	switch c.opts.Mode {
 	case ModeHBA:
@@ -284,25 +401,13 @@ func (c *Cluster) refreshReplicas() {
 
 // HomeOf returns the ground-truth home (-1 when absent).
 func (c *Cluster) HomeOf(path string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	home, ok := c.homes[path]
 	if !ok {
 		return -1
 	}
 	return home
-}
-
-// groupOf returns the group index containing id (G-HBA), or -1.
-func (c *Cluster) groupOf(id int) int {
-	for gi, members := range c.groups {
-		for _, m := range members {
-			if m == id {
-				return gi
-			}
-		}
-	}
-	return -1
 }
 
 // LookupResult reports one prototype lookup.
@@ -319,25 +424,37 @@ type LookupResult struct {
 	Messages int
 }
 
-// Lookup resolves path through real RPCs, starting at a random entry MDS.
+// Lookup resolves path through real RPCs, starting at a random entry MDS
+// drawn from the cluster's own RNG. Safe for concurrent use, though
+// concurrent callers contend on that RNG — parallel drivers should prefer
+// LookupParallel or LookupWith with per-worker RNGs.
 func (c *Cluster) Lookup(path string) (LookupResult, error) {
-	ids := c.sortedIDs()
-	c.mu.Lock()
+	ids := c.snapshotIDs()
+	c.rngMu.Lock()
 	entry := ids[c.rng.Intn(len(ids))]
-	c.mu.Unlock()
+	c.rngMu.Unlock()
+	return c.LookupVia(path, entry)
+}
+
+// LookupWith resolves path with the entry MDS drawn from the caller's RNG,
+// the prototype's reproducible-concurrency hook: each worker owns an RNG,
+// so runs are deterministic for a fixed (seed, paths, workers) triple.
+func (c *Cluster) LookupWith(rng *rand.Rand, path string) (LookupResult, error) {
+	ids := c.snapshotIDs()
+	entry := ids[rng.Intn(len(ids))]
 	return c.LookupVia(path, entry)
 }
 
 // LookupVia resolves path with the given entry MDS.
 func (c *Cluster) LookupVia(path string, entry int) (LookupResult, error) {
 	start := time.Now()
-	msgsBefore := c.messages.Load()
-	res, err := c.lookup(path, entry)
+	var msgs atomic.Int64
+	res, err := c.lookup(path, entry, &msgs)
 	if err != nil {
 		return LookupResult{}, err
 	}
 	res.Latency = time.Since(start)
-	res.Messages = int(c.messages.Load() - msgsBefore)
+	res.Messages = int(msgs.Load())
 	if res.Found {
 		if err := c.observe(path, res.Home); err != nil {
 			return res, err
@@ -346,31 +463,105 @@ func (c *Cluster) LookupVia(path string, entry int) (LookupResult, error) {
 	return res, nil
 }
 
+// workerSeed derives a deterministic per-worker RNG seed (SplitMix64-style
+// spacing keeps neighbouring workers' streams uncorrelated; same formula as
+// the simulator facade, so prototype and simulation runs line up).
+func workerSeed(seed int64, worker int) int64 {
+	const golden = uint64(0x9E3779B97F4A7C15)
+	return seed ^ int64(uint64(worker+1)*golden)
+}
+
+// LookupParallel resolves every path over real sockets using the given
+// number of worker goroutines and returns the results in path order. Each
+// worker enters the hierarchy at daemons drawn from its own seeded RNG, so
+// entry sequences are deterministic for a fixed (seed, paths, workers)
+// triple, and a single-worker run issues exactly the RPCs the serial
+// Lookup path would with worker 0's RNG. workers < 1 selects GOMAXPROCS.
+// The first error stops that worker's chunk; other workers finish theirs,
+// and all errors are joined.
+func (c *Cluster) LookupParallel(paths []string, workers int) ([]LookupResult, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	results := make([]LookupResult, len(paths))
+	errs := make([]error, workers)
+	chunk := (len(paths) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(paths) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(paths) {
+			hi = len(paths)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(c.opts.Seed, w)))
+			for i := lo; i < hi; i++ {
+				res, err := c.LookupWith(rng, paths[i])
+				if err != nil {
+					errs[w] = fmt.Errorf("worker %d, lookup %q: %w", w, paths[i], err)
+					return
+				}
+				results[i] = res
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
 // observe queues one L1 learning record and multicasts the batch to every
 // daemon once it is full. Batching amortizes the replication cost of the
-// LRU arrays to a fraction of a message per lookup.
+// LRU arrays to a fraction of a message per lookup. A daemon that fails
+// its delivery does not cost the others theirs: the batch still reaches
+// every reachable daemon and the failures are reported joined.
 func (c *Cluster) observe(path string, home int) error {
-	c.mu.Lock()
+	c.obsMu.Lock()
 	c.pendingObs = append(c.pendingObs, observation{home: home, path: path})
 	if len(c.pendingObs) < obsBatchSize {
-		c.mu.Unlock()
+		c.obsMu.Unlock()
 		return nil
 	}
 	batch := c.pendingObs
 	c.pendingObs = nil
-	c.mu.Unlock()
+	c.obsMu.Unlock()
 	payload := encodeObservations(batch)
-	for _, id := range c.sortedIDs() {
-		if _, err := c.call(id, opObserveBatch, payload); err != nil {
-			return err
-		}
+	// Multicast in parallel, like the query fan-outs: the flushing lookup
+	// pays one round-trip time, not N sequential ones.
+	ids := c.snapshotIDs()
+	errCh := make(chan error, len(ids))
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if _, err := c.call(id, opObserveBatch, payload, nil); err != nil {
+				errCh <- fmt.Errorf("observe batch to MDS %d: %w", id, err)
+			}
+		}(id)
 	}
-	return nil
+	wg.Wait()
+	close(errCh)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
-func (c *Cluster) lookup(path string, entry int) (LookupResult, error) {
+func (c *Cluster) lookup(path string, entry int, ctr *atomic.Int64) (LookupResult, error) {
 	// Entry query: L1 + L2 in one RPC.
-	resp, err := c.call(entry, opQueryEntry, []byte(path))
+	resp, err := c.call(entry, opQueryEntry, []byte(path), ctr)
 	if err != nil {
 		return LookupResult{}, err
 	}
@@ -384,14 +575,14 @@ func (c *Cluster) lookup(path string, entry int) (LookupResult, error) {
 	}
 
 	if len(l1Hits) == 1 {
-		if ok, err := c.verify(l1Hits[0], path); err != nil {
+		if ok, err := c.verify(l1Hits[0], path, ctr); err != nil {
 			return LookupResult{}, err
 		} else if ok {
 			return LookupResult{Home: l1Hits[0], Found: true, Level: 1}, nil
 		}
 	}
 	if len(l2Hits) == 1 {
-		if ok, err := c.verify(l2Hits[0], path); err != nil {
+		if ok, err := c.verify(l2Hits[0], path, ctr); err != nil {
 			return LookupResult{}, err
 		} else if ok {
 			return LookupResult{Home: l2Hits[0], Found: true, Level: 2}, nil
@@ -400,9 +591,8 @@ func (c *Cluster) lookup(path string, entry int) (LookupResult, error) {
 
 	// L3 (G-HBA only): parallel multicast to the entry's groupmates.
 	if c.opts.Mode == ModeGHBA {
-		gi := c.groupOf(entry)
-		if gi >= 0 {
-			hits, err := c.multicastQuery(c.groups[gi], entry, opQueryMember, path)
+		if members := c.groupMembers(entry); members != nil {
+			hits, err := c.multicastQuery(members, entry, opQueryMember, path, ctr)
 			if err != nil {
 				return LookupResult{}, err
 			}
@@ -414,7 +604,7 @@ func (c *Cluster) lookup(path string, entry int) (LookupResult, error) {
 				for h := range hits {
 					home = h
 				}
-				if ok, err := c.verify(home, path); err != nil {
+				if ok, err := c.verify(home, path, ctr); err != nil {
 					return LookupResult{}, err
 				} else if ok {
 					return LookupResult{Home: home, Found: true, Level: 3}, nil
@@ -424,7 +614,7 @@ func (c *Cluster) lookup(path string, entry int) (LookupResult, error) {
 	}
 
 	// L4: global multicast; every daemon checks its local filter + store.
-	home, err := c.globalSearch(path, entry)
+	home, err := c.globalSearch(path, entry, ctr)
 	if err != nil {
 		return LookupResult{}, err
 	}
@@ -434,8 +624,8 @@ func (c *Cluster) lookup(path string, entry int) (LookupResult, error) {
 	return LookupResult{Home: -1, Found: false, Level: 4}, nil
 }
 
-func (c *Cluster) verify(id int, path string) (bool, error) {
-	resp, err := c.call(id, opVerify, []byte(path))
+func (c *Cluster) verify(id int, path string, ctr *atomic.Int64) (bool, error) {
+	resp, err := c.call(id, opVerify, []byte(path), ctr)
 	if err != nil {
 		return false, err
 	}
@@ -444,7 +634,7 @@ func (c *Cluster) verify(id int, path string) (bool, error) {
 
 // multicastQuery fans a query out to members (minus the entry) in parallel
 // and returns the union of their hits.
-func (c *Cluster) multicastQuery(members []int, entry int, msgType uint8, path string) (map[int]struct{}, error) {
+func (c *Cluster) multicastQuery(members []int, entry int, msgType uint8, path string, ctr *atomic.Int64) (map[int]struct{}, error) {
 	type answer struct {
 		hits []int
 		err  error
@@ -458,7 +648,7 @@ func (c *Cluster) multicastQuery(members []int, entry int, msgType uint8, path s
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			resp, err := c.call(id, msgType, []byte(path))
+			resp, err := c.call(id, msgType, []byte(path), ctr)
 			if err != nil {
 				answers <- answer{err: err}
 				return
@@ -482,8 +672,8 @@ func (c *Cluster) multicastQuery(members []int, entry int, msgType uint8, path s
 }
 
 // globalSearch asks every daemon (minus the entry) whether it homes path.
-func (c *Cluster) globalSearch(path string, entry int) (int, error) {
-	ids := c.sortedIDs()
+func (c *Cluster) globalSearch(path string, entry int, ctr *atomic.Int64) (int, error) {
+	ids := c.snapshotIDs()
 	type answer struct {
 		id  int
 		has bool
@@ -498,14 +688,14 @@ func (c *Cluster) globalSearch(path string, entry int) (int, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			resp, err := c.call(id, opHasLocal, []byte(path))
+			resp, err := c.call(id, opHasLocal, []byte(path), ctr)
 			answers <- answer{id: id, has: err == nil && byteBool(resp), err: err}
 		}(id)
 	}
 	// The entry checks itself locally too (no extra message: it is the
 	// server driving the query; count one self-check call for symmetry
 	// with the simulator's accounting).
-	selfResp, selfErr := c.call(entry, opHasLocal, []byte(path))
+	selfResp, selfErr := c.call(entry, opHasLocal, []byte(path), ctr)
 	wg.Wait()
 	close(answers)
 	if selfErr == nil && byteBool(selfResp) {

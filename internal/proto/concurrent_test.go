@@ -1,0 +1,259 @@
+package proto
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLookupParallelSingleWorkerMatchesSerial pins the prototype's
+// reproducibility contract: a single-worker parallel run issues exactly the
+// serial Lookup path's RPC sequence, driven by worker 0's RNG. Two
+// identically built clusters — one through LookupParallel(batch, 1), one
+// serially through LookupWith with the same derived RNG — must agree on
+// every home, level, and per-lookup message count. (Latency is wall-clock
+// over real sockets, so it is the one field excluded.)
+func TestLookupParallelSingleWorkerMatchesSerial(t *testing.T) {
+	a := startPopulated(t, 6, 3, ModeGHBA, 200)
+	b := startPopulated(t, 6, 3, ModeGHBA, 200)
+	batch := make([]string, 150)
+	for i := range batch {
+		batch[i] = "/p/f" + strconv.Itoa((i*7)%200)
+	}
+
+	parallel, err := a.LookupParallel(batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(workerSeed(b.opts.Seed, 0)))
+	for i, p := range batch {
+		serial, err := b.LookupWith(rng, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := parallel[i], serial
+		got.Latency, want.Latency = 0, 0
+		if got != want {
+			t.Fatalf("lookup %d (%s) diverged: parallel %+v, serial %+v", i, p, got, want)
+		}
+	}
+}
+
+// TestLookupParallelManyWorkers checks correctness (not determinism) under
+// real concurrency: every result present, found, and matching ground truth.
+func TestLookupParallelManyWorkers(t *testing.T) {
+	c := startPopulated(t, 6, 3, ModeGHBA, 300)
+	batch := make([]string, 400)
+	for i := range batch {
+		batch[i] = "/p/f" + strconv.Itoa(i%300)
+	}
+	results, err := c.LookupParallel(batch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(batch) {
+		t.Fatalf("got %d results for %d paths", len(results), len(batch))
+	}
+	for i, res := range results {
+		if !res.Found || res.Home != c.HomeOf(batch[i]) {
+			t.Fatalf("lookup %d (%s) = %+v (truth %d)", i, batch[i], res, c.HomeOf(batch[i]))
+		}
+		if res.Messages < 1 {
+			t.Fatalf("lookup %d counted %d messages", i, res.Messages)
+		}
+	}
+}
+
+// TestParallelLookupsDuringAddMDSChurn is the race stress test: parallel
+// lookup workers run flat out while a writer goroutine grows the cluster,
+// exercising the read/write split on membership state, the connection
+// pools, and registration-after-reconfiguration. Run under -race.
+func TestParallelLookupsDuringAddMDSChurn(t *testing.T) {
+	c := startPopulated(t, 6, 3, ModeGHBA, 300)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 5)
+
+	// Churn writer: three joins with lookup traffic in flight throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			if _, _, err := c.AddMDS(); err != nil {
+				errs <- fmt.Errorf("AddMDS %d: %w", i, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(99, w)))
+			for i := 0; i < 60; i++ {
+				path := "/p/f" + strconv.Itoa((w*97+i)%300)
+				res, err := c.LookupWith(rng, path)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d lookup %s: %w", w, path, err)
+					return
+				}
+				if !res.Found {
+					errs <- fmt.Errorf("worker %d lost %s during churn", w, path)
+					return
+				}
+			}
+		}(w)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := c.NumMDS(); n != 9 {
+		t.Errorf("NumMDS after churn = %d, want 9", n)
+	}
+	// The grown cluster still resolves everything.
+	for i := 0; i < 300; i += 17 {
+		path := "/p/f" + strconv.Itoa(i)
+		res, err := c.Lookup(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Home != c.HomeOf(path) {
+			t.Fatalf("post-churn lookup %s = %+v", path, res)
+		}
+	}
+}
+
+// TestAddMDSDeterministicReplicaOffload pins the joinGroup fix: two
+// identically seeded clusters performing the same join must end with
+// identical replica placement and identical message counts — map iteration
+// order must not pick which replicas migrate.
+func TestAddMDSDeterministicReplicaOffload(t *testing.T) {
+	// 7 servers, M=4 → groups of 4 and 3; the join lands in the second
+	// with replica offload.
+	a := startPopulated(t, 7, 4, ModeGHBA, 100)
+	b := startPopulated(t, 7, 4, ModeGHBA, 100)
+	_, aMsgs, err := a.AddMDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bMsgs, err := b.AddMDS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aMsgs != bMsgs {
+		t.Errorf("join message counts diverged: %d vs %d", aMsgs, bMsgs)
+	}
+	if !reflect.DeepEqual(a.groups, b.groups) {
+		t.Errorf("groups diverged:\n a: %v\n b: %v", a.groups, b.groups)
+	}
+	if !reflect.DeepEqual(a.holders, b.holders) {
+		t.Errorf("replica placement diverged:\n a: %v\n b: %v", a.holders, b.holders)
+	}
+}
+
+// TestAddMDSFailureRollsBackCoordinatorState pins the error-path contract:
+// when reconfiguration fails mid-flight (here: a group member died, so its
+// replica offload RPC fails), the newcomer must not linger in any group or
+// holder entry — otherwise later lookups would multicast to an unknown MDS
+// and Populate would panic on the missing server.
+func TestAddMDSFailureRollsBackCoordinatorState(t *testing.T) {
+	c := startPopulated(t, 7, 4, ModeGHBA, 100)
+	// Groups are {0,1,2,3} and {4,5,6}; the join lands in the second,
+	// whose member 4 must offload replicas to the newcomer. Kill 4 so
+	// that opDropReplica fails.
+	c.servers[4].Close()
+	if _, _, err := c.AddMDS(); err == nil {
+		t.Fatal("AddMDS against a dead group member succeeded")
+	}
+	if n := c.NumMDS(); n != 7 {
+		t.Errorf("NumMDS after failed join = %d, want 7", n)
+	}
+	c.mu.RLock()
+	if gi := c.groupOfLocked(7); gi != -1 {
+		t.Errorf("abandoned newcomer still in group %d", gi)
+	}
+	for gi, m := range c.holders {
+		for origin, holder := range m {
+			if origin == 7 || holder == 7 {
+				t.Errorf("holders[%d] still references abandoned newcomer: %d→%d", gi, origin, holder)
+			}
+		}
+	}
+	c.mu.RUnlock()
+	// Lookups that stay inside the healthy group still resolve. Stay
+	// under obsBatchSize total so the observation flush (which would
+	// multicast into the dead daemon) never fires here.
+	checked := 0
+	for i := 0; i < 100 && checked < obsBatchSize-1; i++ {
+		p := "/p/f" + strconv.Itoa(i)
+		if home := c.HomeOf(p); home >= 0 && home <= 3 {
+			checked++
+			res, err := c.LookupVia(p, 0)
+			if err != nil {
+				t.Fatalf("post-rollback lookup %s: %v", p, err)
+			}
+			if !res.Found || res.Home != home {
+				t.Fatalf("post-rollback lookup %s = %+v (truth %d)", p, res, home)
+			}
+		}
+	}
+}
+
+// TestObserveBatchSurvivesDeadDaemon pins the multicast-failure fix: when
+// one daemon is unreachable at flush time, the LRU observation batch still
+// reaches every other daemon (their next lookups answer at L1) and the
+// failure is reported rather than silently dropping the batch.
+func TestObserveBatchSurvivesDeadDaemon(t *testing.T) {
+	c := startPopulated(t, 4, 2, ModeGHBA, 80)
+	// Pick a path homed anywhere but daemon 3, and kill daemon 3. Groups
+	// are {0,1} and {2,3}, so lookups entering at 0 never consult 3
+	// before resolving at L2/L3.
+	hot := ""
+	for i := 0; i < 80; i++ {
+		p := "/p/f" + strconv.Itoa(i)
+		if c.HomeOf(p) != 3 {
+			hot = p
+			break
+		}
+	}
+	if hot == "" {
+		t.Fatal("all files homed at daemon 3")
+	}
+	c.servers[3].Close()
+
+	var flushErr error
+	for i := 0; i < obsBatchSize; i++ {
+		res, err := c.LookupVia(hot, 0)
+		if err != nil {
+			flushErr = err
+		}
+		if !res.Found {
+			t.Fatalf("lookup %d of %s not found", i, hot)
+		}
+	}
+	if flushErr == nil {
+		t.Fatal("flush against dead daemon reported no error")
+	}
+	if !strings.Contains(flushErr.Error(), "MDS 3") {
+		t.Errorf("flush error does not name the dead daemon: %v", flushErr)
+	}
+	// The surviving daemons received the batch despite the failure.
+	res, err := c.LookupVia(hot, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Level != 1 {
+		t.Errorf("post-flush lookup served at level %d, want 1 (batch lost?)", res.Level)
+	}
+}

@@ -2,6 +2,8 @@ package proto
 
 import (
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"ghba/internal/mds"
 )
@@ -16,7 +18,17 @@ import (
 // G-HBA: the newcomer joins a group with room (offload migrations + IDBFA
 // multicast) or splits a full group (replica-copy exchange), then its filter
 // goes to one member of each other group.
+//
+// AddMDS is an exclusive writer: it holds the membership write lock for the
+// whole reconfiguration, so concurrent lookups either ran against the old
+// membership (snapshotted before the lock) or wait and see the fully wired
+// newcomer. The newcomer enters the member set only after reconfiguration
+// completes — a lookup can never select a half-wired daemon as its entry
+// and probe an empty node. The operation's message count is tracked
+// per-operation, so concurrent lookup traffic does not pollute it.
 func (c *Cluster) AddMDS() (int, int, error) {
+	// Build and launch the daemon before taking the write lock; only the
+	// reconfiguration itself excludes readers.
 	c.mu.Lock()
 	id := c.nextID
 	c.nextID++
@@ -30,48 +42,58 @@ func (c *Cluster) AddMDS() (int, int, error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	c.mu.Lock()
-	c.servers[id] = ns
-	c.mu.Unlock()
+	// The connection pool registers early — reconfiguration RPCs must
+	// reach the newcomer — but the membership index does not.
+	c.conns.register(id, ns.Addr())
 
-	before := c.messages.Load()
+	var msgs atomic.Int64
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	groupsBak, holdersBak := copyGroups(c.groups), copyHolders(c.holders)
 	switch c.opts.Mode {
 	case ModeHBA:
-		err = c.addHBA(id)
+		err = c.addHBA(id, &msgs)
 	case ModeGHBA:
-		err = c.addGHBA(id)
+		err = c.addGHBA(id, &msgs)
 	}
 	if err != nil {
+		// Roll the coordinator's bookkeeping back to the pre-join state so
+		// no group or holder entry references the abandoned daemon (a
+		// lookup hitting such an entry would fail with "unknown MDS", and
+		// refreshReplicas would panic on the missing server). Replicas
+		// already migrated onto the newcomer cost affected lookups an L4
+		// fallback until the next Populate re-ships them — correctness is
+		// preserved either way.
+		c.groups, c.holders = groupsBak, holdersBak
+		ns.Close()
+		c.conns.unregister(id)
 		return 0, 0, err
 	}
-	return id, int(c.messages.Load() - before), nil
+	c.servers[id] = ns
+	c.rebuildIndexLocked()
+	return id, int(msgs.Load()), nil
 }
 
-// addHBA: full replica exchange with every existing server.
-func (c *Cluster) addHBA(id int) error {
-	for _, other := range c.sortedIDs() {
-		if other == id {
-			continue
-		}
+// addHBA: full replica exchange with every existing server. The newcomer is
+// not yet in c.ids, so "every existing server" is simply the cached list.
+func (c *Cluster) addHBA(id int, msgs *atomic.Int64) error {
+	for _, other := range c.ids {
 		// Fetch the peer's filter and install it on the newcomer.
-		snap, err := c.call(other, opShipFilter, nil)
+		snap, err := c.call(other, opShipFilter, nil, msgs)
 		if err != nil {
 			return err
 		}
-		if _, err := c.call(id, opInstallReplica, encodeOriginPayload(other, snap)); err != nil {
+		if _, err := c.call(id, opInstallReplica, encodeOriginPayload(other, snap), msgs); err != nil {
 			return err
 		}
 	}
 	// Distribute the newcomer's filter to everyone.
-	snap, err := c.call(id, opShipFilter, nil)
+	snap, err := c.call(id, opShipFilter, nil, msgs)
 	if err != nil {
 		return err
 	}
-	for _, other := range c.sortedIDs() {
-		if other == id {
-			continue
-		}
-		if _, err := c.call(other, opInstallReplica, encodeOriginPayload(id, snap)); err != nil {
+	for _, other := range c.ids {
+		if _, err := c.call(other, opInstallReplica, encodeOriginPayload(id, snap), msgs); err != nil {
 			return err
 		}
 	}
@@ -79,34 +101,53 @@ func (c *Cluster) addHBA(id int) error {
 }
 
 // addGHBA: join-with-room or split, then replica distribution.
-func (c *Cluster) addGHBA(id int) error {
+func (c *Cluster) addGHBA(id int, msgs *atomic.Int64) error {
 	gi := c.pickGroupWithRoom()
 	if gi >= 0 {
-		if err := c.joinGroup(gi, id); err != nil {
+		if err := c.joinGroup(gi, id, msgs); err != nil {
 			return err
 		}
 	} else {
-		if err := c.splitGroup(id); err != nil {
+		if err := c.splitGroup(id, msgs); err != nil {
 			return err
 		}
 	}
 	// Distribute the newcomer's filter to one member of each other group.
-	ownGroup := c.groupOf(id)
-	snap, err := c.call(id, opShipFilter, nil)
+	ownGroup := c.groupOfLocked(id)
+	snap, err := c.call(id, opShipFilter, nil, msgs)
 	if err != nil {
 		return err
 	}
-	for gi, members := range c.groups {
-		if gi == ownGroup || len(members) == 0 {
+	gis := make([]int, 0, len(c.groups))
+	for gi := range c.groups {
+		gis = append(gis, gi)
+	}
+	sort.Ints(gis)
+	for _, gi := range gis {
+		if gi == ownGroup || len(c.groups[gi]) == 0 {
 			continue
 		}
 		target := c.lightestMember(gi)
-		if _, err := c.call(target, opInstallReplica, encodeOriginPayload(id, snap)); err != nil {
+		if _, err := c.call(target, opInstallReplica, encodeOriginPayload(id, snap), msgs); err != nil {
 			return err
 		}
 		c.holders[gi][id] = target
 	}
 	return nil
+}
+
+// groupOfLocked returns the group index containing id (G-HBA), or -1. It
+// scans c.groups directly because reconfiguration mutates groups mid-flight
+// and the cached groupIdx is only rebuilt afterwards. Callers hold c.mu.
+func (c *Cluster) groupOfLocked(id int) int {
+	for gi, members := range c.groups {
+		for _, m := range members {
+			if m == id {
+				return gi
+			}
+		}
+	}
+	return -1
 }
 
 func (c *Cluster) pickGroupWithRoom() int {
@@ -123,8 +164,7 @@ func (c *Cluster) pickGroupWithRoom() int {
 // replicas, by ascending ID on ties.
 func (c *Cluster) lightestMember(gi int) int {
 	counts := make(map[int]int)
-	for origin, holder := range c.holders[gi] {
-		_ = origin
+	for _, holder := range c.holders[gi] {
 		counts[holder]++
 	}
 	members := append([]int(nil), c.groups[gi]...)
@@ -140,14 +180,21 @@ func (c *Cluster) lightestMember(gi int) int {
 // joinGroup performs the light-weight migration: members above the target
 // replica count offload their excess to the newcomer over RPC, then the
 // updated IDBFA is multicast (a ping per member).
-func (c *Cluster) joinGroup(gi, id int) error {
+func (c *Cluster) joinGroup(gi, id int, msgs *atomic.Int64) error {
 	members := c.groups[gi]
 	newSize := len(members) + 1
-	external := len(c.servers) - newSize
+	// The newcomer is not yet registered in c.servers, hence the +1.
+	external := len(c.servers) + 1 - newSize
 	target := (external + newSize - 1) / newSize
 	counts := make(map[int][]int) // holder → origins
 	for origin, holder := range c.holders[gi] {
 		counts[holder] = append(counts[holder], origin)
+	}
+	// Map iteration order must not pick which replicas migrate: sort each
+	// holder's origins so the reconfiguration message flow is identical
+	// run-to-run under a fixed seed.
+	for _, origins := range counts {
+		sort.Ints(origins)
 	}
 	for _, m := range members {
 		origins := counts[m]
@@ -155,11 +202,11 @@ func (c *Cluster) joinGroup(gi, id int) error {
 		for i := 0; i < excess; i++ {
 			origin := origins[i]
 			// Fetch-and-drop from the current holder, install on newcomer.
-			snap, err := c.call(m, opDropReplica, encodeOriginPayload(origin, nil))
+			snap, err := c.call(m, opDropReplica, encodeOriginPayload(origin, nil), msgs)
 			if err != nil {
 				return err
 			}
-			if _, err := c.call(id, opInstallReplica, encodeOriginPayload(origin, snap)); err != nil {
+			if _, err := c.call(id, opInstallReplica, encodeOriginPayload(origin, snap), msgs); err != nil {
 				return err
 			}
 			c.holders[gi][origin] = id
@@ -167,18 +214,18 @@ func (c *Cluster) joinGroup(gi, id int) error {
 	}
 	// Batched IDBFA multicast to the existing members.
 	for _, m := range members {
-		if _, err := c.call(m, opPing, nil); err != nil {
+		if _, err := c.call(m, opPing, nil, msgs); err != nil {
 			return err
 		}
 	}
-	c.groups[gi] = append(members, id)
+	c.groups[gi] = append(append([]int(nil), members...), id)
 	return nil
 }
 
 // splitGroup divides the first full group into two halves, the newcomer
 // joining the second, with replica-copy exchange so both halves keep a
 // global mirror image.
-func (c *Cluster) splitGroup(id int) error {
+func (c *Cluster) splitGroup(id int, msgs *atomic.Int64) error {
 	// Deterministic victim: lowest group index.
 	victim := -1
 	for gi := range c.groups {
@@ -217,9 +264,10 @@ func (c *Cluster) splitGroup(id int) error {
 		return false
 	}
 	// Each side copies the external origins it now lacks from the other
-	// side, and fetches fresh filters of the other side's members.
+	// side, and fetches fresh filters of the other side's members. Origins
+	// are visited in sorted order so the message flow is deterministic.
 	for _, pair := range []struct{ dst, src int }{{victim, newGi}, {newGi, victim}} {
-		for origin := range c.holders[pair.src] {
+		for _, origin := range sortedKeys(c.holders[pair.src]) {
 			if inGroup(pair.dst, origin) {
 				continue
 			}
@@ -229,12 +277,12 @@ func (c *Cluster) splitGroup(id int) error {
 			// Fetch a fresh filter from the origin itself (alive in the
 			// prototype); copying the other side's replica bytes would be
 			// equivalent but staler.
-			snap, err := c.call(origin, opShipFilter, nil)
+			snap, err := c.call(origin, opShipFilter, nil, msgs)
 			if err != nil {
 				return err
 			}
 			target := c.lightestMember(pair.dst)
-			if _, err := c.call(target, opInstallReplica, encodeOriginPayload(origin, snap)); err != nil {
+			if _, err := c.call(target, opInstallReplica, encodeOriginPayload(origin, snap), msgs); err != nil {
 				return err
 			}
 			c.holders[pair.dst][origin] = target
@@ -243,12 +291,12 @@ func (c *Cluster) splitGroup(id int) error {
 			if _, ok := c.holders[pair.dst][member]; ok {
 				continue
 			}
-			snap, err := c.call(member, opShipFilter, nil)
+			snap, err := c.call(member, opShipFilter, nil, msgs)
 			if err != nil {
 				return err
 			}
 			target := c.lightestMember(pair.dst)
-			if _, err := c.call(target, opInstallReplica, encodeOriginPayload(member, snap)); err != nil {
+			if _, err := c.call(target, opInstallReplica, encodeOriginPayload(member, snap), msgs); err != nil {
 				return err
 			}
 			c.holders[pair.dst][member] = target
@@ -257,10 +305,42 @@ func (c *Cluster) splitGroup(id int) error {
 	// IDBFA multicast within both halves.
 	for _, gi := range []int{victim, newGi} {
 		for _, m := range c.groups[gi] {
-			if _, err := c.call(m, opPing, nil); err != nil {
+			if _, err := c.call(m, opPing, nil, msgs); err != nil {
 				return err
 			}
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns a map's keys in ascending order.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// copyGroups deep-copies the group membership map for rollback.
+func copyGroups(groups map[int][]int) map[int][]int {
+	out := make(map[int][]int, len(groups))
+	for gi, members := range groups {
+		out[gi] = append([]int(nil), members...)
+	}
+	return out
+}
+
+// copyHolders deep-copies the replica-holder map for rollback.
+func copyHolders(holders map[int]map[int]int) map[int]map[int]int {
+	out := make(map[int]map[int]int, len(holders))
+	for gi, m := range holders {
+		cp := make(map[int]int, len(m))
+		for origin, holder := range m {
+			cp[origin] = holder
+		}
+		out[gi] = cp
+	}
+	return out
 }

@@ -1,0 +1,115 @@
+package rpcnet
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrPoolClosed is returned by calls against a closed pool.
+var ErrPoolClosed = errors.New("rpcnet: pool closed")
+
+// PoolOptions configures a connection pool.
+type PoolOptions struct {
+	// DialTimeout bounds each dial; zero means no bound.
+	DialTimeout time.Duration
+	// CallTimeout is the per-call deadline applied to every connection;
+	// zero disables deadlines.
+	CallTimeout time.Duration
+	// MaxIdle caps the connections retained between calls (default 8).
+	// Demand beyond it still dials — surplus connections are simply closed
+	// on return instead of retained.
+	MaxIdle int
+}
+
+// Pool is a concurrency-safe pool of connections to one server. Callers
+// invoke Call from any number of goroutines; each call checks out an idle
+// connection (dialing when none is free), so independent calls proceed in
+// parallel instead of serializing on a single socket. Connections that hit
+// a transport error or timeout are discarded, and the next call dials
+// fresh — one hung or crashed daemon costs failed calls, never a wedged
+// pool.
+type Pool struct {
+	addr string
+	opts PoolOptions
+
+	mu     sync.Mutex
+	idle   []*Client
+	closed bool
+}
+
+// NewPool builds a pool for addr. No connection is dialed until the first
+// Call.
+func NewPool(addr string, opts PoolOptions) *Pool {
+	if opts.MaxIdle <= 0 {
+		opts.MaxIdle = 8
+	}
+	return &Pool{addr: addr, opts: opts}
+}
+
+// Addr returns the server address the pool dials.
+func (p *Pool) Addr() string { return p.addr }
+
+// Call checks out a connection, performs one RPC, and returns the
+// connection to the pool. Application errors (*RemoteError) leave the
+// connection reusable; transport errors discard it.
+func (p *Pool) Call(msgType uint8, payload []byte) ([]byte, error) {
+	cl, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cl.Call(msgType, payload)
+	var remote *RemoteError
+	if err == nil || errors.As(err, &remote) {
+		p.put(cl)
+	} else {
+		cl.Close()
+	}
+	return resp, err
+}
+
+func (p *Pool) get() (*Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if n := len(p.idle); n > 0 {
+		cl := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return cl, nil
+	}
+	p.mu.Unlock()
+	return DialTimeout(p.addr, p.opts.DialTimeout, p.opts.CallTimeout)
+}
+
+func (p *Pool) put(cl *Client) {
+	p.mu.Lock()
+	if !p.closed && len(p.idle) < p.opts.MaxIdle {
+		p.idle = append(p.idle, cl)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	cl.Close()
+}
+
+// IdleConns reports the connections currently checked in.
+func (p *Pool) IdleConns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// Close closes all idle connections and fails subsequent calls.
+// Connections checked out by in-flight calls are closed as they return.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for _, cl := range p.idle {
+		cl.Close()
+	}
+	p.idle = nil
+}

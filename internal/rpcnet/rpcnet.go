@@ -21,6 +21,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxMessageBytes bounds a single message (filters can be megabytes at
@@ -29,6 +30,18 @@ const MaxMessageBytes = 64 << 20
 
 // ErrServerClosed is returned by calls against a closed server.
 var ErrServerClosed = errors.New("rpcnet: server closed")
+
+// RemoteError is an application-level error returned by a server handler.
+// The request/response frames completed cleanly, so the connection remains
+// usable — pools keep the connection alive after one of these, unlike
+// transport errors (timeouts, resets), which poison it.
+type RemoteError struct {
+	// Msg is the handler's error text as sent on the wire.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "rpcnet: remote error: " + e.Msg }
 
 // Handler processes one request and returns the response payload.
 // Returning an error sends an application-error response; the connection
@@ -167,50 +180,80 @@ func writeFrame(w io.Writer, lead uint8, payload []byte) error {
 }
 
 // Client is a synchronous RPC client over one TCP connection. Calls are
-// serialized by a mutex; use one client per concurrent worker for
-// parallelism.
+// serialized by a mutex; use a Pool (or one client per worker) for
+// parallelism. A transport error — timeout, reset, short read — leaves the
+// frame boundary unknown, so it poisons the connection: the client closes
+// it and every later call fails fast. Application errors (RemoteError) are
+// clean frames and leave the connection usable.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	timeout time.Duration
 }
 
-// Dial connects to a server.
+// Dial connects to a server with no call deadline.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0, 0)
+}
+
+// DialTimeout connects with a bound on the dial itself and a per-call
+// deadline covering each request/response round trip. Zero disables either
+// bound. A call that exceeds callTimeout returns a net.Error whose
+// Timeout() is true, and the connection is closed: a hung daemon costs one
+// failed call, never a wedged client.
+func DialTimeout(addr string, dialTimeout, callTimeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("rpcnet: dial %s: %w", addr, err)
 	}
 	return &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
+		conn:    conn,
+		br:      bufio.NewReader(conn),
+		bw:      bufio.NewWriter(conn),
+		timeout: callTimeout,
 	}, nil
 }
 
 // Call sends one request and waits for its response. An application error
-// from the handler is returned as an error with the server's message.
+// from the handler is returned as a *RemoteError with the server's message;
+// any other error means the connection is now closed.
 func (c *Client) Call(msgType uint8, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, ErrServerClosed
 	}
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, c.poisonLocked(fmt.Errorf("rpcnet: deadline: %w", err))
+		}
+	}
 	if err := writeFrame(c.bw, msgType, payload); err != nil {
-		return nil, fmt.Errorf("rpcnet: write: %w", err)
+		return nil, c.poisonLocked(fmt.Errorf("rpcnet: write: %w", err))
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, fmt.Errorf("rpcnet: flush: %w", err)
+		return nil, c.poisonLocked(fmt.Errorf("rpcnet: flush: %w", err))
 	}
 	status, resp, err := readFrame(c.br)
 	if err != nil {
-		return nil, fmt.Errorf("rpcnet: read: %w", err)
+		return nil, c.poisonLocked(fmt.Errorf("rpcnet: read: %w", err))
 	}
 	if status != 0 {
-		return nil, fmt.Errorf("rpcnet: remote error: %s", resp)
+		return nil, &RemoteError{Msg: string(resp)}
 	}
 	return resp, nil
+}
+
+// poisonLocked closes the connection after a transport error; the stream
+// position is unknown, so it can never carry another frame.
+func (c *Client) poisonLocked(err error) error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return err
 }
 
 // Close closes the connection; subsequent calls fail.
