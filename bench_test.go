@@ -249,6 +249,38 @@ func BenchmarkTables34TraceStats(b *testing.B) {
 	}
 }
 
+// BenchmarkDigestLookup measures one full L1→L4 lookup through the hash-once
+// digest pipeline: the path is hashed exactly once and every filter probe in
+// the hierarchy replays the digest's cached bit positions. Run with
+// -benchmem; the steady-state read path performs no heap allocations beyond
+// Go runtime bookkeeping. The hot/cold split mirrors real traffic: hot paths
+// resolve at L1/L2, cold and absent paths walk the full hierarchy.
+func BenchmarkDigestLookup(b *testing.B) {
+	sim, err := New(Config{NumMDS: 30, ExpectedFilesPerMDS: 2_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	paths := make([]string, 5_000)
+	for i := range paths {
+		paths[i] = "/bench/digest/f" + strconv.Itoa(i)
+	}
+	sim.CreateAll(paths)
+	absent := make([]string, 512)
+	for i := range absent {
+		absent[i] = "/bench/digest/absent" + strconv.Itoa(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 15 {
+			sim.Lookup(absent[(i/16)%len(absent)])
+		} else {
+			sim.Lookup(paths[i%len(paths)])
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
 // BenchmarkCoreLookup measures the simulator's raw lookup throughput — not
 // a paper figure, but the number that bounds every trace-driven experiment.
 func BenchmarkCoreLookup(b *testing.B) {

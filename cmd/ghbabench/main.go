@@ -17,9 +17,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"ghba"
@@ -41,6 +43,7 @@ func main() {
 		workers    = flag.Int("workers", 1, "lookup worker goroutines for -throughput")
 		lookups    = flag.Int("lookups", 100_000, "lookup count for -throughput")
 		files      = flag.Int("files", 20_000, "namespace size for -throughput")
+		jsonOut    = flag.String("json", "BENCH_lookup.json", "perf-trajectory JSON written by -throughput (empty disables)")
 	)
 	flag.Parse()
 
@@ -49,7 +52,7 @@ func main() {
 		if nn == 0 {
 			nn = 30
 		}
-		exitIf(runThroughput(nn, *files, *lookups, *workers, *seed))
+		exitIf(runThroughput(nn, *files, *lookups, *workers, *seed, *jsonOut))
 		return
 	}
 
@@ -162,11 +165,32 @@ func main() {
 	}
 }
 
+// benchRecord is the perf-trajectory datum -throughput emits: one point of
+// (configuration, lookups/sec, ns/op, allocs/op) comparable across PRs.
+type benchRecord struct {
+	Bench         string  `json:"bench"`
+	NumMDS        int     `json:"num_mds"`
+	Files         int     `json:"files"`
+	Lookups       int     `json:"lookups"`
+	Workers       int     `json:"workers"`
+	Seed          int64   `json:"seed"`
+	LookupsPerSec float64 `json:"lookups_per_sec"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	L1Share       float64 `json:"l1_share"`
+	L2Share       float64 `json:"l2_share"`
+	L3Share       float64 `json:"l3_share"`
+	L4Share       float64 `json:"l4_share"`
+}
+
 // runThroughput populates a cluster with files files and resolves lookups
 // paths across the given worker count, reporting wall-clock lookups/sec and
 // the per-level hit distribution. The path sequence cycles through the
 // namespace so the L1 array sees the temporal locality the scheme exploits.
-func runThroughput(n, files, lookups, workers int, seed int64) error {
+// When jsonOut is non-empty the headline numbers are also written there as
+// the perf-trajectory record.
+func runThroughput(n, files, lookups, workers int, seed int64, jsonOut string) error {
 	sim, err := ghba.New(ghba.Config{
 		NumMDS:              n,
 		ExpectedFilesPerMDS: uint64(files/n + 1),
@@ -186,9 +210,19 @@ func runThroughput(n, files, lookups, workers int, seed int64) error {
 		batch[i] = paths[i%len(paths)]
 	}
 
+	// Warm the scratch pools and L1 before measuring, then bracket the
+	// measured run with allocation and level-tally counters so the record
+	// carries the allocs/op and per-level shares of the measured lookups
+	// only — not warmup or population noise.
+	sim.LookupParallel(batch[:min(len(batch), 4_096)], workers)
+	levelsBefore := sim.LevelCounts()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	results := sim.LookupParallel(batch, workers)
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	levelsAfter := sim.LevelCounts()
 
 	found := 0
 	for _, r := range results {
@@ -196,7 +230,10 @@ func runThroughput(n, files, lookups, workers int, seed int64) error {
 			found++
 		}
 	}
-	frac := sim.LevelFractions()
+	var frac [5]float64
+	for l := 1; l <= 4; l++ {
+		frac[l] = float64(levelsAfter[l]-levelsBefore[l]) / float64(len(results))
+	}
 	fmt.Printf("Parallel lookup throughput — N=%d M(auto) files=%d seed=%d\n",
 		n, files, seed)
 	fmt.Printf("  workers        %d\n", workers)
@@ -207,6 +244,36 @@ func runThroughput(n, files, lookups, workers int, seed int64) error {
 	fmt.Printf("  sim latency    %v mean\n", sim.MeanLatency().Round(time.Microsecond))
 	fmt.Printf("  level shares   L1=%.3f L2=%.3f L3=%.3f L4=%.3f\n",
 		frac[1], frac[2], frac[3], frac[4])
+
+	ops := float64(len(results))
+	rec := benchRecord{
+		Bench:         "ghbabench-throughput",
+		NumMDS:        n,
+		Files:         files,
+		Lookups:       lookups,
+		Workers:       workers,
+		Seed:          seed,
+		LookupsPerSec: ops / elapsed.Seconds(),
+		NsPerOp:       float64(elapsed.Nanoseconds()) / ops,
+		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / ops,
+		BytesPerOp:    float64(after.TotalAlloc-before.TotalAlloc) / ops,
+		L1Share:       frac[1],
+		L2Share:       frac[2],
+		L3Share:       frac[3],
+		L4Share:       frac[4],
+	}
+	fmt.Printf("  allocs/op      %.3f (%.1f B/op)\n", rec.AllocsPerOp, rec.BytesPerOp)
+	if jsonOut == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", jsonOut, err)
+	}
+	fmt.Printf("  perf record    %s\n", jsonOut)
 	return nil
 }
 

@@ -267,6 +267,17 @@ func (s *Simulation) LevelFractions() [5]float64 {
 	return out
 }
 
+// LevelCounts returns the cumulative number of lookups served at each level
+// (indices 1–4; index 0 unused). Drivers that interleave warmup and measured
+// phases difference two snapshots to attribute hits to one phase.
+func (s *Simulation) LevelCounts() [5]uint64 {
+	var out [5]uint64
+	for l := 1; l <= 4; l++ {
+		out[l] = s.cluster.Tally().Count(l)
+	}
+	return out
+}
+
 // MeanLatency returns the average simulated lookup latency so far.
 func (s *Simulation) MeanLatency() time.Duration {
 	return s.cluster.OverallLatency().Mean()

@@ -54,6 +54,16 @@ func (c *CountingFilter) Count() uint64 { return c.n }
 // Add inserts key, incrementing the k counters it maps to.
 func (c *CountingFilter) Add(key []byte) {
 	h1, h2 := hashPair(key)
+	c.addPair(h1, h2)
+}
+
+// AddString inserts a string key without copying it to a byte slice.
+func (c *CountingFilter) AddString(key string) {
+	h1, h2 := hashPairString(key)
+	c.addPair(h1, h2)
+}
+
+func (c *CountingFilter) addPair(h1, h2 uint64) {
 	for i := uint32(0); i < c.k; i++ {
 		idx := indexAt(h1, h2, i, c.m)
 		if c.counters[idx] < counterMax {
@@ -63,15 +73,22 @@ func (c *CountingFilter) Add(key []byte) {
 	c.n++
 }
 
-// AddString inserts a string key.
-func (c *CountingFilter) AddString(key string) { c.Add([]byte(key)) }
-
 // Remove deletes one occurrence of key, decrementing its counters. Removing a
 // key that was never added corrupts the filter (it may introduce false
 // negatives for other keys); callers must pair removes with prior adds, which
 // the IDBFA layer guarantees by construction.
 func (c *CountingFilter) Remove(key []byte) {
 	h1, h2 := hashPair(key)
+	c.removePair(h1, h2)
+}
+
+// RemoveString deletes one occurrence of a string key.
+func (c *CountingFilter) RemoveString(key string) {
+	h1, h2 := hashPairString(key)
+	c.removePair(h1, h2)
+}
+
+func (c *CountingFilter) removePair(h1, h2 uint64) {
 	for i := uint32(0); i < c.k; i++ {
 		idx := indexAt(h1, h2, i, c.m)
 		if c.counters[idx] > 0 && c.counters[idx] < counterMax {
@@ -83,12 +100,19 @@ func (c *CountingFilter) Remove(key []byte) {
 	}
 }
 
-// RemoveString deletes one occurrence of a string key.
-func (c *CountingFilter) RemoveString(key string) { c.Remove([]byte(key)) }
-
 // Contains reports whether key may be in the set.
 func (c *CountingFilter) Contains(key []byte) bool {
 	h1, h2 := hashPair(key)
+	return c.containsPair(h1, h2)
+}
+
+// ContainsString reports whether a string key may be in the set.
+func (c *CountingFilter) ContainsString(key string) bool {
+	h1, h2 := hashPairString(key)
+	return c.containsPair(h1, h2)
+}
+
+func (c *CountingFilter) containsPair(h1, h2 uint64) bool {
 	for i := uint32(0); i < c.k; i++ {
 		if c.counters[indexAt(h1, h2, i, c.m)] == 0 {
 			return false
@@ -96,9 +120,6 @@ func (c *CountingFilter) Contains(key []byte) bool {
 	}
 	return true
 }
-
-// ContainsString reports whether a string key may be in the set.
-func (c *CountingFilter) ContainsString(key string) bool { return c.Contains([]byte(key)) }
 
 // Clear resets all counters.
 func (c *CountingFilter) Clear() {

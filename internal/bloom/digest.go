@@ -1,0 +1,131 @@
+package bloom
+
+// Digest is the hash-once currency of the query path: the two
+// Kirsch–Mitzenmacher base hashes of one key, computed a single time per
+// lookup, plus the k probe positions materialized once per filter geometry
+// and reused across every replica sharing that geometry. Because a G-HBA
+// deployment mandates one (m, k) for all its filters, a whole L1→L4 lookup
+// — dozens of replica probes — reduces to one key hash, one set of k mod
+// reductions, and k word loads per filter.
+//
+// A Digest is mutable scratch state (the position cache re-materializes when
+// the probed geometry changes) and must not be shared between goroutines;
+// each lookup computes its own. The zero value is not meaningful; construct
+// digests with NewDigest or NewDigestString.
+type Digest struct {
+	h1, h2 uint64
+
+	// Cached probe positions for the most recently probed geometry. A
+	// single slot suffices: lookups probe same-geometry filter runs (all
+	// L1 generations, then all L2/L3 replicas), so switches are rare.
+	m   uint64
+	k   uint32
+	pos [digestMaxK]uint64
+}
+
+// digestMaxK bounds the cached probe positions. k = (m/n)·ln 2 stays below
+// 12 for every ratio the paper evaluates; geometries beyond the bound still
+// work, falling back to per-probe index derivation.
+const digestMaxK = 32
+
+// NewDigest hashes a byte-string key into a digest.
+func NewDigest(key []byte) Digest {
+	h1, h2 := hashPair(key)
+	return Digest{h1: h1, h2: h2}
+}
+
+// NewDigestString hashes a string key into a digest without copying the key
+// to a byte slice; it produces bit-for-bit the same digest as NewDigest on
+// the key's bytes.
+func NewDigestString(key string) Digest {
+	h1, h2 := hashPairString(key)
+	return Digest{h1: h1, h2: h2}
+}
+
+// positions returns the k probe positions for geometry (m, k), materializing
+// and caching them on first use. Returns nil when k exceeds the cache bound;
+// callers then derive indices per probe.
+func (d *Digest) positions(m uint64, k uint32) []uint64 {
+	if k > digestMaxK {
+		return nil
+	}
+	if d.m != m || d.k != k {
+		for i := uint32(0); i < k; i++ {
+			d.pos[i] = indexAt(d.h1, d.h2, i, m)
+		}
+		d.m, d.k = m, k
+	}
+	return d.pos[:k]
+}
+
+// ContainsDigest reports whether the digested key may be in the set. It is
+// bit-for-bit equivalent to Contains on the same key: k word loads against
+// the cached probe positions, no hashing, no allocation.
+func (f *Filter) ContainsDigest(d *Digest) bool {
+	if pos := d.positions(f.m, f.k); pos != nil {
+		for _, bit := range pos {
+			if f.words[bit/wordBits]&(1<<(bit%wordBits)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return f.containsPair(d.h1, d.h2)
+}
+
+// AddDigest inserts the digested key, equivalent to Add on the same key.
+func (f *Filter) AddDigest(d *Digest) {
+	if pos := d.positions(f.m, f.k); pos != nil {
+		for _, bit := range pos {
+			f.words[bit/wordBits] |= 1 << (bit % wordBits)
+		}
+		f.n++
+		return
+	}
+	f.addPair(d.h1, d.h2)
+}
+
+// ContainsDigest reports whether the digested key may be in the counting
+// filter, equivalent to Contains on the same key.
+func (c *CountingFilter) ContainsDigest(d *Digest) bool {
+	if pos := d.positions(c.m, c.k); pos != nil {
+		for _, idx := range pos {
+			if c.counters[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return c.containsPair(d.h1, d.h2)
+}
+
+// AddDigest inserts the digested key, equivalent to Add on the same key.
+func (c *CountingFilter) AddDigest(d *Digest) {
+	if pos := d.positions(c.m, c.k); pos != nil {
+		for _, idx := range pos {
+			if c.counters[idx] < counterMax {
+				c.counters[idx]++
+			}
+		}
+		c.n++
+		return
+	}
+	c.addPair(d.h1, d.h2)
+}
+
+// RemoveDigest deletes one occurrence of the digested key, equivalent to
+// Remove on the same key (with the same corruption caveat).
+func (c *CountingFilter) RemoveDigest(d *Digest) {
+	if pos := d.positions(c.m, c.k); pos != nil {
+		for _, idx := range pos {
+			if c.counters[idx] > 0 && c.counters[idx] < counterMax {
+				c.counters[idx]--
+			}
+		}
+		if c.n > 0 {
+			c.n--
+		}
+		return
+	}
+	c.removePair(d.h1, d.h2)
+}

@@ -88,6 +88,16 @@ func (f *Filter) Count() uint64 { return f.n }
 // Add inserts key into the filter.
 func (f *Filter) Add(key []byte) {
 	h1, h2 := hashPair(key)
+	f.addPair(h1, h2)
+}
+
+// AddString inserts a string key without copying it to a byte slice.
+func (f *Filter) AddString(key string) {
+	h1, h2 := hashPairString(key)
+	f.addPair(h1, h2)
+}
+
+func (f *Filter) addPair(h1, h2 uint64) {
 	for i := uint32(0); i < f.k; i++ {
 		bit := indexAt(h1, h2, i, f.m)
 		f.words[bit/wordBits] |= 1 << (bit % wordBits)
@@ -95,14 +105,22 @@ func (f *Filter) Add(key []byte) {
 	f.n++
 }
 
-// AddString inserts a string key.
-func (f *Filter) AddString(key string) { f.Add([]byte(key)) }
-
 // Contains reports whether key may be in the set. False positives occur with
 // probability roughly FalsePositiveRate; false negatives never occur for keys
 // that were added and not removed (standard filters cannot remove).
 func (f *Filter) Contains(key []byte) bool {
 	h1, h2 := hashPair(key)
+	return f.containsPair(h1, h2)
+}
+
+// ContainsString reports whether a string key may be in the set, without
+// copying the key to a byte slice.
+func (f *Filter) ContainsString(key string) bool {
+	h1, h2 := hashPairString(key)
+	return f.containsPair(h1, h2)
+}
+
+func (f *Filter) containsPair(h1, h2 uint64) bool {
 	for i := uint32(0); i < f.k; i++ {
 		bit := indexAt(h1, h2, i, f.m)
 		if f.words[bit/wordBits]&(1<<(bit%wordBits)) == 0 {
@@ -111,9 +129,6 @@ func (f *Filter) Contains(key []byte) bool {
 	}
 	return true
 }
-
-// ContainsString reports whether a string key may be in the set.
-func (f *Filter) ContainsString(key string) bool { return f.Contains([]byte(key)) }
 
 // Clear resets the filter to empty.
 func (f *Filter) Clear() {

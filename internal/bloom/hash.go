@@ -21,6 +21,18 @@ func fnv1a(key []byte) uint64 {
 	return h
 }
 
+// fnv1aString computes the 64-bit FNV-1a hash of a string's bytes without
+// converting it to a byte slice, so string-keyed probes never allocate. It
+// returns exactly fnv1a([]byte(key)).
+func fnv1aString(key string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
 // splitmix64 is the finalizer from Vigna's SplitMix64 generator; it is a
 // strong 64-bit mixer used to derive the second hash from the first.
 func splitmix64(x uint64) uint64 {
@@ -34,6 +46,13 @@ func splitmix64(x uint64) uint64 {
 // so that for power-of-two m the stride is coprime with the table size.
 func hashPair(key []byte) (h1, h2 uint64) {
 	h1 = fnv1a(key)
+	h2 = splitmix64(h1) | 1
+	return h1, h2
+}
+
+// hashPairString is hashPair for string keys, allocation-free.
+func hashPairString(key string) (h1, h2 uint64) {
+	h1 = fnv1aString(key)
 	h2 = splitmix64(h1) | 1
 	return h1, h2
 }

@@ -20,18 +20,42 @@ import (
 
 // Result is the outcome of querying an array: the IDs of all filters that
 // answered positively, in ascending order.
+//
+// Hits may alias a caller-provided scratch buffer (see QueryDigest); it is
+// valid until that buffer's next reuse.
 type Result struct {
 	// Hits lists the MDS IDs whose filters responded positively.
 	Hits []int
 }
 
 // Unique returns the single hit and true when exactly one filter responded,
-// which is the only case the G-HBA query path treats as an answer.
+// which is the only case the G-HBA query path treats as an answer. On a miss
+// or a multi-hit it returns -1 — never a valid MDS ID — so a caller that
+// drops the bool cannot silently route to MDS 0.
 func (r Result) Unique() (int, bool) {
 	if len(r.Hits) == 1 {
 		return r.Hits[0], true
 	}
-	return 0, false
+	return -1, false
+}
+
+// InsertSorted inserts v into ascending xs unless present, preserving order
+// and uniqueness — the shared primitive for folding an MDS ID into a sorted
+// hit list (mds.QueryL2's own-ID insert, core's L3 hit union) without
+// re-sorting.
+func InsertSorted(xs []int, v int) []int {
+	for i, x := range xs {
+		if x == v {
+			return xs
+		}
+		if x > v {
+			xs = append(xs, 0)
+			copy(xs[i+1:], xs[i:])
+			xs[i] = v
+			return xs
+		}
+	}
+	return append(xs, v)
 }
 
 // Miss reports whether no filter responded.
@@ -41,86 +65,129 @@ func (r Result) Miss() bool { return len(r.Hits) == 0 }
 // same escalation as a miss (the array cannot disambiguate).
 func (r Result) Multiple() bool { return len(r.Hits) > 1 }
 
+// entry pairs a replica with the ID of the MDS whose file set it summarizes.
+type entry struct {
+	id int
+	f  *bloom.Filter
+}
+
 // Array is a collection of Bloom-filter replicas keyed by the ID of the MDS
 // whose file set each filter summarizes. It is the representation of the L2
 // segment array and, in the HBA baseline, of the full global replica array.
 //
+// Storage is a slice sorted by MDS ID: queries are a cache-friendly linear
+// scan that yields hits already in ascending order (no per-query sort, no
+// map iteration), which is what lets QueryDigest run allocation-free.
+//
 // Array is not safe for concurrent use; the owning MDS serializes access.
 type Array struct {
-	filters map[int]*bloom.Filter
+	entries []entry
 }
 
 // NewArray returns an empty array.
 func NewArray() *Array {
-	return &Array{filters: make(map[int]*bloom.Filter)}
+	return &Array{}
+}
+
+// search returns the position of mdsID in the sorted entry slice and whether
+// it is present.
+func (a *Array) search(mdsID int) (int, bool) {
+	i := sort.Search(len(a.entries), func(i int) bool {
+		return a.entries[i].id >= mdsID
+	})
+	return i, i < len(a.entries) && a.entries[i].id == mdsID
 }
 
 // Put installs or replaces the replica for the given MDS ID.
 func (a *Array) Put(mdsID int, f *bloom.Filter) {
-	a.filters[mdsID] = f
+	i, ok := a.search(mdsID)
+	if ok {
+		a.entries[i].f = f
+		return
+	}
+	a.entries = append(a.entries, entry{})
+	copy(a.entries[i+1:], a.entries[i:])
+	a.entries[i] = entry{id: mdsID, f: f}
 }
 
 // Get returns the replica for mdsID, or nil if absent.
 func (a *Array) Get(mdsID int) *bloom.Filter {
-	return a.filters[mdsID]
+	if i, ok := a.search(mdsID); ok {
+		return a.entries[i].f
+	}
+	return nil
 }
 
 // Remove deletes the replica for mdsID, returning it (nil if absent).
 func (a *Array) Remove(mdsID int) *bloom.Filter {
-	f := a.filters[mdsID]
-	delete(a.filters, mdsID)
+	i, ok := a.search(mdsID)
+	if !ok {
+		return nil
+	}
+	f := a.entries[i].f
+	a.entries = append(a.entries[:i], a.entries[i+1:]...)
 	return f
 }
 
 // Has reports whether the array holds a replica for mdsID.
 func (a *Array) Has(mdsID int) bool {
-	_, ok := a.filters[mdsID]
+	_, ok := a.search(mdsID)
 	return ok
 }
 
 // Len returns the number of replicas held.
-func (a *Array) Len() int { return len(a.filters) }
+func (a *Array) Len() int { return len(a.entries) }
 
 // IDs returns the MDS IDs of all held replicas in ascending order.
 func (a *Array) IDs() []int {
-	ids := make([]int, 0, len(a.filters))
-	for id := range a.filters {
-		ids = append(ids, id)
+	ids := make([]int, len(a.entries))
+	for i, e := range a.entries {
+		ids[i] = e.id
 	}
-	sort.Ints(ids)
 	return ids
 }
 
 // Query checks key against every filter and returns all positive responders.
 func (a *Array) Query(key []byte) Result {
-	var hits []int
-	for id, f := range a.filters {
-		if f.Contains(key) {
-			hits = append(hits, id)
-		}
-	}
-	sort.Ints(hits)
-	return Result{Hits: hits}
+	d := bloom.NewDigest(key)
+	return a.QueryDigest(&d, nil)
 }
 
 // QueryString checks a string key against every filter.
-func (a *Array) QueryString(key string) Result { return a.Query([]byte(key)) }
+func (a *Array) QueryString(key string) Result {
+	d := bloom.NewDigestString(key)
+	return a.QueryDigest(&d, nil)
+}
+
+// QueryDigest checks a pre-hashed key against every filter: one scan over
+// the sorted entries, k word loads per filter, hits appended into buf (which
+// may be nil). Hits come out in ascending ID order by construction. Passing
+// a reused buffer makes the query allocation-free.
+func (a *Array) QueryDigest(d *bloom.Digest, buf []int) Result {
+	hits := buf[:0]
+	for i := range a.entries {
+		if a.entries[i].f.ContainsDigest(d) {
+			hits = append(hits, a.entries[i].id)
+		}
+	}
+	return Result{Hits: hits}
+}
 
 // SizeBytes returns the total in-memory footprint of all held replicas; the
 // memory model charges this against the per-MDS RAM budget.
 func (a *Array) SizeBytes() uint64 {
 	var total uint64
-	for _, f := range a.filters {
-		total += f.SizeBytes()
+	for _, e := range a.entries {
+		total += e.f.SizeBytes()
 	}
 	return total
 }
 
 // Clone returns a deep copy of the array (each filter is cloned).
 func (a *Array) Clone() *Array {
-	c := NewArray()
-	for id, f := range a.filters {
-		c.filters[id] = f.Clone()
+	c := &Array{entries: make([]entry, len(a.entries))}
+	for i, e := range a.entries {
+		c.entries[i] = entry{id: e.id, f: e.f.Clone()}
 	}
 	return c
 }
@@ -131,13 +198,17 @@ func (a *Array) Clone() *Array {
 // balance property while keeping simulations reproducible. It returns fewer
 // than count entries when the array is smaller.
 func (a *Array) PopRandom(count int) map[int]*bloom.Filter {
-	out := make(map[int]*bloom.Filter, count)
-	for _, id := range a.IDs() {
-		if len(out) >= count {
-			break
-		}
-		out[id] = a.Remove(id)
+	if count < 0 {
+		count = 0
 	}
+	if count > len(a.entries) {
+		count = len(a.entries)
+	}
+	out := make(map[int]*bloom.Filter, count)
+	for _, e := range a.entries[:count] {
+		out[e.id] = e.f
+	}
+	a.entries = a.entries[:copy(a.entries, a.entries[count:])]
 	return out
 }
 
@@ -145,11 +216,14 @@ func (a *Array) PopRandom(count int) map[int]*bloom.Filter {
 // that the "each replica resides exclusively on one MDS" invariant is caught
 // at the point of violation.
 func (a *Array) MergeFrom(src *Array) error {
-	for _, id := range src.IDs() {
-		if a.Has(id) {
-			return fmt.Errorf("bloomarray: duplicate replica for MDS %d during merge", id)
+	for _, e := range src.entries {
+		if a.Has(e.id) {
+			return fmt.Errorf("bloomarray: duplicate replica for MDS %d during merge", e.id)
 		}
-		a.Put(id, src.Remove(id))
 	}
+	for _, e := range src.entries {
+		a.Put(e.id, e.f)
+	}
+	src.entries = src.entries[:0]
 	return nil
 }

@@ -20,15 +20,44 @@ func filterWith(t *testing.T, keys ...string) *bloom.Filter {
 }
 
 func TestResultUnique(t *testing.T) {
-	if _, ok := (Result{}).Unique(); ok {
-		t.Error("empty result reported unique")
+	// On miss and multi-hit the ID must be -1, never a valid MDS ID, so a
+	// caller that drops the bool cannot silently route to MDS 0.
+	if id, ok := (Result{}).Unique(); ok || id != -1 {
+		t.Errorf("empty result Unique = (%d, %v), want (-1, false)", id, ok)
 	}
 	id, ok := (Result{Hits: []int{7}}).Unique()
 	if !ok || id != 7 {
 		t.Errorf("Unique = (%d, %v), want (7, true)", id, ok)
 	}
-	if _, ok := (Result{Hits: []int{1, 2}}).Unique(); ok {
-		t.Error("two-hit result reported unique")
+	if id, ok := (Result{Hits: []int{1, 2}}).Unique(); ok || id != -1 {
+		t.Errorf("two-hit result Unique = (%d, %v), want (-1, false)", id, ok)
+	}
+}
+
+func TestInsertSorted(t *testing.T) {
+	cases := []struct {
+		in   []int
+		v    int
+		want []int
+	}{
+		{nil, 5, []int{5}},
+		{[]int{1, 3}, 2, []int{1, 2, 3}},
+		{[]int{1, 3}, 0, []int{0, 1, 3}},
+		{[]int{1, 3}, 4, []int{1, 3, 4}},
+		{[]int{1, 3}, 3, []int{1, 3}}, // dedup
+	}
+	for _, c := range cases {
+		got := InsertSorted(append([]int(nil), c.in...), c.v)
+		if len(got) != len(c.want) {
+			t.Errorf("InsertSorted(%v, %d) = %v, want %v", c.in, c.v, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("InsertSorted(%v, %d) = %v, want %v", c.in, c.v, got, c.want)
+				break
+			}
+		}
 	}
 }
 

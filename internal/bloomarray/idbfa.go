@@ -2,6 +2,7 @@ package bloomarray
 
 import (
 	"fmt"
+	"slices"
 	"strconv"
 
 	"ghba/internal/bloom"
@@ -88,7 +89,7 @@ func (a *IDBFA) Members() []int {
 	for id := range a.members {
 		ids = append(ids, id)
 	}
-	sortInts(ids)
+	slices.Sort(ids)
 	return ids
 }
 
@@ -117,14 +118,26 @@ func (a *IDBFA) Revoke(memberID, originID int) error {
 // positive penalty the paper describes — the falsely identified member
 // simply drops the request after failing to find the replica.
 func (a *IDBFA) Locate(originID int) []int {
-	key := originKey(originID)
-	var hits []int
+	var scratch [originKeyBuf]byte
+	d := bloom.NewDigest(strconv.AppendInt(scratch[:0], int64(originID), 10))
+	return a.LocateDigest(&d, nil)
+}
+
+// originKeyBuf comfortably holds the decimal digits of any int origin ID.
+const originKeyBuf = 24
+
+// LocateDigest is Locate for a pre-hashed origin key, appending hits into
+// buf (which may be nil): the member filters all share one geometry, so the
+// digest's probe positions are derived once and each member costs k counter
+// loads. With a reused buffer the probe does not allocate.
+func (a *IDBFA) LocateDigest(d *bloom.Digest, buf []int) []int {
+	hits := buf[:0]
 	for id, cf := range a.members {
-		if cf.Contains(key) {
+		if cf.ContainsDigest(d) {
 			hits = append(hits, id)
 		}
 	}
-	sortInts(hits)
+	slices.Sort(hits)
 	return hits
 }
 

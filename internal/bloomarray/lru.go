@@ -2,6 +2,7 @@ package bloomarray
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"ghba/internal/bloom"
@@ -60,6 +61,20 @@ func (l *LRUArray) newGeneration() *bloom.Filter {
 
 // Observe records that key was confirmed to live at homeMDS, rotating that
 // MDS's generations if the active filter is full.
+func (l *LRUArray) Observe(key []byte, homeMDS int) {
+	d := bloom.NewDigest(key)
+	l.ObserveDigest(&d, homeMDS)
+}
+
+// ObserveString records a string key.
+func (l *LRUArray) ObserveString(key string, homeMDS int) {
+	d := bloom.NewDigestString(key)
+	l.ObserveDigest(&d, homeMDS)
+}
+
+// ObserveDigest records a pre-hashed confirmed (key → homeMDS) mapping. The
+// key is hashed exactly once: the read-lock fast path and the write-path
+// insert both consume the caller's digest.
 //
 // The hot case — re-observing a key already in the current generation — is
 // answered under the read lock so parallel lookup workers hammering the same
@@ -70,10 +85,10 @@ func (l *LRUArray) newGeneration() *bloom.Filter {
 // instead of being aged out by its own repetitions, which is the window the
 // paper wants L1 to capture. Only new keys (and rotations) take the write
 // lock.
-func (l *LRUArray) Observe(key []byte, homeMDS int) {
+func (l *LRUArray) ObserveDigest(d *bloom.Digest, homeMDS int) {
 	l.mu.RLock()
 	if e := l.entries[homeMDS]; e != nil &&
-		e.active.Count() < l.capacity && e.active.Contains(key) {
+		e.active.Count() < l.capacity && e.active.ContainsDigest(d) {
 		l.mu.RUnlock()
 		return
 	}
@@ -90,31 +105,38 @@ func (l *LRUArray) Observe(key []byte, homeMDS int) {
 		e.aged = e.active
 		e.active = l.newGeneration()
 	}
-	e.active.Add(key)
-}
-
-// ObserveString records a string key.
-func (l *LRUArray) ObserveString(key string, homeMDS int) {
-	l.Observe([]byte(key), homeMDS)
+	e.active.AddDigest(d)
 }
 
 // Query returns every MDS whose recent-file window may contain key, with the
 // same unique-hit contract as Array.Query.
 func (l *LRUArray) Query(key []byte) Result {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	var hits []int
-	for id, e := range l.entries {
-		if e.active.Contains(key) || (e.aged != nil && e.aged.Contains(key)) {
-			hits = append(hits, id)
-		}
-	}
-	sortInts(hits)
-	return Result{Hits: hits}
+	d := bloom.NewDigest(key)
+	return l.QueryDigest(&d, nil)
 }
 
 // QueryString checks a string key.
-func (l *LRUArray) QueryString(key string) Result { return l.Query([]byte(key)) }
+func (l *LRUArray) QueryString(key string) Result {
+	d := bloom.NewDigestString(key)
+	return l.QueryDigest(&d, nil)
+}
+
+// QueryDigest checks a pre-hashed key against every entry, appending hits
+// into buf (which may be nil). Both generations of an entry share the
+// digest's cached probe positions, so each entry costs at most 2k word
+// loads; with a reused buffer the query does not allocate.
+func (l *LRUArray) QueryDigest(d *bloom.Digest, buf []int) Result {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	hits := buf[:0]
+	for id, e := range l.entries {
+		if e.active.ContainsDigest(d) || (e.aged != nil && e.aged.ContainsDigest(d)) {
+			hits = append(hits, id)
+		}
+	}
+	slices.Sort(hits)
+	return Result{Hits: hits}
+}
 
 // Forget drops the entry for an MDS, used when that MDS leaves the system so
 // stale L1 hits cannot route requests to a dead server.
@@ -150,12 +172,4 @@ func (l *LRUArray) SizeBytes() uint64 {
 		}
 	}
 	return total
-}
-
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
-			xs[j-1], xs[j] = xs[j], xs[j-1]
-		}
-	}
 }

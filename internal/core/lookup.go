@@ -2,10 +2,34 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 
+	"ghba/internal/bloom"
+	"ghba/internal/bloomarray"
 	"ghba/internal/simnet"
 )
+
+// lookupScratch is the reusable per-lookup state of the hash-once pipeline:
+// the path digest plus the hit buffers every probe appends into. Pooling it
+// keeps the steady-state read path free of heap allocations no matter how
+// many replicas a lookup touches.
+type lookupScratch struct {
+	digest bloom.Digest
+	hits   []int // L1/L2 probe buffer
+	mhits  []int // per-member L3 probe buffer
+	set    []int // L3 union of member hits (sorted, unique)
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &lookupScratch{
+			hits:  make([]int, 0, 16),
+			mhits: make([]int, 0, 16),
+			set:   make([]int, 0, 16),
+		}
+	},
+}
 
 // replicaBytes returns the accounted memory footprint of one replica for
 // pressure purposes (virtual paper-scale size when configured, otherwise the
@@ -126,6 +150,14 @@ func (c *Cluster) LookupAt(path string, entry int, arrival time.Duration) Lookup
 func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, queued bool) LookupResult {
 	node := c.nodes[entry]
 
+	// Hash once: every filter probe below — L1 generations, segment
+	// replicas, group members' arrays, the L1 learning write — replays
+	// this digest instead of re-hashing the path.
+	s := scratchPool.Get().(*lookupScratch)
+	defer scratchPool.Put(s)
+	s.digest = bloom.NewDigestString(path)
+	d := &s.digest
+
 	latency := c.cfg.Cost.ClientRTT
 	var server time.Duration
 
@@ -148,8 +180,9 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 		c.overall.Observe(latency)
 		if res.Found {
 			// The home MDS records the access in its LRU filter, whose
-			// replica every server consults at L1.
-			c.lru.ObserveString(path, res.Home)
+			// replica every server consults at L1. The digest carries the
+			// hash into the learning write too.
+			c.lru.ObserveDigest(d, res.Home)
 		}
 		return res
 	}
@@ -159,7 +192,9 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 		l1Cost := c.l1ProbeCost()
 		latency += l1Cost
 		server += l1Cost
-		if home, ok := c.lru.QueryString(path).Unique(); ok {
+		r := c.lru.QueryDigest(d, s.hits)
+		s.hits = r.Hits
+		if home, ok := r.Unique(); ok {
 			ok2, cost := c.verifyLocked(home, path)
 			latency += cost
 			if ok2 {
@@ -174,7 +209,9 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 	l2Cost := c.segmentProbeCostLocked(entry)
 	latency += l2Cost
 	server += l2Cost
-	if home, ok := node.QueryL2(path).Unique(); ok {
+	r2 := node.QueryL2Digest(d, s.hits)
+	s.hits = r2.Hits
+	if home, ok := r2.Unique(); ok {
 		if home == entry {
 			// Our own filter answered: authoritative check is local.
 			latency += c.cfg.Cost.MemProbe
@@ -204,7 +241,7 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 	latency += fanoutCPU
 	server += fanoutCPU
 	var slowest time.Duration
-	hits := make(map[int]struct{})
+	set := s.set[:0]
 	for _, id := range members {
 		if id == entry {
 			// Entry already probed its own array at L2.
@@ -214,16 +251,18 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 		if resp > slowest {
 			slowest = resp
 		}
-		for _, h := range c.nodes[id].QueryL2(path).Hits {
-			hits[h] = struct{}{}
+		rm := c.nodes[id].QueryL2Digest(d, s.mhits)
+		s.mhits = rm.Hits
+		for _, h := range rm.Hits {
+			// The L3 union is a handful of MDS IDs: a sorted slice
+			// reusing its backing array beats the map this replaced.
+			set = bloomarray.InsertSorted(set, h)
 		}
 	}
+	s.set = set
 	latency += slowest
-	if len(hits) == 1 {
-		var home int
-		for h := range hits {
-			home = h
-		}
+	if len(set) == 1 {
+		home := set[0]
 		ok2, cost := c.verifyLocked(home, path)
 		latency += cost
 		if ok2 {

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
+	"ghba/internal/bloom"
 	"ghba/internal/bloomarray"
 	"ghba/internal/core"
 	"ghba/internal/mds"
@@ -22,6 +24,19 @@ import (
 	"ghba/internal/simnet"
 	"ghba/internal/trace"
 )
+
+// lookupScratch mirrors core's hash-once scratch: the path digest plus a
+// reusable hit buffer. HBA's global array makes this matter even more than
+// in G-HBA — a probe touches N−1 replicas, each of which would otherwise
+// re-hash the path.
+type lookupScratch struct {
+	digest bloom.Digest
+	hits   []int
+}
+
+var scratchPool = sync.Pool{
+	New: func() any { return &lookupScratch{hits: make([]int, 0, 16)} },
+}
 
 // Cluster is a simulated HBA deployment. It reuses core.Config (group
 // parameters are ignored) and produces core.LookupResult values so the
@@ -223,6 +238,14 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 		entry = c.RandomMDS()
 		node = c.nodes[entry]
 	}
+
+	// Hash once per lookup; the L1 array, all N−1 global-array replicas,
+	// the local filter, and the learning write replay the digest.
+	s := scratchPool.Get().(*lookupScratch)
+	defer scratchPool.Put(s)
+	s.digest = bloom.NewDigestString(path)
+	d := &s.digest
+
 	latency := c.cfg.Cost.ClientRTT
 	var server time.Duration
 
@@ -241,7 +264,7 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 		c.tally.Record(res.Level)
 		c.overall.Observe(latency)
 		if res.Found {
-			c.lru.ObserveString(path, res.Home)
+			c.lru.ObserveDigest(d, res.Home)
 		}
 		return res
 	}
@@ -250,7 +273,9 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 	l1Cost := c.l1ProbeCost()
 	latency += l1Cost
 	server += l1Cost
-	if home, ok := c.lru.QueryString(path).Unique(); ok {
+	r1 := c.lru.QueryDigest(d, s.hits)
+	s.hits = r1.Hits
+	if home, ok := r1.Unique(); ok {
 		ok2, cost := c.verify(home, path)
 		latency += cost
 		if ok2 {
@@ -262,7 +287,9 @@ func (c *Cluster) lookup(path string, entry int, arrival time.Duration, queued b
 	probe := c.arrayProbeCost(entry)
 	latency += probe
 	server += probe
-	if home, ok := node.QueryL2(path).Unique(); ok {
+	r2 := node.QueryL2Digest(d, s.hits)
+	s.hits = r2.Hits
+	if home, ok := r2.Unique(); ok {
 		if home == entry {
 			latency += c.cfg.Cost.MemProbe
 			if node.HasFile(path) {

@@ -155,6 +155,9 @@ func (n *Node) HasFile(path string) bool { return n.store.Has(path) }
 // negatives for undeleted files); a positive requires verification.
 func (n *Node) LocalPositive(path string) bool { return n.local.ContainsString(path) }
 
+// LocalPositiveDigest is LocalPositive for a pre-hashed path.
+func (n *Node) LocalPositiveDigest(d *bloom.Digest) bool { return n.local.ContainsDigest(d) }
+
 // DeletesSinceRebuild returns how many deletions the local filter has not
 // yet absorbed; schemes use it to schedule rebuilds.
 func (n *Node) DeletesSinceRebuild() uint64 { return n.deletesSinceRebuild }
@@ -216,13 +219,28 @@ func (n *Node) QueryL1(path string) bloomarray.Result {
 	return n.lru.QueryString(path)
 }
 
+// QueryL1Digest is QueryL1 for a pre-hashed path, appending hits into buf
+// (which may be nil).
+func (n *Node) QueryL1Digest(d *bloom.Digest, buf []int) bloomarray.Result {
+	return n.lru.QueryDigest(d, buf)
+}
+
 // QueryL2 runs the L2 check: the replica array plus the node's own filter
 // (the node is knowledgeable about its own files at memory speed). The
 // node's own ID participates like any replica.
 func (n *Node) QueryL2(path string) bloomarray.Result {
-	r := n.replicas.QueryString(path)
-	if n.local.ContainsString(path) {
-		r.Hits = insertSorted(r.Hits, n.id)
+	d := bloom.NewDigestString(path)
+	return n.QueryL2Digest(&d, nil)
+}
+
+// QueryL2Digest is QueryL2 for a pre-hashed path: the path is hashed zero
+// times here — the segment array probe and the own-filter probe both replay
+// the digest's cached bit positions. Hits are appended into buf (which may
+// be nil) and returned in ascending order.
+func (n *Node) QueryL2Digest(d *bloom.Digest, buf []int) bloomarray.Result {
+	r := n.replicas.QueryDigest(d, buf)
+	if n.local.ContainsDigest(d) {
+		r.Hits = bloomarray.InsertSorted(r.Hits, n.id)
 	}
 	return r
 }
@@ -232,18 +250,7 @@ func (n *Node) ObserveHit(path string, home int) {
 	n.lru.ObserveString(path, home)
 }
 
-// insertSorted inserts v into ascending xs, preserving order and uniqueness.
-func insertSorted(xs []int, v int) []int {
-	for i, x := range xs {
-		if x == v {
-			return xs
-		}
-		if x > v {
-			xs = append(xs, 0)
-			copy(xs[i+1:], xs[i:])
-			xs[i] = v
-			return xs
-		}
-	}
-	return append(xs, v)
+// ObserveHitDigest feeds a pre-hashed confirmed mapping into the L1 array.
+func (n *Node) ObserveHitDigest(d *bloom.Digest, home int) {
+	n.lru.ObserveDigest(d, home)
 }

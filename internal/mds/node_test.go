@@ -194,33 +194,6 @@ func TestL1ObserveAndQuery(t *testing.T) {
 	}
 }
 
-func TestInsertSorted(t *testing.T) {
-	cases := []struct {
-		in   []int
-		v    int
-		want []int
-	}{
-		{nil, 5, []int{5}},
-		{[]int{1, 3}, 2, []int{1, 2, 3}},
-		{[]int{1, 3}, 0, []int{0, 1, 3}},
-		{[]int{1, 3}, 4, []int{1, 3, 4}},
-		{[]int{1, 3}, 3, []int{1, 3}}, // dedup
-	}
-	for _, c := range cases {
-		got := insertSorted(append([]int(nil), c.in...), c.v)
-		if len(got) != len(c.want) {
-			t.Errorf("insertSorted(%v, %d) = %v, want %v", c.in, c.v, got, c.want)
-			continue
-		}
-		for i := range got {
-			if got[i] != c.want[i] {
-				t.Errorf("insertSorted(%v, %d) = %v, want %v", c.in, c.v, got, c.want)
-				break
-			}
-		}
-	}
-}
-
 func TestNodeAccessors(t *testing.T) {
 	n := newTestNode(t, 42)
 	if n.ID() != 42 {

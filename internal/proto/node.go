@@ -20,6 +20,11 @@ type NodeServer struct {
 	mu   sync.Mutex
 	node *mds.Node
 
+	// qbuf is the daemon's reusable hit buffer for digest queries; handle
+	// holds mu for the whole request, so one buffer per daemon suffices
+	// (encodeHits copies before the buffer is reused).
+	qbuf []int
+
 	// residentLimit is the number of replicas that fit in RAM; when the
 	// node holds more, queries against the replica array pay diskPenalty —
 	// the prototype's stand-in for the disk accesses a spilled Bloom
@@ -104,21 +109,30 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 	defer ns.mu.Unlock()
 	switch msgType {
 	case opQueryEntry:
-		path := string(payload)
-		l1 := ns.node.QueryL1(path)
+		// Hash the path once for the whole request: L1 generations and
+		// every L2 replica replay the digest's probe positions.
+		d := bloom.NewDigest(payload)
+		l1 := ns.node.QueryL1Digest(&d, ns.qbuf)
+		out := encodeHits(l1.Hits)
+		ns.qbuf = l1.Hits
 		ns.spilledSleep()
-		l2 := ns.node.QueryL2(path)
-		return append(encodeHits(l1.Hits), encodeHits(l2.Hits)...), nil
+		l2 := ns.node.QueryL2Digest(&d, ns.qbuf)
+		ns.qbuf = l2.Hits
+		return append(out, encodeHits(l2.Hits)...), nil
 
 	case opQueryMember:
+		d := bloom.NewDigest(payload)
 		ns.spilledSleep()
-		return encodeHits(ns.node.QueryL2(string(payload)).Hits), nil
+		l2 := ns.node.QueryL2Digest(&d, ns.qbuf)
+		ns.qbuf = l2.Hits
+		return encodeHits(l2.Hits), nil
 
 	case opVerify:
 		return boolByte(ns.node.HasFile(string(payload))), nil
 
 	case opHasLocal:
-		if !ns.node.LocalPositive(string(payload)) {
+		d := bloom.NewDigest(payload)
+		if !ns.node.LocalPositiveDigest(&d) {
 			return boolByte(false), nil
 		}
 		// Positive filter answer → authoritative store check ("disk").
@@ -159,7 +173,8 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		ns.node.ObserveHit(string(body), home)
+		d := bloom.NewDigest(body)
+		ns.node.ObserveHitDigest(&d, home)
 		return nil, nil
 
 	case opObserveBatch:
@@ -168,7 +183,8 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		for _, o := range obs {
-			ns.node.ObserveHit(o.path, o.home)
+			d := bloom.NewDigestString(o.path)
+			ns.node.ObserveHitDigest(&d, o.home)
 		}
 		return nil, nil
 
