@@ -12,6 +12,13 @@
 //
 //	ghbabench -throughput -workers 8 -lookups 200000 -n 30
 //
+// -replay measures the concurrent *mutation* pipeline: a mixed
+// lookup:create:delete workload replays once through the serial engine and
+// once through the parallel one, reporting both wall-clock throughputs and
+// the speedup.
+//
+//	ghbabench -replay -mix 70:20:10 -workers 4 -ops 100000 -n 30
+//
 // Output is the textual equivalent of the paper's chart: the same series,
 // ready to diff against EXPERIMENTS.md.
 package main
@@ -40,10 +47,13 @@ func main() {
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		protoN     = flag.Int("proto-n", 20, "prototype daemon count (figs 14–15)")
 		throughput = flag.Bool("throughput", false, "measure parallel lookup throughput instead of a figure")
-		workers    = flag.Int("workers", 1, "lookup worker goroutines for -throughput")
+		replay     = flag.Bool("replay", false, "measure mixed-workload replay throughput (serial vs parallel) instead of a figure")
+		workers    = flag.Int("workers", 1, "worker goroutines for -throughput / -replay")
 		lookups    = flag.Int("lookups", 100_000, "lookup count for -throughput")
-		files      = flag.Int("files", 20_000, "namespace size for -throughput")
-		jsonOut    = flag.String("json", "BENCH_lookup.json", "perf-trajectory JSON written by -throughput (empty disables)")
+		files      = flag.Int("files", 20_000, "namespace size for -throughput / -replay")
+		mix        = flag.String("mix", "70:20:10", "lookup:create:delete ratio for -replay")
+		shipBatch  = flag.Int("shipbatch", 64, "coalescing ship-queue drain batch for -replay (1 = ship at every threshold crossing)")
+		jsonOut    = flag.String("json", "auto", `perf-trajectory JSON path; "auto" selects BENCH_lookup.json / BENCH_replay.json per mode, "none" disables`)
 	)
 	flag.Parse()
 
@@ -52,7 +62,15 @@ func main() {
 		if nn == 0 {
 			nn = 30
 		}
-		exitIf(runThroughput(nn, *files, *lookups, *workers, *seed, *jsonOut))
+		exitIf(runThroughput(nn, *files, *lookups, *workers, *seed, jsonPath(*jsonOut, "BENCH_lookup.json")))
+		return
+	}
+	if *replay {
+		nn := *n
+		if nn == 0 {
+			nn = 30
+		}
+		exitIf(runReplay(nn, *files, *ops, *workers, *shipBatch, *seed, *mix, jsonPath(*jsonOut, "BENCH_replay.json")))
 		return
 	}
 
@@ -265,6 +283,109 @@ func runThroughput(n, files, lookups, workers int, seed int64, jsonOut string) e
 	fmt.Printf("  allocs/op      %.3f (%.1f B/op)\n", rec.AllocsPerOp, rec.BytesPerOp)
 	if jsonOut == "" {
 		return nil
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", jsonOut, err)
+	}
+	fmt.Printf("  perf record    %s\n", jsonOut)
+	return nil
+}
+
+// jsonPath resolves the -json flag for one bench mode.
+func jsonPath(flagValue, modeDefault string) string {
+	switch flagValue {
+	case "auto":
+		return modeDefault
+	case "none", "":
+		return ""
+	default:
+		return flagValue
+	}
+}
+
+// replayRecord is the perf-trajectory datum -replay emits: serial and
+// parallel wall-clock throughput over the same mixed workload, comparable
+// across PRs. CPUs records the machine's parallelism so a speedup measured
+// on a single-core runner is not misread as a regression.
+type replayRecord struct {
+	Bench             string  `json:"bench"`
+	NumMDS            int     `json:"num_mds"`
+	Files             int     `json:"files"`
+	Ops               int     `json:"ops"`
+	Workers           int     `json:"workers"`
+	Mix               string  `json:"mix"`
+	ShipBatch         int     `json:"ship_batch"`
+	Seed              int64   `json:"seed"`
+	CPUs              int     `json:"cpus"`
+	SerialOpsPerSec   float64 `json:"serial_ops_per_sec"`
+	ParallelOpsPerSec float64 `json:"parallel_ops_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	// SerialSimMeanNs is the serial run's simulated mean lookup latency
+	// (queue inclusive); the multi-worker run's is not At-ordered and is
+	// deliberately omitted.
+	SerialSimMeanNs   float64 `json:"serial_sim_mean_ns"`
+	Lookups           int     `json:"lookups"`
+	Creates           int     `json:"creates"`
+	Deletes           int     `json:"deletes"`
+	ReplicaUpdateMsgs uint64  `json:"replica_update_msgs"`
+	L1Share           float64 `json:"l1_share"`
+	L2Share           float64 `json:"l2_share"`
+	L3Share           float64 `json:"l3_share"`
+	L4Share           float64 `json:"l4_share"`
+}
+
+// runReplay drives experiments.ReplayBench and reports serial-versus-
+// parallel replay throughput for a mixed workload.
+func runReplay(n, files, ops, workers, shipBatch int, seed int64, mix, jsonOut string) error {
+	var l, c, d float64
+	if _, err := fmt.Sscanf(mix, "%f:%f:%f", &l, &c, &d); err != nil {
+		return fmt.Errorf("parsing -mix %q (want lookup:create:delete, e.g. 70:20:10): %w", mix, err)
+	}
+	cfg := experiments.DefaultReplayBenchConfig()
+	cfg.N = n
+	cfg.Files = uint64(files)
+	if ops > 0 {
+		cfg.Ops = ops
+	}
+	cfg.Workers = workers
+	cfg.Mix = [3]float64{l, c, d}
+	cfg.ShipBatch = shipBatch
+	cfg.Seed = seed
+
+	res, err := experiments.ReplayBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatReplayBench(res))
+	if jsonOut == "" {
+		return nil
+	}
+	rec := replayRecord{
+		Bench:             "ghbabench-replay",
+		NumMDS:            cfg.N,
+		Files:             files,
+		Ops:               cfg.Ops,
+		Workers:           cfg.Workers,
+		Mix:               mix,
+		ShipBatch:         cfg.ShipBatch,
+		Seed:              seed,
+		CPUs:              runtime.NumCPU(),
+		SerialOpsPerSec:   res.Serial.OpsPerSec,
+		ParallelOpsPerSec: res.Parallel.OpsPerSec,
+		Speedup:           res.Speedup,
+		SerialSimMeanNs:   float64(res.Serial.MeanLookupLatency.Nanoseconds()),
+		Lookups:           res.Parallel.Lookups,
+		Creates:           res.Parallel.Creates,
+		Deletes:           res.Parallel.Deletes,
+		ReplicaUpdateMsgs: res.ReplicaUpdates,
+		L1Share:           res.LevelShares[1],
+		L2Share:           res.LevelShares[2],
+		L3Share:           res.LevelShares[3],
+		L4Share:           res.LevelShares[4],
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"ghba/internal/core"
 	"ghba/internal/mds"
 	"ghba/internal/simnet"
+	"ghba/internal/trace"
 )
 
 // Config describes a simulated G-HBA deployment.
@@ -44,6 +45,11 @@ type Config struct {
 	// MemoryBudgetBytes caps each server's replica memory; zero means
 	// unlimited. See internal/memmodel for the spill model.
 	MemoryBudgetBytes uint64
+	// ShipBatch is the coalescing ship queue's drain batch: the number of
+	// XOR-delta threshold crossings absorbed before dirty origins' replicas
+	// ship. 0 or 1 ships at every crossing (the paper's protocol); larger
+	// values amortize bursts of creates, with Flush draining the remainder.
+	ShipBatch int
 	// Seed makes the simulation deterministic.
 	Seed int64
 }
@@ -102,6 +108,7 @@ func New(cfg Config) (*Simulation, error) {
 	}
 	ccfg.Cost = simnet.DefaultCostModel()
 	ccfg.MemoryBudgetBytes = cfg.MemoryBudgetBytes
+	ccfg.ShipBatch = cfg.ShipBatch
 	ccfg.Seed = cfg.Seed
 	cluster, err := core.New(ccfg)
 	if err != nil {
@@ -179,11 +186,10 @@ func toResult(res core.LookupResult) Result {
 	}
 }
 
-// workerSeed derives a deterministic per-worker RNG seed (SplitMix64-style
-// spacing keeps neighbouring workers' streams uncorrelated).
+// workerSeed derives a deterministic per-worker RNG seed; the shared
+// derivation lives in trace.DispatchSeed so every parallel driver agrees.
 func workerSeed(seed int64, worker int) int64 {
-	const golden = uint64(0x9E3779B97F4A7C15)
-	return seed ^ int64(uint64(worker+1)*golden)
+	return trace.DispatchSeed(seed, worker)
 }
 
 // LookupParallel resolves every path using the given number of worker
@@ -228,6 +234,93 @@ func (s *Simulation) LookupParallel(paths []string, workers int) []Result {
 	wg.Wait()
 	return results
 }
+
+// OpKind identifies one ApplyParallel operation.
+type OpKind uint8
+
+// Operation kinds for ApplyParallel.
+const (
+	// OpLookup resolves a path through the query hierarchy.
+	OpLookup OpKind = iota
+	// OpCreate homes a new file (an existing path degenerates to a lookup).
+	OpCreate
+	// OpDelete unlinks a file.
+	OpDelete
+)
+
+// Op is one operation of a mixed workload for ApplyParallel.
+type Op struct {
+	Kind OpKind
+	Path string
+}
+
+// ApplyParallel dispatches a mixed create/delete/lookup workload across the
+// given number of worker goroutines and returns the results in input order.
+// Each worker draws entry points and home placements from its own seeded
+// RNG, following LookupParallel's contract: runs are deterministic for a
+// fixed (seed, ops, workers) triple up to the interleaving of workers on
+// shared cluster state, and a single-worker run is exactly the serial
+// engine driven by worker 0's RNG. Mutations on different servers proceed
+// in parallel (the write path is sharded); reconfiguration still serializes
+// exclusively against the whole batch. workers < 1 selects GOMAXPROCS.
+//
+// A delete's Result reports the pre-delete home and whether the path
+// existed; a create reports the chosen home with Level 0. Replica shipping
+// is coalesced per ShipBatch — call Flush to force pending updates out at a
+// quiescent point.
+func (s *Simulation) ApplyParallel(ops []Op, workers int) []Result {
+	if len(ops) == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	results := make([]Result, len(ops))
+	chunk := (len(ops) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(ops) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(s.seed, w)))
+			for i := lo; i < hi; i++ {
+				results[i] = toResult(s.cluster.ApplyWith(rng, ops[i].record()))
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return results
+}
+
+// record converts a facade Op to the trace record the engine dispatches.
+func (op Op) record() trace.Record {
+	rec := trace.Record{Path: op.Path}
+	switch op.Kind {
+	case OpCreate:
+		rec.Op = trace.OpCreate
+	case OpDelete:
+		rec.Op = trace.OpDelete
+	default:
+		rec.Op = trace.OpStat
+	}
+	return rec
+}
+
+// Flush drains the coalescing ship queue: every server whose filter
+// crossed the update threshold since the last drain ships its replicas now.
+// A no-op with the default ShipBatch of 1.
+func (s *Simulation) Flush() { s.cluster.Flush() }
 
 // AddMDS grows the cluster by one server (joining a group with room or
 // splitting a full one) and returns the new server's ID along with the

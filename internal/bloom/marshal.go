@@ -19,6 +19,17 @@ const (
 	magicFilter   uint16 = 0xB1F0
 	magicCounting uint16 = 0xB1F1
 	headerLen            = 2 + 8 + 4 + 8
+
+	// maxWireM and maxWireK bound decoded geometry. A filter body must
+	// match m anyway, so a huge m cannot force a huge allocation — but an
+	// unchecked m near 2^64 overflows the word-count arithmetic, and an
+	// absurd k would make every later probe of a decoded filter loop for
+	// seconds (a cheap denial of service through the prototype's RPC
+	// layer). 2^48 bits is 32 TiB of filter, and the optimal k for any
+	// realistic bits-per-item ratio is well under 64; both caps are far
+	// outside anything a peer can legitimately ship.
+	maxWireM = uint64(1) << 48
+	maxWireK = uint32(512)
 )
 
 var (
@@ -48,6 +59,9 @@ func parseHeader(data []byte, wantMagic uint16) (m uint64, k uint32, n uint64, e
 	if m == 0 || k == 0 {
 		return 0, 0, 0, fmt.Errorf("%w: m=%d k=%d", ErrInvalidGeometry, m, k)
 	}
+	if m > maxWireM || k > maxWireK {
+		return 0, 0, 0, fmt.Errorf("%w: implausible wire geometry m=%d k=%d", ErrInvalidGeometry, m, k)
+	}
 	return m, k, n, nil
 }
 
@@ -67,8 +81,10 @@ func (f *Filter) UnmarshalBinary(data []byte) error {
 	if err != nil {
 		return err
 	}
+	// The word arithmetic stays in uint64: parseHeader capped m, so
+	// neither the rounding nor the byte count can overflow.
 	nw := int((m + wordBits - 1) / wordBits)
-	if len(data) != headerLen+nw*8 {
+	if uint64(len(data)-headerLen) != uint64(nw)*8 {
 		return fmt.Errorf("bloom: body length %d, want %d", len(data)-headerLen, nw*8)
 	}
 	words := make([]uint64, nw)

@@ -14,6 +14,7 @@ package bloomarray
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ghba/internal/bloom"
 )
@@ -79,8 +80,13 @@ type entry struct {
 // scan that yields hits already in ascending order (no per-query sort, no
 // map iteration), which is what lets QueryDigest run allocation-free.
 //
-// Array is not safe for concurrent use; the owning MDS serializes access.
+// Array is safe for concurrent use: the sharded write path refreshes
+// replicas (Put) from coalescing shippers while lookup workers probe
+// (QueryDigest) the same array, so every method takes the internal lock.
+// Filters handed to Put are stored by reference and must not be mutated
+// afterwards; refreshes replace the pointer wholesale.
 type Array struct {
+	mu      sync.RWMutex
 	entries []entry
 }
 
@@ -90,7 +96,7 @@ func NewArray() *Array {
 }
 
 // search returns the position of mdsID in the sorted entry slice and whether
-// it is present.
+// it is present. Requires a.mu (read suffices).
 func (a *Array) search(mdsID int) (int, bool) {
 	i := sort.Search(len(a.entries), func(i int) bool {
 		return a.entries[i].id >= mdsID
@@ -98,8 +104,8 @@ func (a *Array) search(mdsID int) (int, bool) {
 	return i, i < len(a.entries) && a.entries[i].id == mdsID
 }
 
-// Put installs or replaces the replica for the given MDS ID.
-func (a *Array) Put(mdsID int, f *bloom.Filter) {
+// putLocked installs or replaces the replica for mdsID. Requires a.mu.
+func (a *Array) putLocked(mdsID int, f *bloom.Filter) {
 	i, ok := a.search(mdsID)
 	if ok {
 		a.entries[i].f = f
@@ -110,8 +116,17 @@ func (a *Array) Put(mdsID int, f *bloom.Filter) {
 	a.entries[i] = entry{id: mdsID, f: f}
 }
 
+// Put installs or replaces the replica for the given MDS ID.
+func (a *Array) Put(mdsID int, f *bloom.Filter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.putLocked(mdsID, f)
+}
+
 // Get returns the replica for mdsID, or nil if absent.
 func (a *Array) Get(mdsID int) *bloom.Filter {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	if i, ok := a.search(mdsID); ok {
 		return a.entries[i].f
 	}
@@ -120,6 +135,8 @@ func (a *Array) Get(mdsID int) *bloom.Filter {
 
 // Remove deletes the replica for mdsID, returning it (nil if absent).
 func (a *Array) Remove(mdsID int) *bloom.Filter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	i, ok := a.search(mdsID)
 	if !ok {
 		return nil
@@ -131,15 +148,23 @@ func (a *Array) Remove(mdsID int) *bloom.Filter {
 
 // Has reports whether the array holds a replica for mdsID.
 func (a *Array) Has(mdsID int) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	_, ok := a.search(mdsID)
 	return ok
 }
 
 // Len returns the number of replicas held.
-func (a *Array) Len() int { return len(a.entries) }
+func (a *Array) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.entries)
+}
 
 // IDs returns the MDS IDs of all held replicas in ascending order.
 func (a *Array) IDs() []int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	ids := make([]int, len(a.entries))
 	for i, e := range a.entries {
 		ids[i] = e.id
@@ -164,6 +189,8 @@ func (a *Array) QueryString(key string) Result {
 // may be nil). Hits come out in ascending ID order by construction. Passing
 // a reused buffer makes the query allocation-free.
 func (a *Array) QueryDigest(d *bloom.Digest, buf []int) Result {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	hits := buf[:0]
 	for i := range a.entries {
 		if a.entries[i].f.ContainsDigest(d) {
@@ -176,6 +203,8 @@ func (a *Array) QueryDigest(d *bloom.Digest, buf []int) Result {
 // SizeBytes returns the total in-memory footprint of all held replicas; the
 // memory model charges this against the per-MDS RAM budget.
 func (a *Array) SizeBytes() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	var total uint64
 	for _, e := range a.entries {
 		total += e.f.SizeBytes()
@@ -185,6 +214,8 @@ func (a *Array) SizeBytes() uint64 {
 
 // Clone returns a deep copy of the array (each filter is cloned).
 func (a *Array) Clone() *Array {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	c := &Array{entries: make([]entry, len(a.entries))}
 	for i, e := range a.entries {
 		c.entries[i] = entry{id: e.id, f: e.f.Clone()}
@@ -198,6 +229,8 @@ func (a *Array) Clone() *Array {
 // balance property while keeping simulations reproducible. It returns fewer
 // than count entries when the array is smaller.
 func (a *Array) PopRandom(count int) map[int]*bloom.Filter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if count < 0 {
 		count = 0
 	}
@@ -214,15 +247,21 @@ func (a *Array) PopRandom(count int) map[int]*bloom.Filter {
 
 // MergeFrom moves every replica of src into a, failing on duplicate IDs so
 // that the "each replica resides exclusively on one MDS" invariant is caught
-// at the point of violation.
+// at the point of violation. Merging only happens during reconfiguration,
+// which holds the cluster-exclusive lock, so the fixed a-then-src lock order
+// cannot deadlock against a concurrent merge of the reverse pair.
 func (a *Array) MergeFrom(src *Array) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	src.mu.Lock()
+	defer src.mu.Unlock()
 	for _, e := range src.entries {
-		if a.Has(e.id) {
+		if _, ok := a.search(e.id); ok {
 			return fmt.Errorf("bloomarray: duplicate replica for MDS %d during merge", e.id)
 		}
 	}
 	for _, e := range src.entries {
-		a.Put(e.id, e.f)
+		a.putLocked(e.id, e.f)
 	}
 	src.entries = src.entries[:0]
 	return nil

@@ -17,23 +17,30 @@ import (
 
 // Cluster is a simulated G-HBA deployment.
 //
-// Concurrency model: the cluster is a single-writer, many-reader structure.
-// Lookups (Lookup, LookupWith) are the read path — they take mu.RLock and may
-// run from any number of goroutines concurrently. Everything that changes the
-// topology or namespace (Create, Delete, Populate, AddMDS, RemoveMDS,
-// FailMDS, PushUpdate, Apply, LookupAt with its queuing state) is the write
-// path and takes mu exclusively. Observability side effects on the read path
-// (tallies, latency stats, the L1 LRU array, message counts) go through
-// structures that carry their own synchronization, so holding only the read
-// lock keeps lookups race-free.
+// Concurrency model: c.mu is the topology lock. Anything that leaves the
+// server population and group structure unchanged — lookups (Lookup,
+// LookupWith, LookupAt), mutations (Create, Delete, Apply, ApplyWith),
+// replica shipping (PushUpdate, Flush) — holds mu as a reader and may run
+// from any number of goroutines concurrently. Those paths synchronize among
+// themselves through finer-grained structures: the sharded homes map (one
+// lock per path shard), the per-node lock inside mds.Node, the self-locking
+// replica arrays, the ship queue, and the queue-model mutex. Only
+// reconfiguration — Populate, SyncAllReplicas, AddMDS, RemoveMDS, FailMDS —
+// takes mu exclusively, because it rewrites the node/group maps every other
+// path navigates by. Observability (tallies, latency stats, the L1 LRU
+// array, message counts) carries its own synchronization throughout.
+//
+// Creates and deletes on different MDSes therefore proceed in parallel;
+// operations on the same node serialize only on that node's lock, and
+// replica shipping serializes only on the holder arrays it touches.
 //
 // Methods suffixed *Locked assume c.mu is already held (read or write as
 // documented) and must not be called without it.
 type Cluster struct {
 	cfg Config
 
-	// mu guards the topology and namespace: nodes, groups, groupOf, homes,
-	// ids, queue, and the nextMDSID/nextGroupID counters.
+	// mu guards the topology: nodes, groups, groupOf, ids, and the
+	// nextMDSID/nextGroupID counters.
 	mu sync.RWMutex
 
 	nodes   map[int]*mds.Node
@@ -47,7 +54,20 @@ type Cluster struct {
 
 	// homes is the ground truth mapping of file → home MDS, used for
 	// placement and final verification (what the disks would answer).
-	homes map[string]int
+	// Sharded and internally locked so concurrent creates/deletes on
+	// different paths never contend.
+	homes *homeShards
+
+	// ships coalesces replica shipping out of the mutate hot path; see
+	// shipQueue. Drained while holding mu (read suffices).
+	ships *shipQueue
+
+	// shipStripes serialize ships per origin (striped by origin ID): the
+	// snapshot taken under the origin's node lock and its installation at
+	// every holder must commit as one unit relative to other ships of the
+	// same origin, or a holder could keep an older snapshot than the one
+	// the origin's staleness tracking assumes it has.
+	shipStripes [32]sync.Mutex
 
 	// lru models the replicated LRU Bloom filter arrays of L1: each home
 	// MDS maintains a small filter over its recently served files and
@@ -76,9 +96,11 @@ type Cluster struct {
 	overall  metrics.LatencyStats
 
 	// queue holds each MDS's next-free time for the open-loop queuing
-	// model used by the latency-versus-load experiments. Only the write
-	// path (LookupAt, Apply) touches it.
-	queue map[int]time.Duration
+	// model used by the latency-versus-load experiments. queueMu guards it
+	// so queued lookups (LookupAt, Apply) can run under the topology read
+	// lock alongside other workers.
+	queueMu sync.Mutex
+	queue   map[int]time.Duration
 
 	nextMDSID   int
 	nextGroupID int
@@ -100,7 +122,8 @@ func New(cfg Config) (*Cluster, error) {
 		nodes:   make(map[int]*mds.Node),
 		groups:  make(map[int]*group.Group),
 		groupOf: make(map[int]int),
-		homes:   make(map[string]int),
+		homes:   newHomeShards(),
+		ships:   newShipQueue(cfg.ShipBatch),
 		lru:     lru,
 		mem:     cfg.memoryModel(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
@@ -146,13 +169,16 @@ func New(cfg Config) (*Cluster, error) {
 	}
 
 	// Distribute replicas: every group mirrors every external MDS.
-	// Iterate in ID order so replica placement is deterministic.
-	for _, g := range c.sortedGroupsLocked() {
-		for _, id := range c.ids {
+	// Iterate in ID order so replica placement is deterministic; each
+	// origin ships one immutable snapshot shared by all its holders.
+	groups := c.sortedGroupsLocked()
+	for _, id := range c.ids {
+		snap := c.nodes[id].Ship()
+		for _, g := range groups {
 			if g.HasMember(id) {
 				continue
 			}
-			if _, err := g.InstallReplica(id, c.nodes[id].Ship()); err != nil {
+			if _, err := g.InstallReplica(id, snap); err != nil {
 				return nil, fmt.Errorf("core: seeding replicas: %w", err)
 			}
 		}
@@ -281,7 +307,7 @@ func (c *Cluster) OverallLatency() *metrics.LatencyStats { return &c.overall }
 func (c *Cluster) HomeOf(path string) int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	home, ok := c.homes[path]
+	home, ok := c.homes.get(path)
 	if !ok {
 		return -1
 	}
@@ -292,7 +318,7 @@ func (c *Cluster) HomeOf(path string) int {
 func (c *Cluster) FileCount() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.homes)
+	return c.homes.len()
 }
 
 // randomMDSLocked draws a uniform MDS ID from the cluster's own RNG.
@@ -323,7 +349,7 @@ func (c *Cluster) Populate(each func(fn func(path string) bool)) {
 	each(func(path string) bool {
 		home := c.randomMDSLocked()
 		c.nodes[home].AddFile(path)
-		c.homes[path] = home
+		c.homes.put(path, home)
 		return true
 	})
 	c.syncAllReplicasLocked()
@@ -339,18 +365,22 @@ func (c *Cluster) SyncAllReplicas() {
 }
 
 func (c *Cluster) syncAllReplicasLocked() {
-	for _, g := range c.sortedGroupsLocked() {
-		for _, id := range c.ids {
+	groups := c.sortedGroupsLocked()
+	for _, id := range c.ids {
+		snap := c.nodes[id].Ship()
+		for _, g := range groups {
 			if g.HasMember(id) {
 				continue
 			}
-			if _, err := g.UpdateReplica(id, c.nodes[id].Ship()); err != nil {
+			if _, err := g.UpdateReplica(id, snap); err != nil {
 				// The replica must exist by construction; a failure is an
 				// invariant violation worth surfacing immediately.
 				panic(fmt.Sprintf("core: sync replica of %d in group %d: %v", id, g.ID(), err))
 			}
 		}
 	}
+	// Everything just shipped; nothing is left to coalesce.
+	c.ships.drain()
 }
 
 // CheckInvariants verifies the global-mirror-image invariant for every

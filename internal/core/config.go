@@ -47,6 +47,13 @@ type Config struct {
 	// pushes a replica update once its local filter drifted this many bits
 	// from the last shipped snapshot.
 	UpdateThresholdBits uint64
+	// ShipBatch is the number of XOR-delta threshold crossings the
+	// coalescing ship queue absorbs before draining. 0 or 1 ships at every
+	// crossing — the paper's update protocol, and the default. Larger
+	// values let a burst of creates dirty an origin many times while
+	// shipping its filter once per drain; pending updates also drain on
+	// Flush, so a quiescent point always sees fresh replicas.
+	ShipBatch int
 	// RebuildDeleteThreshold triggers a local-filter rebuild after this
 	// many deletions (clearing stale bits).
 	RebuildDeleteThreshold uint64
@@ -87,6 +94,9 @@ func (c Config) validate() error {
 	}
 	if c.CacheHitRate < 0 || c.CacheHitRate >= 1 {
 		return fmt.Errorf("core: CacheHitRate %f outside [0,1)", c.CacheHitRate)
+	}
+	if c.ShipBatch < 0 {
+		return fmt.Errorf("core: ShipBatch must be ≥ 0, got %d", c.ShipBatch)
 	}
 	return nil
 }

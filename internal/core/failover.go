@@ -53,6 +53,7 @@ func (c *Cluster) FailMDS(id int) (FailoverReport, error) {
 	}
 	delete(c.groupOf, id)
 	delete(c.nodes, id)
+	c.ships.forget(id)
 	c.refreshIDsLocked()
 	if g.Size() == 0 {
 		delete(c.groups, g.ID())
@@ -85,12 +86,7 @@ func (c *Cluster) FailMDS(id int) (FailoverReport, error) {
 
 	// Files homed at the dead server are unavailable: degraded coverage,
 	// not wrong answers. Ground truth forgets them so lookups miss.
-	for path, home := range c.homes {
-		if home == id {
-			delete(c.homes, path)
-			rep.FilesLost++
-		}
-	}
+	rep.FilesLost = c.homes.scrub(id)
 	c.lru.Forget(id)
 
 	// Groups merge if the shrink allows it, as after a graceful departure.

@@ -82,17 +82,20 @@ func (c *Cluster) verifyLocked(candidate int, path string) (bool, time.Duration)
 // response time (wait + service); otherwise only the service time is
 // returned. This is how group and global multicasts consume capacity across
 // the system — the effect that makes very large groups counterproductive.
-// Queued mode mutates c.queue and therefore requires the write lock; pure
-// service mode runs under the read lock.
+// Queue state carries its own mutex, so queued mode runs under the topology
+// read lock like everything else; each read-modify-write of a server's
+// next-free time is atomic under queueMu.
 func (c *Cluster) remoteWorkLocked(id int, arrival, work time.Duration, queued bool) time.Duration {
 	if !queued {
 		return work
 	}
+	c.queueMu.Lock()
 	start := arrival
 	if next := c.queue[id]; next > start {
 		start = next
 	}
 	c.queue[id] = start + work
+	c.queueMu.Unlock()
 	return (start - arrival) + work
 }
 
@@ -132,21 +135,23 @@ func (c *Cluster) LookupWith(rng *rand.Rand, path string, entry int) LookupResul
 // LookupAt replays a lookup arriving at the given offset through the
 // open-loop queuing model: the request waits for the entry MDS to drain its
 // queue, multicast probes occupy the members they land on, and the returned
-// latency includes all queueing delays. Because the queue state is shared
-// mutable, LookupAt is part of the write path and serializes with lookups.
+// latency includes all queueing delays. Queue state synchronizes on its own
+// mutex, so queued lookups run under the topology read lock concurrently
+// with other workers.
 func (c *Cluster) LookupAt(path string, entry int, arrival time.Duration) LookupResult {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if c.nodes[entry] == nil {
 		entry = c.randomMDSLocked()
 	}
 	return c.lookupLocked(path, entry, arrival, true)
 }
 
-// lookupLocked walks the four-level hierarchy. The caller must hold c.mu:
-// read suffices when queued is false (the hot path mutates nothing except
-// internally synchronized observability state); queued mode writes c.queue
-// and requires the write lock.
+// lookupLocked walks the four-level hierarchy. The caller must hold c.mu
+// (read suffices): the hot path mutates nothing except internally
+// synchronized state — the observability structures, the per-node and
+// per-shard locks consulted along the way, and (in queued mode) the
+// queue-model map under queueMu.
 func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, queued bool) LookupResult {
 	node := c.nodes[entry]
 
@@ -165,11 +170,13 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 		if queued {
 			// The entry server processes this request after draining its
 			// queue; the wait precedes everything the client observes.
+			c.queueMu.Lock()
 			start := arrival
 			if next := c.queue[entry]; next > start {
 				start = next
 			}
 			c.queue[entry] = start + server
+			c.queueMu.Unlock()
 			latency += start - arrival
 		}
 		res.Path = path
@@ -289,7 +296,7 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 		}
 	}
 	latency += slowestL4 + c.cfg.Cost.MemProbe
-	if home, ok := c.homes[path]; ok {
+	if home, ok := c.homes.get(path); ok {
 		// The home's positive answer is verified against its store; the
 		// paper charges a disk lookup for this final confirmation.
 		latency += c.cfg.Cost.DiskRead
@@ -303,7 +310,7 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 
 // ResetQueues clears the queuing state between experiment runs.
 func (c *Cluster) ResetQueues() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.queueMu.Lock()
+	defer c.queueMu.Unlock()
 	c.queue = make(map[int]time.Duration)
 }

@@ -2,71 +2,153 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
+	"ghba/internal/mds"
 	"ghba/internal/simnet"
 	"ghba/internal/trace"
 )
 
-// Create homes a new file at a uniformly chosen MDS and, when the home's
-// filter has drifted past the XOR-delta threshold, pushes a replica update.
-// Returns the home MDS ID.
-func (c *Cluster) Create(path string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.createLocked(path)
+// intner is the single-draw interface the mutation and replay paths need
+// from a randomness source. *rand.Rand satisfies it directly; the cluster's
+// own RNG is adapted through lockedRand so the serial API stays usable next
+// to parallel workers.
+type intner interface {
+	Intn(n int) int
 }
 
-func (c *Cluster) createLocked(path string) int {
-	home := c.randomMDSLocked()
-	c.nodes[home].AddFile(path)
-	c.homes[path] = home
-	if c.nodes[home].NeedsShip(c.cfg.UpdateThresholdBits) {
-		c.pushUpdateLocked(home)
-	}
+// lockedRand draws from the cluster's internal RNG under rngMu.
+type lockedRand struct{ c *Cluster }
+
+func (l lockedRand) Intn(n int) int {
+	l.c.rngMu.Lock()
+	v := l.c.rng.Intn(n)
+	l.c.rngMu.Unlock()
+	return v
+}
+
+// Create homes a new file at a uniformly chosen MDS and, when the home's
+// filter has drifted past the XOR-delta threshold, feeds the coalescing
+// ship queue (which drains inline once its batch fills). Returns the home
+// MDS ID. Creating an existing path re-homes it; use HomeOf to guard.
+//
+// Create holds the topology read lock: creates on different MDSes proceed
+// in parallel, serializing only per shard of the homes map and per node.
+func (c *Cluster) Create(path string) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.createWith(lockedRand{c}, path)
+}
+
+// createWith is Create with a caller-supplied randomness source. Requires
+// c.mu (read suffices). The map entry and the node update commit together
+// under the path's shard lock, so a racing delete of the same path can
+// never strand the file in a node store that ground truth no longer knows.
+func (c *Cluster) createWith(r intner, path string) int {
+	home := c.ids[r.Intn(len(c.ids))]
+	node := c.nodes[home]
+	c.homes.putThen(path, home, func() { node.AddFile(path) })
+	c.noteMutation(home)
 	return home
+}
+
+// noteMutation checks origin's XOR-delta drift and, past the threshold,
+// marks it dirty in the ship queue, draining inline when the batch fills.
+// Requires c.mu (read suffices).
+func (c *Cluster) noteMutation(origin int) {
+	if !c.nodes[origin].NeedsShip(c.cfg.UpdateThresholdBits) {
+		return
+	}
+	c.shipBatchLocked(c.ships.note(origin))
+}
+
+// shipBatchLocked ships every origin in the batch (nil is a no-op).
+// Requires c.mu (read suffices).
+func (c *Cluster) shipBatchLocked(origins []int) {
+	for _, origin := range origins {
+		c.shipOriginLocked(origin)
+	}
 }
 
 // Delete removes a file from its home. The home's filter goes stale until
 // its rebuild threshold triggers; deletions also count toward the XOR delta
 // once a rebuild regenerates the filter. Reports whether the file existed.
 func (c *Cluster) Delete(path string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.deleteLocked(path)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, existed := c.deleteInner(path)
+	return existed
 }
 
-func (c *Cluster) deleteLocked(path string) bool {
-	home, ok := c.homes[path]
+// deleteInner removes path, returning its pre-delete home (-1 when absent)
+// and whether it existed. Requires c.mu (read suffices). The unlink runs
+// under the path's shard lock, paired with createWith/applyRecord, so
+// create and delete of one path fully serialize.
+func (c *Cluster) deleteInner(path string) (int, bool) {
+	var node *mds.Node
+	home, ok := c.homes.removeThen(path, func(home int) {
+		if n := c.nodes[home]; n != nil {
+			n.DeleteFile(path)
+			node = n
+		}
+	})
 	if !ok {
-		return false
+		return -1, false
 	}
-	node := c.nodes[home]
-	node.DeleteFile(path)
-	delete(c.homes, path)
-	if node.DeletesSinceRebuild() >= c.cfg.RebuildDeleteThreshold {
-		node.Rebuild()
-		c.pushUpdateLocked(home)
+	if node != nil && node.RebuildIfStale(c.cfg.RebuildDeleteThreshold) {
+		// The rebuild changed the filter wholesale; ship the fresh
+		// snapshot through the coalescing queue.
+		c.shipBatchLocked(c.ships.note(home))
 	}
-	return true
+	return home, true
 }
 
 // PushUpdate ships the origin MDS's current filter to the one replica holder
 // in every other group — the paper's core update saving over HBA's
 // system-wide multicast ("we only need to update the stale replica in each
-// group"). Returns the update latency: the multicast to the groups plus the
+// group"). It bypasses the coalescing queue (and clears the origin's dirty
+// mark). Returns the update latency: the multicast to the groups plus the
 // in-place apply at the slowest holder.
 func (c *Cluster) PushUpdate(origin int) time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.pushUpdateLocked(origin)
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.ships.forget(origin)
+	return c.shipOriginLocked(origin)
 }
 
-func (c *Cluster) pushUpdateLocked(origin int) time.Duration {
+// Flush drains the coalescing ship queue, bringing every dirty origin's
+// replicas up to its latest snapshot. Call it at quiescent points (end of a
+// replay, before invariant-sensitive measurements) when running with a
+// ShipBatch larger than one.
+func (c *Cluster) Flush() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.shipBatchLocked(c.ships.drain())
+}
+
+// PendingShips returns how many origins have crossed the ship threshold but
+// not yet drained — observability for the coalescing queue.
+func (c *Cluster) PendingShips() int { return c.ships.pendingCount() }
+
+// shipOriginLocked distributes origin's current filter snapshot to the one
+// replica holder in every other group. Requires c.mu (read or write): group
+// membership must be stable, while the holder arrays and the origin's
+// snapshot state synchronize on their own locks, so concurrent shippers on
+// different origins proceed in parallel. Ships of the *same* origin
+// serialize on a striped lock — without it, two racing shippers could
+// install an older snapshot over a newer one at some holder while the
+// origin's staleness tracking already counts drift against the newer,
+// silently loosening the XOR-delta bound. Unknown origins (retired between
+// enqueue and drain) are ignored.
+func (c *Cluster) shipOriginLocked(origin int) time.Duration {
 	node := c.nodes[origin]
 	if node == nil {
 		return 0
 	}
+	stripe := &c.shipStripes[uint(origin)%uint(len(c.shipStripes))]
+	stripe.Lock()
+	defer stripe.Unlock()
 	snap := node.Ship()
 	ownGroup := c.groupOf[origin]
 	targets := 0
@@ -75,7 +157,7 @@ func (c *Cluster) pushUpdateLocked(origin int) time.Duration {
 		if g.ID() == ownGroup {
 			continue
 		}
-		rep, err := g.UpdateReplica(origin, snap.Clone())
+		rep, err := g.UpdateReplica(origin, snap)
 		if err != nil {
 			// Every other group must mirror this origin; failure means the
 			// coverage invariant broke.
@@ -116,25 +198,44 @@ func (c *Cluster) applyCostLocked(holder int) time.Duration {
 }
 
 // Apply dispatches one trace record against the cluster: mutations create or
-// delete files, reads perform lookups. The entry MDS is chosen uniformly, as
-// in the paper's methodology. Returns the lookup result (zero Result for
-// pure mutations that do not perform a lookup). Apply drives the open-loop
-// queuing model and therefore serializes as a writer.
+// delete files, reads perform lookups. The entry MDS is chosen uniformly
+// from the cluster's internal RNG, as in the paper's methodology. Returns
+// the lookup result; pure mutations report Level 0, with a delete's Home
+// and Found describing the pre-delete state so replay checkpoints can
+// distinguish deletes of live paths from deletes of missing ones.
 func (c *Cluster) Apply(rec trace.Record) LookupResult {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	return c.applyRecord(lockedRand{c}, rec)
+}
+
+// ApplyWith is Apply with a caller-supplied RNG: parallel replay workers
+// give each goroutine its own seeded RNG so record dispatch shares no
+// mutable randomness, and a single-worker run is bit-for-bit the serial
+// engine driven by that RNG.
+func (c *Cluster) ApplyWith(rng *rand.Rand, rec trace.Record) LookupResult {
+	return c.applyRecord(rng, rec)
+}
+
+func (c *Cluster) applyRecord(r intner, rec trace.Record) LookupResult {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	switch rec.Op {
 	case trace.OpCreate:
-		if _, exists := c.homes[rec.Path]; exists {
-			// Creating an existing path degenerates to an open.
-			return c.lookupLocked(rec.Path, c.randomMDSLocked(), rec.At, true)
+		// One draw either way: it becomes the home of a fresh path, or the
+		// entry point when creating an existing path degenerates to an
+		// open. putIfAbsentThen is the atomic claim-and-install, so two
+		// workers racing on the same path cannot both home it, and a
+		// racing delete cannot slip between the claim and the node update.
+		id := c.ids[r.Intn(len(c.ids))]
+		node := c.nodes[id]
+		if _, inserted := c.homes.putIfAbsentThen(rec.Path, id, func() { node.AddFile(rec.Path) }); !inserted {
+			return c.lookupLocked(rec.Path, id, rec.At, true)
 		}
-		home := c.createLocked(rec.Path)
-		return LookupResult{Path: rec.Path, Home: home, Found: true, Level: 0}
+		c.noteMutation(id)
+		return LookupResult{Path: rec.Path, Home: id, Found: true, Level: 0}
 	case trace.OpDelete:
-		c.deleteLocked(rec.Path)
-		return LookupResult{Path: rec.Path, Home: -1, Found: false, Level: 0}
+		home, existed := c.deleteInner(rec.Path)
+		return LookupResult{Path: rec.Path, Home: home, Found: existed, Level: 0}
 	default:
-		return c.lookupLocked(rec.Path, c.randomMDSLocked(), rec.At, true)
+		return c.lookupLocked(rec.Path, c.ids[r.Intn(len(c.ids))], rec.At, true)
 	}
 }

@@ -54,8 +54,10 @@ func (c *Cluster) AddMDS() (int, group.Report, error) {
 	// IDs grow monotonically, so appending keeps the cache sorted.
 	c.ids = append(c.ids, id)
 
-	// Multicast the newcomer's replica to one member of each other group.
+	// Multicast the newcomer's replica to one member of each other group;
+	// every holder shares one immutable snapshot.
 	ownGroup := c.groupOf[id]
+	snap := node.Ship()
 	for _, g := range c.sortedGroupsLocked() {
 		if g.ID() == ownGroup {
 			continue
@@ -65,7 +67,7 @@ func (c *Cluster) AddMDS() (int, group.Report, error) {
 			// its sibling group.
 			continue
 		}
-		r, err := g.InstallReplica(id, node.Ship())
+		r, err := g.InstallReplica(id, snap)
 		if err != nil {
 			return 0, rep, fmt.Errorf("core: distributing replica of %d: %w", id, err)
 		}
@@ -119,6 +121,7 @@ func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 	rep.Add(r)
 	delete(c.groupOf, id)
 	delete(c.nodes, id)
+	c.ships.forget(id)
 	c.refreshIDsLocked()
 	if g.Size() == 0 {
 		delete(c.groups, g.ID())
@@ -137,11 +140,12 @@ func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 	for _, path := range node.Store().Paths() {
 		newHome := c.randomMDSLocked()
 		c.nodes[newHome].AddFile(path)
-		c.homes[path] = newHome
+		c.homes.put(path, newHome)
 	}
 	for _, sid := range survivors {
 		if c.nodes[sid].NeedsShip(c.cfg.UpdateThresholdBits) {
-			c.pushUpdateLocked(sid)
+			c.ships.forget(sid)
+			c.shipOriginLocked(sid)
 		}
 	}
 	// Stale L1 entries pointing at the dead server are flushed.

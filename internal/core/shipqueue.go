@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// shipQueue is the per-origin coalescing ship queue that decouples replica
+// shipping from the mutate hot path. A create or rebuild that pushes a home
+// MDS past the XOR-delta threshold no longer ships the filter inline;
+// instead the origin is marked dirty here. The queue drains — shipping each
+// dirty origin exactly once, in ascending ID order — when the number of
+// threshold crossings since the last drain reaches the configured batch, or
+// when the cluster is explicitly flushed. Repeated crossings by the same
+// origin between drains coalesce into one pending entry, which is what
+// amortizes the paper's stale-replica-per-group update across a burst of
+// creates.
+//
+// With batch ≤ 1 every crossing drains immediately, reproducing the paper's
+// ship-at-threshold protocol bit for bit on the serial path.
+type shipQueue struct {
+	mu        sync.Mutex
+	pending   map[int]struct{}
+	crossings int
+	batch     int
+}
+
+func newShipQueue(batch int) *shipQueue {
+	if batch < 1 {
+		batch = 1
+	}
+	return &shipQueue{pending: make(map[int]struct{}), batch: batch}
+}
+
+// note records a threshold crossing for origin. When the crossing count
+// reaches the batch size it returns the sorted set of dirty origins to ship
+// (clearing the queue); otherwise it returns nil.
+func (q *shipQueue) note(origin int) []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pending[origin] = struct{}{}
+	q.crossings++
+	if q.crossings < q.batch {
+		return nil
+	}
+	return q.takeLocked()
+}
+
+// drain returns every dirty origin in ascending order, clearing the queue.
+func (q *shipQueue) drain() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.takeLocked()
+}
+
+// takeLocked empties the pending set. Requires q.mu.
+func (q *shipQueue) takeLocked() []int {
+	q.crossings = 0
+	if len(q.pending) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(q.pending))
+	for origin := range q.pending {
+		out = append(out, origin)
+	}
+	clear(q.pending)
+	sort.Ints(out)
+	return out
+}
+
+// forget drops origin from the pending set: the origin was just shipped
+// directly (PushUpdate, reconfiguration) or has left the system.
+func (q *shipQueue) forget(origin int) {
+	q.mu.Lock()
+	delete(q.pending, origin)
+	q.mu.Unlock()
+}
+
+// pendingCount returns the number of dirty origins awaiting a drain.
+func (q *shipQueue) pendingCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}

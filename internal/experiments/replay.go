@@ -13,7 +13,10 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"ghba/internal/core"
@@ -21,11 +24,26 @@ import (
 )
 
 // System is the scheme-side contract shared by core.Cluster (G-HBA) and
-// hba.Cluster: dispatch one trace record, report a lookup outcome.
+// hba.Cluster: dispatch one trace record, report a lookup outcome. Apply
+// draws entry points from the system's internal RNG; ApplyWith from the
+// caller's, which is what makes replay runs reproducible independent of the
+// system's own randomness consumption.
 type System interface {
 	Name() string
 	Apply(rec trace.Record) core.LookupResult
+	ApplyWith(rng *rand.Rand, rec trace.Record) core.LookupResult
 	Populate(each func(fn func(path string) bool))
+}
+
+// flusher is implemented by systems with a coalescing ship queue; the
+// replay engines drain it at quiescent points.
+type flusher interface{ Flush() }
+
+// replayRNG builds worker w's record-dispatch RNG for a replay over a trace
+// seeded with seed; trace.DispatchSeed is the shared derivation (the
+// facade's worker pools use it too), and the serial engine is worker 0.
+func replayRNG(seed int64, worker int) *rand.Rand {
+	return rand.New(rand.NewSource(trace.DispatchSeed(seed, worker)))
 }
 
 // Checkpoint is one point of a latency-versus-operations series.
@@ -39,18 +57,21 @@ type Checkpoint struct {
 // Replay feeds totalOps records from gen into sys, sampling the running
 // mean latency every interval operations. Mutation records (create/delete)
 // are applied but excluded from the latency average, as the paper measures
-// metadata lookup operations.
+// metadata lookup operations. Entry points are drawn from an RNG derived
+// from the generator's seed, so a serial replay is exactly the one-worker
+// instance of ReplayParallel.
 func Replay(sys System, gen *trace.Generator, totalOps, interval int) []Checkpoint {
 	if interval <= 0 {
 		interval = totalOps
 	}
+	rng := replayRNG(gen.Config().Seed, 0)
 	var (
 		sum     float64
 		lookups int
 		points  []Checkpoint
 	)
 	for op := 1; op <= totalOps; op++ {
-		res := sys.Apply(gen.Next())
+		res := sys.ApplyWith(rng, gen.Next())
 		if res.Level > 0 {
 			sum += float64(res.Latency)
 			lookups++
@@ -64,6 +85,115 @@ func Replay(sys System, gen *trace.Generator, totalOps, interval int) []Checkpoi
 		}
 	}
 	return points
+}
+
+// ReplayStats summarizes one parallel (or one-worker) replay run.
+type ReplayStats struct {
+	// Ops is the number of records dispatched; Workers the goroutine count.
+	Ops, Workers int
+	// Lookups counts records resolved through the query hierarchy
+	// (including creates of existing paths, which degenerate to opens).
+	Lookups int
+	// Creates and Deletes count mutations that hit live state; DeleteMisses
+	// counts unlinks of paths that did not exist.
+	Creates, Deletes, DeleteMisses int
+	// MeanLookupLatency is the average simulated lookup latency. The
+	// open-loop queue model it includes assumes arrival-ordered dispatch,
+	// so the value is only meaningful for one-worker runs; multi-worker
+	// lanes interleave their simulated clocks and inflate queue waits.
+	MeanLookupLatency time.Duration
+	// Elapsed is the wall-clock time of the replay; OpsPerSec the
+	// wall-clock dispatch throughput.
+	Elapsed   time.Duration
+	OpsPerSec float64
+}
+
+// ReplayParallel replays totalOps records against sys across the given
+// number of worker goroutines. The workload is an n-way split of the trace
+// described by cfg (see trace.SplitGenerators): every worker owns one lane
+// of the stream and one seeded RNG, so a run is deterministic for a fixed
+// (cfg, totalOps, workers) triple up to scheduling of the shared cluster
+// state, and a one-worker run is bit-for-bit the serial Replay over the
+// same generator config. Workers < 1 selects GOMAXPROCS. Any pending
+// coalesced replica ships are flushed before returning, so the system is
+// quiescent when the stats come back.
+//
+// The system must support concurrent ApplyWith (core.Cluster does; the
+// serial HBA baseline does not).
+func ReplayParallel(sys System, cfg trace.Config, totalOps, workers int) (ReplayStats, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > totalOps && totalOps > 0 {
+		workers = totalOps
+	}
+	gens, err := trace.SplitGenerators(cfg, workers)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+
+	type laneStats struct {
+		sum                            float64
+		lookups                        int
+		creates, deletes, deleteMisses int
+	}
+	lanes := make([]laneStats, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		n := totalOps / workers
+		if w < totalOps%workers {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := replayRNG(cfg.Seed, w)
+			gen := gens[w]
+			ls := &lanes[w]
+			for i := 0; i < n; i++ {
+				rec := gen.Next()
+				res := sys.ApplyWith(rng, rec)
+				switch {
+				case res.Level > 0:
+					ls.sum += float64(res.Latency)
+					ls.lookups++
+				case rec.Op == trace.OpCreate:
+					ls.creates++
+				case res.Found:
+					ls.deletes++
+				default:
+					ls.deleteMisses++
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	if f, ok := sys.(flusher); ok {
+		f.Flush()
+	}
+	elapsed := time.Since(start)
+
+	stats := ReplayStats{Ops: totalOps, Workers: workers, Elapsed: elapsed}
+	var sum float64
+	for i := range lanes {
+		ls := &lanes[i]
+		sum += ls.sum
+		stats.Lookups += ls.lookups
+		stats.Creates += ls.creates
+		stats.Deletes += ls.deletes
+		stats.DeleteMisses += ls.deleteMisses
+	}
+	if stats.Lookups > 0 {
+		stats.MeanLookupLatency = time.Duration(sum / float64(stats.Lookups))
+	}
+	if elapsed > 0 {
+		stats.OpsPerSec = float64(totalOps) / elapsed.Seconds()
+	}
+	return stats, nil
 }
 
 // populateFromGenerator pre-creates the generator's initial namespace on a

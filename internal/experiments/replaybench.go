@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ghba/internal/analysis"
+	"ghba/internal/core"
+	"ghba/internal/simnet"
+	"ghba/internal/trace"
+)
+
+// ReplayBenchConfig parameterizes the mixed-workload replay throughput
+// benchmark: a G-HBA cluster replays a lookup:create:delete stream once
+// serially and once through the parallel engine, and the driver reports
+// both wall-clock throughputs.
+type ReplayBenchConfig struct {
+	// N is the MDS count; M the group size (0 selects the paper optimum).
+	N, M int
+	// Files is the total initial namespace size.
+	Files uint64
+	// Ops is the number of replayed operations per run.
+	Ops int
+	// Workers is the parallel engine's goroutine count.
+	Workers int
+	// Mix is the lookup:create:delete weight ratio.
+	Mix [3]float64
+	// ShipBatch is the coalescing ship queue's drain batch (threshold
+	// crossings per drain); 0 or 1 ships at every crossing.
+	ShipBatch int
+	// TIF is the number of sub-traces; 0 selects 4.
+	TIF int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultReplayBenchConfig returns the 30-MDS / 20k-file mutation-heavy
+// configuration the checked-in BENCH_replay.json records.
+func DefaultReplayBenchConfig() ReplayBenchConfig {
+	return ReplayBenchConfig{
+		N:         30,
+		Files:     20_000,
+		Ops:       100_000,
+		Workers:   4,
+		Mix:       [3]float64{70, 20, 10},
+		ShipBatch: 64,
+		TIF:       4,
+		Seed:      1,
+	}
+}
+
+// ReplayBenchResult carries both runs plus the headline comparison.
+type ReplayBenchResult struct {
+	Config   ReplayBenchConfig
+	Serial   ReplayStats
+	Parallel ReplayStats
+	// Speedup is parallel ops/sec over serial ops/sec.
+	Speedup float64
+	// LevelShares is the parallel run's fraction of lookups served per
+	// level (indices 1–4).
+	LevelShares [5]float64
+	// ReplicaUpdates counts replica-update messages of the parallel run —
+	// the traffic the coalescing ship queue amortizes.
+	ReplicaUpdates uint64
+	// FileCount is the parallel cluster's namespace size after the replay.
+	FileCount int
+}
+
+// ReplayBench runs the serial and parallel replays on identically built,
+// identically populated clusters and returns the comparison. The serial
+// run is the one-worker engine (the pre-parallel baseline); the parallel
+// run uses cfg.Workers lanes over a split trace.
+func ReplayBench(cfg ReplayBenchConfig) (ReplayBenchResult, error) {
+	if cfg.N < 1 || cfg.Ops < 1 {
+		return ReplayBenchResult{}, fmt.Errorf("experiments: bad replay bench config N=%d ops=%d", cfg.N, cfg.Ops)
+	}
+	if cfg.M == 0 {
+		cfg.M = analysis.PaperOptimalM(cfg.N)
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.TIF == 0 {
+		cfg.TIF = 4
+	}
+	profile, err := trace.MixProfile(cfg.Mix[0], cfg.Mix[1], cfg.Mix[2])
+	if err != nil {
+		return ReplayBenchResult{}, err
+	}
+	tcfg := trace.Config{
+		Profile:          profile,
+		TIF:              cfg.TIF,
+		FilesPerSubtrace: cfg.Files / uint64(cfg.TIF),
+		// Keep the simulated open-loop model unsaturated: this benchmark
+		// measures wall-clock dispatch throughput, and a flooded queue
+		// model would report a meaningless simulated latency next to it.
+		MeanInterarrival: 2 * time.Millisecond,
+		Seed:             cfg.Seed,
+	}
+
+	build := func() (*core.Cluster, error) {
+		gen, err := trace.NewGenerator(tcfg)
+		if err != nil {
+			return nil, err
+		}
+		ccfg := clusterConfig(cfg.N, cfg.M, gen)
+		ccfg.Seed = cfg.Seed
+		ccfg.ShipBatch = cfg.ShipBatch
+		cluster, err := core.New(ccfg)
+		if err != nil {
+			return nil, err
+		}
+		populateFromGenerator(cluster, gen)
+		return cluster, nil
+	}
+
+	var out ReplayBenchResult
+	out.Config = cfg
+
+	// Serial baseline: the one-worker engine over the unsplit stream.
+	serialCluster, err := build()
+	if err != nil {
+		return out, err
+	}
+	out.Serial, err = ReplayParallel(serialCluster, tcfg, cfg.Ops, 1)
+	if err != nil {
+		return out, err
+	}
+
+	// Parallel engine.
+	parallelCluster, err := build()
+	if err != nil {
+		return out, err
+	}
+	before := levelCounts(parallelCluster)
+	out.Parallel, err = ReplayParallel(parallelCluster, tcfg, cfg.Ops, cfg.Workers)
+	if err != nil {
+		return out, err
+	}
+	after := levelCounts(parallelCluster)
+	if out.Parallel.Lookups > 0 {
+		for l := 1; l <= 4; l++ {
+			out.LevelShares[l] = float64(after[l]-before[l]) / float64(out.Parallel.Lookups)
+		}
+	}
+	if out.Serial.OpsPerSec > 0 {
+		out.Speedup = out.Parallel.OpsPerSec / out.Serial.OpsPerSec
+	}
+	out.ReplicaUpdates = parallelCluster.Messages().Get(simnet.MsgReplicaUpdate)
+	out.FileCount = parallelCluster.FileCount()
+	return out, nil
+}
+
+func levelCounts(c *core.Cluster) [5]uint64 {
+	var out [5]uint64
+	for l := 1; l <= 4; l++ {
+		out[l] = c.Tally().Count(l)
+	}
+	return out
+}
+
+// FormatReplayBench renders the comparison like the other figure banners.
+func FormatReplayBench(r ReplayBenchResult) string {
+	var b []byte
+	b = fmt.Appendf(b, "Replay throughput — N=%d M=%d files=%d ops=%d mix=%.0f:%.0f:%.0f shipbatch=%d seed=%d\n",
+		r.Config.N, r.Config.M, r.Config.Files, r.Config.Ops,
+		r.Config.Mix[0], r.Config.Mix[1], r.Config.Mix[2], r.Config.ShipBatch, r.Config.Seed)
+	b = fmt.Appendf(b, "  serial   (1 worker):  %9.0f ops/sec  (%v)\n",
+		r.Serial.OpsPerSec, r.Serial.Elapsed.Round(time.Millisecond))
+	b = fmt.Appendf(b, "  parallel (%d workers): %9.0f ops/sec  (%v)\n",
+		r.Parallel.Workers, r.Parallel.OpsPerSec, r.Parallel.Elapsed.Round(time.Millisecond))
+	b = fmt.Appendf(b, "  speedup        %.2fx\n", r.Speedup)
+	// The simulated mean comes from the serial run: the open-loop queue
+	// model is only meaningful under arrival-ordered dispatch.
+	b = fmt.Appendf(b, "  lookups        %d (sim mean %v serial)  creates %d  deletes %d (+%d missed)\n",
+		r.Parallel.Lookups, r.Serial.MeanLookupLatency.Round(time.Microsecond),
+		r.Parallel.Creates, r.Parallel.Deletes, r.Parallel.DeleteMisses)
+	b = fmt.Appendf(b, "  level shares   L1=%.3f L2=%.3f L3=%.3f L4=%.3f\n",
+		r.LevelShares[1], r.LevelShares[2], r.LevelShares[3], r.LevelShares[4])
+	b = fmt.Appendf(b, "  replica msgs   %d\n", r.ReplicaUpdates)
+	return string(b)
+}

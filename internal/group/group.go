@@ -8,6 +8,15 @@
 // its members hold covers every MDS in the system, with each replica stored
 // on exactly one member. Member IDBFAs stay consistent with the actual
 // replica placement so updates can be routed to the right holder.
+//
+// Concurrency: membership operations (Join, Leave, Split, Merge,
+// InstallReplica, RemoveOrigin) require external exclusive locking — the
+// cluster layer serializes them behind its topology write lock. Replica
+// refreshes (UpdateReplica) and reads (HolderOf, LocateViaIDBFA,
+// ReplicaOrigins, CoverageError) may run concurrently from many shippers
+// and lookup workers while membership is stable: the holder arrays they
+// touch synchronize internally, and the IDBFAs are read-only between
+// reconfigurations.
 package group
 
 import (

@@ -343,7 +343,13 @@ func (c *Cluster) ResetQueues() {
 // Create homes a new file and pushes a replica update to all servers when
 // the XOR-delta threshold trips.
 func (c *Cluster) Create(path string) int {
-	home := c.RandomMDS()
+	return c.createWith(c.rng, path)
+}
+
+// createWith is Create drawing the home from a caller-supplied RNG.
+func (c *Cluster) createWith(r interface{ Intn(int) int }, path string) int {
+	ids := c.MDSIDs()
+	home := ids[r.Intn(len(ids))]
 	c.nodes[home].AddFile(path)
 	c.homes[path] = home
 	if c.nodes[home].NeedsShip(c.cfg.UpdateThresholdBits) {
@@ -353,10 +359,18 @@ func (c *Cluster) Create(path string) int {
 }
 
 // Delete removes a file; the home filter stays stale until rebuilt.
+// Reports whether the file existed.
 func (c *Cluster) Delete(path string) bool {
+	_, existed := c.deleteInner(path)
+	return existed
+}
+
+// deleteInner removes path, returning its pre-delete home (-1 when absent)
+// and whether it existed.
+func (c *Cluster) deleteInner(path string) (int, bool) {
 	home, ok := c.homes[path]
 	if !ok {
-		return false
+		return -1, false
 	}
 	node := c.nodes[home]
 	node.DeleteFile(path)
@@ -365,7 +379,7 @@ func (c *Cluster) Delete(path string) bool {
 		node.Rebuild()
 		c.PushUpdate(home)
 	}
-	return true
+	return home, true
 }
 
 // PushUpdate multicasts origin's fresh filter to every other MDS — HBA's
@@ -440,21 +454,41 @@ func (c *Cluster) AddMDS() (int, int, int) {
 	return id, migrated, messages
 }
 
-// Apply dispatches one trace record, mirroring core.Cluster.Apply.
+// Apply dispatches one trace record, mirroring core.Cluster.Apply. A
+// delete's result reports the pre-delete home and whether the path existed.
 func (c *Cluster) Apply(rec trace.Record) core.LookupResult {
+	return c.applyRecord(c.rng, rec)
+}
+
+// ApplyWith is Apply drawing entry points and homes from a caller-supplied
+// RNG, mirroring core.Cluster.ApplyWith. Unlike core's, HBA's cluster is a
+// serial baseline: records must still be dispatched one at a time.
+func (c *Cluster) ApplyWith(rng *rand.Rand, rec trace.Record) core.LookupResult {
+	return c.applyRecord(rng, rec)
+}
+
+func (c *Cluster) applyRecord(r interface{ Intn(int) int }, rec trace.Record) core.LookupResult {
 	switch rec.Op {
 	case trace.OpCreate:
+		// One draw either way: the home of a fresh path, or the entry
+		// point when creating an existing path degenerates to an open.
+		ids := c.MDSIDs()
+		id := ids[r.Intn(len(ids))]
 		if _, exists := c.homes[rec.Path]; exists {
-			// Creating an existing path degenerates to an open.
-			return c.LookupAt(rec.Path, c.RandomMDS(), rec.At)
+			return c.LookupAt(rec.Path, id, rec.At)
 		}
-		home := c.Create(rec.Path)
-		return core.LookupResult{Path: rec.Path, Home: home, Found: true, Level: 0}
+		c.nodes[id].AddFile(rec.Path)
+		c.homes[rec.Path] = id
+		if c.nodes[id].NeedsShip(c.cfg.UpdateThresholdBits) {
+			c.PushUpdate(id)
+		}
+		return core.LookupResult{Path: rec.Path, Home: id, Found: true, Level: 0}
 	case trace.OpDelete:
-		c.Delete(rec.Path)
-		return core.LookupResult{Path: rec.Path, Home: -1, Found: false, Level: 0}
+		home, existed := c.deleteInner(rec.Path)
+		return core.LookupResult{Path: rec.Path, Home: home, Found: existed, Level: 0}
 	default:
-		return c.LookupAt(rec.Path, c.RandomMDS(), rec.At)
+		ids := c.MDSIDs()
+		return c.LookupAt(rec.Path, ids[r.Intn(len(ids))], rec.At)
 	}
 }
 

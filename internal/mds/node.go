@@ -11,6 +11,7 @@ package mds
 
 import (
 	"fmt"
+	"sync"
 
 	"ghba/internal/bloom"
 	"ghba/internal/bloomarray"
@@ -54,9 +55,19 @@ func (c Config) validate() error {
 }
 
 // Node is one metadata server.
+//
+// Concurrency model: the sharded cluster write path mutates different nodes
+// from different goroutines while lookup workers probe them, so each node
+// carries its own lock. mu guards the local filter, the last-shipped
+// snapshot, and the deletion counter — the state the create/delete/ship
+// protocol reads and writes. The store, the LRU array and the replica array
+// synchronize internally; the IDBFA is only mutated during reconfiguration,
+// which the cluster layer serializes exclusively against all node traffic.
 type Node struct {
 	id  int
 	cfg Config
+
+	mu sync.RWMutex
 
 	store *metastore.Store
 	local *bloom.Filter
@@ -70,8 +81,8 @@ type Node struct {
 	// drives the update protocol.
 	lastShipped *bloom.Filter
 
-	// staleLocalBits counts bits that are set in the local filter but
-	// belong to deleted files; Rebuild clears them.
+	// deletesSinceRebuild counts deletions whose bits are still set in the
+	// local filter; Rebuild clears them.
 	deletesSinceRebuild uint64
 }
 
@@ -116,7 +127,10 @@ func (n *Node) Replicas() *bloomarray.Array { return n.replicas }
 func (n *Node) IDBFA() *bloomarray.IDBFA { return n.idbfa }
 
 // LocalFilter returns the filter over locally homed files. Callers must not
-// mutate it; use AddFile/DeleteFile.
+// mutate it; use AddFile/DeleteFile. Probing it is only safe while the node
+// is quiescent (the query paths go through LocalPositiveDigest/QueryL2Digest,
+// which take the node lock); reading immutable geometry (SizeBytes, M, K) is
+// always safe.
 func (n *Node) LocalFilter() *bloom.Filter { return n.local }
 
 // FileCount returns the number of files homed here.
@@ -126,13 +140,17 @@ func (n *Node) FileCount() int { return n.store.Len() }
 // updated.
 func (n *Node) AddFile(path string) {
 	n.store.PutPath(path)
+	n.mu.Lock()
 	n.local.AddString(path)
+	n.mu.Unlock()
 }
 
 // AddFileMeta homes a file with full attributes.
 func (n *Node) AddFileMeta(md metastore.Metadata) {
 	n.store.Put(md)
+	n.mu.Lock()
 	n.local.AddString(md.Path)
+	n.mu.Unlock()
 }
 
 // DeleteFile removes a file from this node. The local Bloom filter cannot
@@ -141,7 +159,9 @@ func (n *Node) AddFileMeta(md metastore.Metadata) {
 func (n *Node) DeleteFile(path string) bool {
 	ok := n.store.Delete(path)
 	if ok {
+		n.mu.Lock()
 		n.deletesSinceRebuild++
+		n.mu.Unlock()
 	}
 	return ok
 }
@@ -153,18 +173,36 @@ func (n *Node) HasFile(path string) bool { return n.store.Has(path) }
 // LocalPositive reports whether the local filter answers positively — the
 // memory-speed part of an L4 check. A negative is definitive (no false
 // negatives for undeleted files); a positive requires verification.
-func (n *Node) LocalPositive(path string) bool { return n.local.ContainsString(path) }
+func (n *Node) LocalPositive(path string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.local.ContainsString(path)
+}
 
 // LocalPositiveDigest is LocalPositive for a pre-hashed path.
-func (n *Node) LocalPositiveDigest(d *bloom.Digest) bool { return n.local.ContainsDigest(d) }
+func (n *Node) LocalPositiveDigest(d *bloom.Digest) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.local.ContainsDigest(d)
+}
 
 // DeletesSinceRebuild returns how many deletions the local filter has not
 // yet absorbed; schemes use it to schedule rebuilds.
-func (n *Node) DeletesSinceRebuild() uint64 { return n.deletesSinceRebuild }
+func (n *Node) DeletesSinceRebuild() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.deletesSinceRebuild
+}
 
 // Rebuild regenerates the local filter from the store, clearing stale bits
 // left by deletions. The caller charges the appropriate cost.
 func (n *Node) Rebuild() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rebuildLocked()
+}
+
+func (n *Node) rebuildLocked() {
 	n.local.Clear()
 	n.store.Range(func(md metastore.Metadata) bool {
 		n.local.AddString(md.Path)
@@ -173,10 +211,31 @@ func (n *Node) Rebuild() {
 	n.deletesSinceRebuild = 0
 }
 
+// RebuildIfStale rebuilds the local filter when at least threshold deletions
+// have accumulated since the last rebuild, reporting whether it did. The
+// check and the rebuild happen under one lock acquisition so concurrent
+// deleters on the same node cannot both trigger a rebuild for the same
+// batch of stale bits.
+func (n *Node) RebuildIfStale(threshold uint64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.deletesSinceRebuild < threshold {
+		return false
+	}
+	n.rebuildLocked()
+	return true
+}
+
 // DeltaBits returns the Hamming distance between the local filter and the
 // snapshot last shipped to replica holders — the staleness measure of the
 // XOR-delta protocol.
 func (n *Node) DeltaBits() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.deltaBitsLocked()
+}
+
+func (n *Node) deltaBitsLocked() uint64 {
 	d, err := n.local.XorBits(n.lastShipped)
 	if err != nil {
 		// local and lastShipped are created from the same geometry and
@@ -189,15 +248,20 @@ func (n *Node) DeltaBits() uint64 {
 // NeedsShip reports whether the local filter drifted at least thresholdBits
 // from the last shipped snapshot.
 func (n *Node) NeedsShip(thresholdBits uint64) bool {
-	return n.DeltaBits() >= thresholdBits
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.deltaBitsLocked() >= thresholdBits
 }
 
-// Ship returns a fresh replica of the local filter and records it as the
-// last shipped snapshot. The caller distributes the clone and charges
-// message costs.
+// Ship returns a snapshot of the local filter and records it as the last
+// shipped one. The caller distributes the snapshot and charges message
+// costs. The snapshot is shared with the node's own staleness tracking and
+// may be installed at several holders, so it must be treated as immutable.
 func (n *Node) Ship() *bloom.Filter {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	snap := n.local.Clone()
-	n.lastShipped = snap.Clone()
+	n.lastShipped = snap
 	return snap
 }
 
@@ -239,7 +303,7 @@ func (n *Node) QueryL2(path string) bloomarray.Result {
 // be nil) and returned in ascending order.
 func (n *Node) QueryL2Digest(d *bloom.Digest, buf []int) bloomarray.Result {
 	r := n.replicas.QueryDigest(d, buf)
-	if n.local.ContainsDigest(d) {
+	if n.LocalPositiveDigest(d) {
 		r.Hits = bloomarray.InsertSorted(r.Hits, n.id)
 	}
 	return r

@@ -51,6 +51,10 @@ func (c *Config) applyDefaults() error {
 
 // Generator produces a deterministic infinite stream of trace records,
 // merging TIF concurrent sub-traces with disjoint namespaces.
+//
+// A generator can be one lane of an n-way split (see SplitGenerators):
+// create allocation is then strided so concurrent lanes never mint the same
+// fresh path. A plain NewGenerator is the 1-way split (offset 0, stride 1).
 type Generator struct {
 	cfg  Config
 	rng  *rand.Rand
@@ -58,6 +62,10 @@ type Generator struct {
 	subs []*subtrace
 	seq  uint64
 	now  time.Duration
+
+	// createStride is the gap between consecutive fresh file indices this
+	// lane allocates; 1 for a serial generator.
+	createStride uint64
 }
 
 // subtrace holds the per-sub-trace locality state: a ring buffer of recently
@@ -73,6 +81,13 @@ type subtrace struct {
 
 // NewGenerator builds a generator for cfg.
 func NewGenerator(cfg Config) (*Generator, error) {
+	return newLaneGenerator(cfg, 0, 1)
+}
+
+// newLaneGenerator builds lane `offset` of a `stride`-way split: fresh file
+// indices start at FilesPerSubtrace+offset and advance by stride, keeping
+// concurrently replayed lanes' created namespaces disjoint.
+func newLaneGenerator(cfg Config, offset, stride uint64) (*Generator, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
@@ -82,18 +97,78 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		ws = 1024
 	}
 	g := &Generator{
-		cfg:  cfg,
-		rng:  rng,
-		zipf: rand.NewZipf(rng, cfg.Profile.ZipfS, 1, cfg.FilesPerSubtrace-1),
-		subs: make([]*subtrace, cfg.TIF),
+		cfg:          cfg,
+		rng:          rng,
+		zipf:         rand.NewZipf(rng, cfg.Profile.ZipfS, 1, cfg.FilesPerSubtrace-1),
+		subs:         make([]*subtrace, cfg.TIF),
+		createStride: stride,
 	}
 	for i := range g.subs {
 		g.subs[i] = &subtrace{
 			recent:  make([]uint64, ws),
-			nextNew: cfg.FilesPerSubtrace,
+			nextNew: cfg.FilesPerSubtrace + offset,
 		}
 	}
 	return g, nil
+}
+
+// SplitSeed derives the seed of one lane of an n-way split. Lane 0 keeps
+// the base seed, so a 1-way split replays exactly the serial stream — the
+// contract the parallel replay engine's single-worker reproducibility
+// rests on. Other lanes get SplitMix64-style spacing to stay uncorrelated.
+func SplitSeed(seed int64, lane int) int64 {
+	if lane == 0 {
+		return seed
+	}
+	const golden = uint64(0x9E3779B97F4A7C15)
+	return seed ^ int64(uint64(lane)*golden)
+}
+
+// DispatchSeed derives worker w's record-dispatch RNG seed — the stream
+// that picks entry MDSes and home placements during a replay. It is the
+// single derivation every parallel driver (the facade's worker pools, the
+// replay engine) must share: the serial engine is worker 0 by definition,
+// so any two call sites that disagree silently break the pinned
+// single-worker ≡ serial equivalence tests. The salt keeps dispatch seeds
+// disjoint from SplitSeed's lane seeds, so a worker's dispatch RNG can
+// never replay a neighbouring lane's generator stream.
+func DispatchSeed(seed int64, worker int) int64 {
+	const (
+		golden       = uint64(0x9E3779B97F4A7C15)
+		dispatchSalt = int64(-6148914691236517206) // 0xAAAA…AAAA: flips alternate bits
+	)
+	return seed ^ int64(uint64(worker+1)*golden) ^ dispatchSalt
+}
+
+// SplitGenerators returns n generators whose merged output stands in for
+// the serial stream of cfg: each lane draws operations and file popularity
+// from its own seeded RNG over the shared initial namespace, while created
+// paths come from disjoint strided index ranges so concurrent lanes never
+// collide on a fresh file. Lane inter-arrivals are stretched by n — the
+// standard thinning of a Poisson process — so the lanes' merged arrival
+// rate matches the serial stream's and queue-model latencies stay
+// comparable across worker counts. A 1-way split is bit-for-bit the serial
+// generator.
+func SplitGenerators(cfg Config, n int) ([]*Generator, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("trace: split count must be ≥ 1, got %d", n)
+	}
+	interarrival := cfg.MeanInterarrival
+	if interarrival <= 0 {
+		interarrival = DefaultMeanInterarrival
+	}
+	out := make([]*Generator, n)
+	for w := 0; w < n; w++ {
+		c := cfg
+		c.Seed = SplitSeed(cfg.Seed, w)
+		c.MeanInterarrival = interarrival * time.Duration(n)
+		g, err := newLaneGenerator(c, uint64(w), uint64(n))
+		if err != nil {
+			return nil, err
+		}
+		out[w] = g
+	}
+	return out, nil
 }
 
 // Config returns the effective configuration after defaulting.
@@ -180,7 +255,7 @@ const createdPoolCap = 512
 // that deletes draw from.
 func (g *Generator) pickCreate(st *subtrace) uint64 {
 	f := st.nextNew
-	st.nextNew++
+	st.nextNew += g.createStride
 	g.remember(st, f)
 	if len(st.created) < createdPoolCap {
 		st.created = append(st.created, f)
@@ -197,7 +272,7 @@ func (g *Generator) pickCreate(st *subtrace) uint64 {
 func (g *Generator) pickDelete(st *subtrace) uint64 {
 	if len(st.created) == 0 {
 		f := st.nextNew
-		st.nextNew++
+		st.nextNew += g.createStride
 		return f
 	}
 	f := st.created[len(st.created)-1]

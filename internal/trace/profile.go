@@ -129,6 +129,40 @@ func Profiles() []Profile {
 	return []Profile{HP(), RES(), INS()}
 }
 
+// MixProfile builds a synthetic profile with an explicit
+// lookup:create:delete operation ratio — the mutation-heavy mixes the
+// replay benchmark sweeps, where the published traces' sub-1% mutation
+// share would leave the write path idle. Lookups are emitted as stats (all
+// non-mutating operations traverse the same query hierarchy); locality
+// parameters match the HP profile so L1 behaviour stays comparable.
+func MixProfile(lookup, create, del float64) (Profile, error) {
+	if lookup < 0 || create < 0 || del < 0 {
+		return Profile{}, fmt.Errorf("trace: negative mix weight %v:%v:%v", lookup, create, del)
+	}
+	total := lookup + create + del
+	if total <= 0 {
+		return Profile{}, fmt.Errorf("trace: empty mix")
+	}
+	return Profile{
+		Name:       "MIX",
+		PaperTIF:   1,
+		weights:    [5]float64{0, 0, lookup / total, create / total, del / total},
+		ZipfS:      1.15,
+		RepeatProb: 0.65,
+		WorkingSet: 4096,
+	}, nil
+}
+
+// MustMixProfile is MixProfile for literal weights; it panics on invalid
+// input.
+func MustMixProfile(lookup, create, del float64) Profile {
+	p, err := MixProfile(lookup, create, del)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // ProfileByName looks a profile up by its name (case sensitive).
 func ProfileByName(name string) (Profile, error) {
 	for _, p := range Profiles() {
