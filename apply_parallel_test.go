@@ -1,6 +1,7 @@
 package ghba
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -36,7 +37,10 @@ func TestApplyParallelSingleWorkerMatchesSerial(t *testing.T) {
 	simB, _ := newParallelSim(t, 300, 1)
 	ops := mixedOps(1_500)
 
-	parallel := simA.ApplyParallel(ops, 1)
+	parallel, err := ApplyParallel(context.Background(), simA, ops, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	rng := rand.New(rand.NewSource(workerSeed(simB.seed, 0)))
 	serial := make([]Result, len(ops))
@@ -78,7 +82,10 @@ func TestApplyParallelManyWorkers(t *testing.T) {
 			ops[i] = Op{Kind: OpLookup, Path: "/par/f" + strconv.Itoa(i%300)}
 		}
 	}
-	results := sim.ApplyParallel(ops, 8)
+	results, err := ApplyParallel(context.Background(), sim, ops, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != len(ops) {
 		t.Fatalf("got %d results for %d ops", len(results), len(ops))
 	}
@@ -106,7 +113,9 @@ func TestApplyParallelManyWorkers(t *testing.T) {
 	if got, want := sim.FileCount(), before+creates; got != want {
 		t.Errorf("file count %d, want %d", got, want)
 	}
-	sim.Flush()
+	if err := sim.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	if err := sim.CheckInvariants(); err != nil {
 		t.Fatalf("invariants after parallel mutations: %v", err)
 	}
@@ -137,18 +146,21 @@ func TestApplyParallelWithReconfig(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 4; i++ {
-			id, _, err := sim.AddMDS()
+			id, _, err := sim.AddMDS(context.Background())
 			if err != nil {
 				t.Errorf("AddMDS: %v", err)
 				return
 			}
-			if err := sim.RemoveMDS(id); err != nil {
+			if err := sim.RemoveMDS(context.Background(), id); err != nil {
 				t.Errorf("RemoveMDS(%d): %v", id, err)
 				return
 			}
 		}
 	}()
-	results := sim.ApplyParallel(ops, 4)
+	results, err := ApplyParallel(context.Background(), sim, ops, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wg.Wait()
 
 	for i, res := range results {
@@ -156,7 +168,9 @@ func TestApplyParallelWithReconfig(t *testing.T) {
 			t.Fatalf("create %s failed during reconfiguration", res.Path)
 		}
 	}
-	sim.Flush()
+	if err := sim.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	if err := sim.CheckInvariants(); err != nil {
 		t.Fatalf("invariants after churn: %v", err)
 	}
@@ -165,14 +179,20 @@ func TestApplyParallelWithReconfig(t *testing.T) {
 // TestApplyParallelEdgeCases covers empty input and worker clamping.
 func TestApplyParallelEdgeCases(t *testing.T) {
 	sim, _ := newParallelSim(t, 10, 1)
-	if res := sim.ApplyParallel(nil, 4); res != nil {
+	if res, err := ApplyParallel(context.Background(), sim, nil, 4); err != nil || res != nil {
 		t.Errorf("empty batch returned %v", res)
 	}
-	res := sim.ApplyParallel([]Op{{Kind: OpLookup, Path: "/par/f1"}}, 16)
+	res, err := ApplyParallel(context.Background(), sim, []Op{{Kind: OpLookup, Path: "/par/f1"}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 1 || !res[0].Found {
 		t.Errorf("clamped run returned %+v", res)
 	}
-	res = sim.ApplyParallel([]Op{{Kind: OpCreate, Path: "/edge/c"}}, 0)
+	res, err = ApplyParallel(context.Background(), sim, []Op{{Kind: OpCreate, Path: "/edge/c"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 1 || !res[0].Found {
 		t.Errorf("default-worker run returned %+v", res)
 	}

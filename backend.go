@@ -1,0 +1,222 @@
+package ghba
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"ghba/internal/trace"
+)
+
+// ErrUnsupported is returned by Reconfigurer operations a backend cannot
+// perform (the TCP prototype, for instance, grows but does not yet shrink).
+var ErrUnsupported = errors.New("ghba: operation not supported by this backend")
+
+// Backend is the transport-agnostic client surface over a G-HBA metadata
+// cluster. Two implementations ship with the repository: Simulation (the
+// in-process engine with simulated costs) and Prototype (real TCP daemons
+// on loopback, the paper's Section 5 setup). Every driver in this module —
+// the replay engines, the benches, the CLIs, the examples — dispatches
+// against this interface, so any mixed-workload scenario runs unchanged
+// against either backend.
+//
+// Contexts carry per-call deadlines and cancellation; the simulation
+// ignores them (it never blocks on I/O), the prototype threads them down to
+// every RPC. Lookups and Applies are safe for concurrent use; backends
+// serialize reconfiguration internally as an exclusive writer.
+type Backend interface {
+	// Name identifies the backend ("sim", "tcp") in banners and records.
+	Name() string
+	// Seed returns the seed the backend was built with — the base of the
+	// per-worker RNG derivation the parallel drivers share.
+	Seed() int64
+	// NumMDS returns the current server count.
+	NumMDS() int
+	// MDSIDs returns the current server IDs in ascending order.
+	MDSIDs() []int
+	// FileCount returns the number of files in the namespace (ground truth).
+	FileCount() int
+	// Lookup resolves the home MDS of path, entering the hierarchy at a
+	// server drawn from the backend's internal RNG.
+	Lookup(ctx context.Context, path string) (Result, error)
+	// LookupWith is Lookup with the entry drawn from the caller's RNG — the
+	// reproducible-concurrency hook every parallel driver builds on.
+	LookupWith(ctx context.Context, rng *rand.Rand, path string) (Result, error)
+	// Apply dispatches one mixed-workload operation: creates home new
+	// files, deletes unlink, lookups walk the query hierarchy.
+	Apply(ctx context.Context, op Op) (Result, error)
+	// ApplyWith is Apply with a caller-supplied RNG.
+	ApplyWith(ctx context.Context, rng *rand.Rand, op Op) (Result, error)
+	// CreateAll bulk-loads paths and synchronizes all replicas afterwards —
+	// much faster than per-file updates for initial population.
+	CreateAll(ctx context.Context, paths []string) error
+	// Flush drains the coalescing ship queue at a quiescent point.
+	Flush(ctx context.Context) error
+	// LevelCounts returns the cumulative lookups served at each hierarchy
+	// level (indices 1–4; index 0 unused).
+	LevelCounts() [5]uint64
+	// Close releases the backend's resources (daemons, sockets). The
+	// simulation's Close is a no-op.
+	Close() error
+}
+
+// Reconfigurer is the dynamic-membership half of the backend contract.
+// Simulation supports all three operations; Prototype supports AddMDS and
+// returns ErrUnsupported for the others.
+type Reconfigurer interface {
+	// AddMDS grows the cluster by one server, returning the new ID and the
+	// number of Bloom-filter replicas migrated (messages, on the wire).
+	AddMDS(ctx context.Context) (id, replicasMigrated int, err error)
+	// RemoveMDS retires a server gracefully.
+	RemoveMDS(ctx context.Context, id int) error
+	// FailMDS simulates a crash, returning how many files were lost.
+	FailMDS(ctx context.Context, id int) (filesLost int, err error)
+}
+
+// OpKind identifies one Apply operation.
+type OpKind uint8
+
+// Operation kinds for Apply/ApplyWith.
+const (
+	// OpLookup resolves a path through the query hierarchy.
+	OpLookup OpKind = iota
+	// OpCreate homes a new file (an existing path degenerates to a lookup).
+	OpCreate
+	// OpDelete unlinks a file.
+	OpDelete
+)
+
+// Op is one operation of a mixed workload.
+type Op struct {
+	Kind OpKind
+	Path string
+	// At is the arrival-time offset driving the simulation's open-loop
+	// queue model; the prototype (real sockets, real queueing) ignores it.
+	At time.Duration
+}
+
+// record converts a facade Op to the trace record the engines dispatch.
+func (op Op) record() trace.Record {
+	rec := trace.Record{Path: op.Path, At: op.At}
+	switch op.Kind {
+	case OpCreate:
+		rec.Op = trace.OpCreate
+	case OpDelete:
+		rec.Op = trace.OpDelete
+	default:
+		rec.Op = trace.OpStat
+	}
+	return rec
+}
+
+// workerSeed derives a deterministic per-worker RNG seed; the shared
+// derivation lives in trace.DispatchSeed so every parallel driver agrees.
+func workerSeed(seed int64, worker int) int64 {
+	return trace.DispatchSeed(seed, worker)
+}
+
+// LookupParallel resolves every path against the backend using the given
+// number of worker goroutines and returns the results in path order. Each
+// worker enters the hierarchy at servers drawn from its own seeded RNG, so
+// runs are deterministic for a fixed (backend seed, paths, workers) triple
+// and a single-worker run is exactly the serial engine driven by worker 0's
+// RNG. workers < 1 selects GOMAXPROCS. A worker's first error stops its
+// chunk; other workers finish theirs, and all errors are joined.
+func LookupParallel(ctx context.Context, b Backend, paths []string, workers int) ([]Result, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	results := make([]Result, len(paths))
+	err := fanOut(len(paths), workers, b.Seed(), func(rng *rand.Rand, i int) error {
+		res, err := b.LookupWith(ctx, rng, paths[i])
+		if err != nil {
+			return fmt.Errorf("lookup %q: %w", paths[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ApplyParallel dispatches a mixed create/delete/lookup workload across the
+// given number of worker goroutines and returns the results in input order.
+// The determinism contract matches LookupParallel's: runs are reproducible
+// for a fixed (backend seed, ops, workers) triple up to the interleaving of
+// workers on shared cluster state, and a single-worker run is exactly the
+// serial engine driven by worker 0's RNG.
+//
+// A delete's Result reports the pre-delete home and whether the path
+// existed; a create reports the chosen home with Level 0. Replica shipping
+// is coalesced per the backend's ShipBatch — call Flush to force pending
+// updates out at a quiescent point.
+func ApplyParallel(ctx context.Context, b Backend, ops []Op, workers int) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	results := make([]Result, len(ops))
+	err := fanOut(len(ops), workers, b.Seed(), func(rng *rand.Rand, i int) error {
+		res, err := b.ApplyWith(ctx, rng, ops[i])
+		if err != nil {
+			return fmt.Errorf("op %d (%q): %w", i, ops[i].Path, err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// fanOut chunks n items over workers goroutines, handing each worker its
+// own deterministically seeded RNG; worker 0's chunk starts at item 0, so a
+// one-worker fan-out is the serial loop.
+func fanOut(n, workers int, seed int64, do func(rng *rand.Rand, i int) error) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(seed, w)))
+			for i := lo; i < hi; i++ {
+				if err := do(rng, i); err != nil {
+					errs[w] = fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Interface conformance is pinned at compile time.
+var (
+	_ Backend      = (*Simulation)(nil)
+	_ Backend      = (*Prototype)(nil)
+	_ Reconfigurer = (*Simulation)(nil)
+	_ Reconfigurer = (*Prototype)(nil)
+)

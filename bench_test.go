@@ -1,4 +1,4 @@
-package ghba
+package ghba_test
 
 // One benchmark per table and figure of the paper's evaluation. Each bench
 // drives the corresponding experiment at a reduced scale so `go test
@@ -7,9 +7,12 @@ package ghba
 // quantity to the benchmark output (latencies in ms, message counts, Γ).
 
 import (
+	"context"
 	"strconv"
 	"testing"
 	"time"
+
+	"ghba"
 
 	"ghba/internal/bloom"
 	"ghba/internal/experiments"
@@ -256,7 +259,7 @@ func BenchmarkTables34TraceStats(b *testing.B) {
 // Go runtime bookkeeping. The hot/cold split mirrors real traffic: hot paths
 // resolve at L1/L2, cold and absent paths walk the full hierarchy.
 func BenchmarkDigestLookup(b *testing.B) {
-	sim, err := New(Config{NumMDS: 30, ExpectedFilesPerMDS: 2_000, Seed: 1})
+	sim, err := ghba.New(ghba.Config{NumMDS: 30, ExpectedFilesPerMDS: 2_000, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -264,7 +267,9 @@ func BenchmarkDigestLookup(b *testing.B) {
 	for i := range paths {
 		paths[i] = "/bench/digest/f" + strconv.Itoa(i)
 	}
-	sim.CreateAll(paths)
+	if err := sim.CreateAll(context.Background(), paths); err != nil {
+		b.Fatal(err)
+	}
 	absent := make([]string, 512)
 	for i := range absent {
 		absent[i] = "/bench/digest/absent" + strconv.Itoa(i)
@@ -273,9 +278,9 @@ func BenchmarkDigestLookup(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if i%16 == 15 {
-			sim.Lookup(absent[(i/16)%len(absent)])
+			sim.Lookup(context.Background(), absent[(i/16)%len(absent)])
 		} else {
-			sim.Lookup(paths[i%len(paths)])
+			sim.Lookup(context.Background(), paths[i%len(paths)])
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
@@ -284,7 +289,7 @@ func BenchmarkDigestLookup(b *testing.B) {
 // BenchmarkCoreLookup measures the simulator's raw lookup throughput — not
 // a paper figure, but the number that bounds every trace-driven experiment.
 func BenchmarkCoreLookup(b *testing.B) {
-	sim, err := New(Config{NumMDS: 30, ExpectedFilesPerMDS: 2_000, Seed: 1})
+	sim, err := ghba.New(ghba.Config{NumMDS: 30, ExpectedFilesPerMDS: 2_000, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -292,10 +297,12 @@ func BenchmarkCoreLookup(b *testing.B) {
 	for i := range paths {
 		paths[i] = "/bench/f" + strconv.Itoa(i)
 	}
-	sim.CreateAll(paths)
+	if err := sim.CreateAll(context.Background(), paths); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.Lookup(paths[i%len(paths)])
+		sim.Lookup(context.Background(), paths[i%len(paths)])
 	}
 }
 
@@ -307,7 +314,7 @@ func BenchmarkCoreLookup(b *testing.B) {
 func BenchmarkLookupParallel(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run("workers="+strconv.Itoa(workers), func(b *testing.B) {
-			sim, err := New(Config{NumMDS: 30, ExpectedFilesPerMDS: 2_000, Seed: 1})
+			sim, err := ghba.New(ghba.Config{NumMDS: 30, ExpectedFilesPerMDS: 2_000, Seed: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -315,10 +322,14 @@ func BenchmarkLookupParallel(b *testing.B) {
 			for i := range paths {
 				paths[i] = "/bench/par" + strconv.Itoa(i)
 			}
-			sim.CreateAll(paths)
+			if err := sim.CreateAll(context.Background(), paths); err != nil {
+				b.Fatal(err)
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sim.LookupParallel(paths, workers)
+				if _, err := ghba.LookupParallel(context.Background(), sim, paths, workers); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(
 				float64(len(paths))*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")

@@ -18,12 +18,14 @@
 // the speedup.
 //
 //	ghbabench -replay -mix 70:20:10 -workers 4 -ops 100000 -n 30
+//	ghbabench -replay -backend tcp -ops 20000 -n 12   # same workload, real sockets
 //
 // Output is the textual equivalent of the paper's chart: the same series,
 // ready to diff against EXPERIMENTS.md.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -54,6 +56,7 @@ func main() {
 		mix        = flag.String("mix", "70:20:10", "lookup:create:delete ratio for -replay")
 		shipBatch  = flag.Int("shipbatch", 64, "coalescing ship-queue drain batch for -replay (1 = ship at every threshold crossing)")
 		jsonOut    = flag.String("json", "auto", `perf-trajectory JSON path; "auto" selects BENCH_lookup.json / BENCH_replay.json per mode, "none" disables`)
+		backend    = flag.String("backend", "sim", "replay backend: sim (in-process engine) or tcp (loopback prototype daemons)")
 	)
 	flag.Parse()
 
@@ -70,7 +73,7 @@ func main() {
 		if nn == 0 {
 			nn = 30
 		}
-		exitIf(runReplay(nn, *files, *ops, *workers, *shipBatch, *seed, *mix, jsonPath(*jsonOut, "BENCH_replay.json")))
+		exitIf(runReplay(*backend, nn, *files, *ops, *workers, *shipBatch, *seed, *mix, jsonPath(*jsonOut, "BENCH_replay.json")))
 		return
 	}
 
@@ -221,7 +224,9 @@ func runThroughput(n, files, lookups, workers int, seed int64, jsonOut string) e
 	for i := range paths {
 		paths[i] = fmt.Sprintf("/bench/dir%d/file%d", i%97, i)
 	}
-	sim.CreateAll(paths)
+	if err := sim.CreateAll(context.Background(), paths); err != nil {
+		return err
+	}
 
 	batch := make([]string, lookups)
 	for i := range batch {
@@ -232,12 +237,17 @@ func runThroughput(n, files, lookups, workers int, seed int64, jsonOut string) e
 	// measured run with allocation and level-tally counters so the record
 	// carries the allocs/op and per-level shares of the measured lookups
 	// only — not warmup or population noise.
-	sim.LookupParallel(batch[:min(len(batch), 4_096)], workers)
+	if _, err := ghba.LookupParallel(context.Background(), sim, batch[:min(len(batch), 4_096)], workers); err != nil {
+		return err
+	}
 	levelsBefore := sim.LevelCounts()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	results := sim.LookupParallel(batch, workers)
+	results, err := ghba.LookupParallel(context.Background(), sim, batch, workers)
+	if err != nil {
+		return err
+	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
 	levelsAfter := sim.LevelCounts()
@@ -313,6 +323,7 @@ func jsonPath(flagValue, modeDefault string) string {
 // on a single-core runner is not misread as a regression.
 type replayRecord struct {
 	Bench             string  `json:"bench"`
+	Backend           string  `json:"backend"`
 	NumMDS            int     `json:"num_mds"`
 	Files             int     `json:"files"`
 	Ops               int     `json:"ops"`
@@ -340,12 +351,13 @@ type replayRecord struct {
 
 // runReplay drives experiments.ReplayBench and reports serial-versus-
 // parallel replay throughput for a mixed workload.
-func runReplay(n, files, ops, workers, shipBatch int, seed int64, mix, jsonOut string) error {
+func runReplay(backend string, n, files, ops, workers, shipBatch int, seed int64, mix, jsonOut string) error {
 	var l, c, d float64
 	if _, err := fmt.Sscanf(mix, "%f:%f:%f", &l, &c, &d); err != nil {
 		return fmt.Errorf("parsing -mix %q (want lookup:create:delete, e.g. 70:20:10): %w", mix, err)
 	}
 	cfg := experiments.DefaultReplayBenchConfig()
+	cfg.Backend = backend
 	cfg.N = n
 	cfg.Files = uint64(files)
 	if ops > 0 {
@@ -366,6 +378,7 @@ func runReplay(n, files, ops, workers, shipBatch int, seed int64, mix, jsonOut s
 	}
 	rec := replayRecord{
 		Bench:             "ghbabench-replay",
+		Backend:           backend,
 		NumMDS:            cfg.N,
 		Files:             files,
 		Ops:               cfg.Ops,

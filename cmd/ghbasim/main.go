@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -69,12 +70,12 @@ func main() {
 	case "ghba":
 		c, err := core.New(cfg)
 		exitIf(err)
-		sys = c
+		sys = experiments.CoreSystem(c)
 		stats = func() { printGHBAStats(c) }
 	case "hba":
 		c, err := hba.New(cfg)
 		exitIf(err)
-		sys = c
+		sys = experiments.HBASystem(c)
 		stats = func() { printHBAStats(c) }
 	default:
 		exitIf(fmt.Errorf("unknown scheme %q", *scheme))
@@ -84,11 +85,12 @@ func main() {
 		sys.Name(), profile.Name, *n, *m, *tif, gen.InitialFileCount(), *ops, *memMB)
 
 	start := time.Now()
-	sys.Populate(func(fn func(string) bool) { gen.EachInitialPath(fn) })
+	exitIf(experiments.PopulateFromGenerator(sys, gen))
 	fmt.Printf("populated %d files in %v\n", gen.InitialFileCount(), time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
-	points := experiments.Replay(sys, gen, *ops, *ops/10)
+	points, err := experiments.Replay(context.Background(), sys, gen, *ops, *ops/10)
+	exitIf(err)
 	fmt.Printf("replayed %d ops in %v (wall)\n\n", *ops, time.Since(start).Round(time.Millisecond))
 	for _, p := range points {
 		fmt.Printf("  after %8d ops: mean latency %v\n", p.Ops, p.MeanLatency.Round(time.Microsecond))

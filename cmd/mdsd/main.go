@@ -39,7 +39,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdsd:", err)
 		os.Exit(1)
 	}
-	srv, err := proto.StartNode(node, *listen, *resident, *penalty)
+	srv, err := proto.StartNode(node, *listen, proto.NodeServerOptions{
+		ResidentReplicaLimit: *resident,
+		DiskPenalty:          *penalty,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdsd:", err)
 		os.Exit(1)

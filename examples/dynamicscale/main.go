@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,14 +29,16 @@ func main() {
 	for i := range paths {
 		paths[i] = fmt.Sprintf("/proj/build%d/obj%d.o", i%20, i)
 	}
-	sim.CreateAll(paths)
+	if err := sim.CreateAll(context.Background(), paths); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("start: %d MDSs, %d groups, %d files\n",
 		sim.NumMDS(), sim.NumGroups(), sim.FileCount())
 
 	// Grow by five servers. The 4th addition finds every group full and
 	// triggers a split.
 	for i := 0; i < 5; i++ {
-		id, migrated, err := sim.AddMDS()
+		id, migrated, err := sim.AddMDS(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +51,7 @@ func main() {
 	// re-home their files; small groups merge back together.
 	ids := sim.MDSIDs()
 	for _, id := range ids[:4] {
-		if err := sim.RemoveMDS(id); err != nil {
+		if err := sim.RemoveMDS(context.Background(), id); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("removed MDS %-3d → %d MDSs in %d groups\n",
@@ -59,7 +62,11 @@ func main() {
 	// Every file still resolves after all that churn.
 	lost := 0
 	for _, p := range paths {
-		if !sim.Lookup(p).Found {
+		res, err := sim.Lookup(context.Background(), p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Found {
 			lost++
 		}
 	}

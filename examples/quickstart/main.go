@@ -1,10 +1,13 @@
-// Quickstart: build a simulated G-HBA metadata cluster, load a namespace,
-// and watch the four-level lookup hierarchy resolve queries.
+// Quickstart: build a simulated G-HBA metadata cluster through the unified
+// Backend API, load a namespace, and watch the four-level lookup hierarchy
+// resolve queries. Swapping ghba.New for ghba.StartPrototype runs the same
+// code against real TCP daemons — see examples/prototype.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 30 metadata servers; the group size defaults to the paper's optimum
 	// for this system size (M=6).
 	sim, err := ghba.New(ghba.Config{
@@ -22,7 +27,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cluster: %d MDSs in %d groups\n", sim.NumMDS(), sim.NumGroups())
+	defer sim.Close()
+	fmt.Printf("cluster: %d MDSs in %d groups (backend %q)\n",
+		sim.NumMDS(), sim.NumGroups(), sim.Name())
 
 	// Load a namespace. CreateAll bulk-loads and synchronizes replicas.
 	paths := make([]string, 0, 5_000)
@@ -31,29 +38,44 @@ func main() {
 			paths = append(paths, fmt.Sprintf("/home/user%d/file%d.dat", d, f))
 		}
 	}
-	sim.CreateAll(paths)
+	if err := sim.CreateAll(ctx, paths); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("namespace: %d files\n", sim.FileCount())
 
 	// First lookup of a cold file typically resolves at L2 or L3; repeat
 	// lookups hit the L1 LRU array.
 	target := "/home/user7/file42.dat"
 	for i := 1; i <= 3; i++ {
-		res := sim.Lookup(target)
+		res, err := sim.Lookup(ctx, target)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("lookup %d: home=MDS%-3d level=L%d latency=%v\n",
 			i, res.Home, res.Level, res.Latency)
 	}
 
 	// Lookups of nonexistent files resolve definitively at L4 (global
 	// multicast, no false negatives).
-	miss := sim.Lookup("/no/such/file")
+	miss, err := sim.Lookup(ctx, "/no/such/file")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("miss:     found=%v level=L%d\n", miss.Found, miss.Level)
 
-	// Create, find, delete.
-	home := sim.Create("/tmp/scratch.dat")
-	fmt.Printf("created /tmp/scratch.dat at MDS%d\n", home)
-	fmt.Printf("lookup after create: %+v\n", sim.Lookup("/tmp/scratch.dat").Found)
-	sim.Delete("/tmp/scratch.dat")
-	fmt.Printf("lookup after delete: %+v\n", sim.Lookup("/tmp/scratch.dat").Found)
+	// Mixed mutations flow through Apply: create, find, delete.
+	created, err := sim.Apply(ctx, ghba.Op{Kind: ghba.OpCreate, Path: "/tmp/scratch.dat"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created /tmp/scratch.dat at MDS%d\n", created.Home)
+	found, _ := sim.Lookup(ctx, "/tmp/scratch.dat")
+	fmt.Printf("lookup after create: %v\n", found.Found)
+	if _, err := sim.Apply(ctx, ghba.Op{Kind: ghba.OpDelete, Path: "/tmp/scratch.dat"}); err != nil {
+		log.Fatal(err)
+	}
+	gone, _ := sim.Lookup(ctx, "/tmp/scratch.dat")
+	fmt.Printf("lookup after delete: %v\n", gone.Found)
 
 	// Replay a few thousand skewed lookups so the level statistics are
 	// representative (hot files repeat, as real metadata traffic does).
@@ -62,7 +84,9 @@ func main() {
 		if i%3 != 0 {
 			idx %= 200 // hot set
 		}
-		sim.Lookup(paths[idx])
+		if _, err := sim.Lookup(ctx, paths[idx]); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// Per-level service shares (the Fig 13 statistic).

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -61,17 +62,22 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			sys = c
+			sys = experiments.HBASystem(c)
 		} else {
 			c, err := core.New(cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
-			sys = c
+			sys = experiments.CoreSystem(c)
 		}
 
-		sys.Populate(func(fn func(string) bool) { gen.EachInitialPath(fn) })
-		points := experiments.Replay(sys, gen, ops, ops/5)
+		if err := experiments.PopulateFromGenerator(sys, gen); err != nil {
+			log.Fatal(err)
+		}
+		points, err := experiments.Replay(context.Background(), sys, gen, ops, ops/5)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-6s", scheme)
 		for _, p := range points {
 			fmt.Printf("  %6dops→%-10v", p.Ops, p.MeanLatency.Round(10*time.Microsecond))

@@ -10,17 +10,17 @@
 // global multicast (L4). Groups reconfigure with light-weight replica
 // migration, splitting and merging.
 //
-// The facade wraps the simulation engine (internal/core) behind a small
-// API: build a Simulation, add files, look them up, and reconfigure the
-// server population. For the paper's experiments use internal/experiments
-// via cmd/ghbabench; for the TCP prototype see internal/proto and cmd/mdsd.
+// The facade exposes one client surface — the Backend interface — over two
+// implementations of the scheme: New builds a Simulation (the in-process
+// engine with simulated costs), StartPrototype boots real TCP daemons on
+// loopback (the paper's Section 5 setup). Every driver in this module runs
+// against either interchangeably.
 package ghba
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 	"time"
 
 	"ghba/internal/core"
@@ -29,7 +29,7 @@ import (
 	"ghba/internal/trace"
 )
 
-// Config describes a simulated G-HBA deployment.
+// Config describes a G-HBA deployment, for either backend.
 type Config struct {
 	// NumMDS is the number of metadata servers (the paper's N).
 	NumMDS int
@@ -42,6 +42,9 @@ type Config struct {
 	// BitsPerFile is the filter ratio m/n. Zero defaults to 16, the ratio
 	// G-HBA's memory savings afford (Section 2.3).
 	BitsPerFile float64
+	// LRUCapacity is the per-home-MDS generation size of the L1 LRU array.
+	// Zero derives ExpectedFilesPerMDS/16 (minimum 64).
+	LRUCapacity uint64
 	// MemoryBudgetBytes caps each server's replica memory; zero means
 	// unlimited. See internal/memmodel for the spill model.
 	MemoryBudgetBytes uint64
@@ -50,62 +53,140 @@ type Config struct {
 	// ship. 0 or 1 ships at every crossing (the paper's protocol); larger
 	// values amortize bursts of creates, with Flush draining the remainder.
 	ShipBatch int
-	// Seed makes the simulation deterministic.
+	// Seed makes runs deterministic.
 	Seed int64
 }
 
-// Result reports one lookup.
+// ConfigError reports one rejected Config field. Use errors.As to
+// distinguish misconfiguration from runtime failures.
+type ConfigError struct {
+	// Field names the offending Config field; Reason says what about its
+	// value was rejected.
+	Field, Reason string
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	return "ghba: invalid config: " + e.Field + ": " + e.Reason
+}
+
+// validate rejects configurations that would silently misconfigure the
+// filter hierarchy rather than letting them degrade at runtime.
+func (c Config) validate() error {
+	if c.NumMDS < 1 {
+		return &ConfigError{Field: "NumMDS", Reason: fmt.Sprintf("must be ≥ 1, got %d", c.NumMDS)}
+	}
+	if c.MaxGroupSize < 0 {
+		return &ConfigError{Field: "MaxGroupSize", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.MaxGroupSize)}
+	}
+	if c.BitsPerFile < 0 {
+		return &ConfigError{Field: "BitsPerFile", Reason: fmt.Sprintf("must be ≥ 0, got %g", c.BitsPerFile)}
+	}
+	if c.ShipBatch < 0 {
+		return &ConfigError{Field: "ShipBatch", Reason: fmt.Sprintf("must be ≥ 0, got %d", c.ShipBatch)}
+	}
+	if c.MemoryBudgetBytes > 0 {
+		// A budget below one replica's footprint cannot hold even the
+		// server's own filter: every array probe would spill, which is
+		// never what a caller wants from a "budget".
+		files := c.ExpectedFilesPerMDS
+		if files == 0 {
+			files = defaultFilesPerMDS
+		}
+		bits := c.BitsPerFile
+		if bits == 0 {
+			bits = defaultBitsPerFile
+		}
+		filterBytes := uint64(float64(files)*bits+7) / 8
+		if c.MemoryBudgetBytes < filterBytes {
+			return &ConfigError{
+				Field: "MemoryBudgetBytes",
+				Reason: fmt.Sprintf("%d bytes cannot hold one %d-byte filter (ExpectedFilesPerMDS=%d × BitsPerFile=%g)",
+					c.MemoryBudgetBytes, filterBytes, files, bits),
+			}
+		}
+	}
+	return nil
+}
+
+// Facade-level sizing defaults shared by both backends.
+const (
+	defaultFilesPerMDS = 50_000
+	defaultBitsPerFile = 16.0
+	minLRUCapacity     = 64
+	lruCapacityDivisor = 16
+)
+
+// nodeConfig derives the per-server filter sizing both backends share.
+func (c Config) nodeConfig() mds.Config {
+	files := c.ExpectedFilesPerMDS
+	if files == 0 {
+		files = defaultFilesPerMDS
+	}
+	bits := c.BitsPerFile
+	if bits == 0 {
+		bits = defaultBitsPerFile
+	}
+	lruCap := c.LRUCapacity
+	if lruCap == 0 {
+		lruCap = files / lruCapacityDivisor
+		if lruCap < minLRUCapacity {
+			lruCap = minLRUCapacity
+		}
+	}
+	return mds.Config{
+		ExpectedFiles:  files,
+		BitsPerFile:    bits,
+		LRUCapacity:    lruCap,
+		LRUBitsPerFile: bits,
+	}
+}
+
+// groupSize resolves MaxGroupSize, defaulting to the paper's optimum.
+func (c Config) groupSize() int {
+	if c.MaxGroupSize != 0 {
+		return c.MaxGroupSize
+	}
+	return RecommendedGroupSize(c.NumMDS)
+}
+
+// Result reports one lookup or mutation outcome.
 type Result struct {
-	// Path is the queried file path.
+	// Path is the operated-on file path.
 	Path string
-	// Home is the MDS holding the metadata (-1 when not found).
+	// Home is the MDS holding the metadata (-1 when not found). For a
+	// delete it is the pre-delete home.
 	Home int
-	// Found reports whether the file exists.
+	// Found reports whether the file exists (for a delete: existed).
 	Found bool
-	// Level is the hierarchy level that served the query: 1 (LRU array),
+	// Level is the hierarchy level that served a lookup: 1 (LRU array),
 	// 2 (local segment array), 3 (group multicast), 4 (global multicast).
+	// Pure mutations report 0.
 	Level int
-	// Latency is the simulated end-to-end latency.
+	// Latency is the end-to-end latency: simulated for the Simulation
+	// backend, wall clock over real sockets for the Prototype.
 	Latency time.Duration
 }
 
-// Simulation is a simulated G-HBA metadata cluster.
+// Simulation is the in-process Backend: the full G-HBA scheme on the
+// simulated substrate, with per-operation latency from the cost model.
 //
-// Lookups are safe to run from many goroutines concurrently (see
-// LookupParallel); mutations — Create, Delete, AddMDS, RemoveMDS, FailMDS —
-// serialize as exclusive writers against in-flight lookups.
+// Lookups are safe to run from many goroutines concurrently (see the
+// package-level LookupParallel/ApplyParallel drivers); reconfiguration —
+// AddMDS, RemoveMDS, FailMDS — serializes as an exclusive writer against
+// in-flight operations.
 type Simulation struct {
 	cluster *core.Cluster
 	seed    int64
 }
 
-// New builds a simulation from cfg.
+// New builds a simulation backend from cfg.
 func New(cfg Config) (*Simulation, error) {
-	if cfg.NumMDS < 1 {
-		return nil, fmt.Errorf("ghba: NumMDS must be ≥ 1, got %d", cfg.NumMDS)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	m := cfg.MaxGroupSize
-	if m == 0 {
-		m = RecommendedGroupSize(cfg.NumMDS)
-	}
-	files := cfg.ExpectedFilesPerMDS
-	if files == 0 {
-		files = 50_000
-	}
-	bits := cfg.BitsPerFile
-	if bits == 0 {
-		bits = 16
-	}
-	ccfg := core.DefaultConfig(cfg.NumMDS, m)
-	ccfg.Node = mds.Config{
-		ExpectedFiles:  files,
-		BitsPerFile:    bits,
-		LRUCapacity:    files / 16,
-		LRUBitsPerFile: bits,
-	}
-	if ccfg.Node.LRUCapacity == 0 {
-		ccfg.Node.LRUCapacity = 64
-	}
+	ccfg := core.DefaultConfig(cfg.NumMDS, cfg.groupSize())
+	ccfg.Node = cfg.nodeConfig()
 	ccfg.Cost = simnet.DefaultCostModel()
 	ccfg.MemoryBudgetBytes = cfg.MemoryBudgetBytes
 	ccfg.ShipBatch = cfg.ShipBatch
@@ -138,6 +219,12 @@ func RecommendedGroupSize(n int) int {
 	}
 }
 
+// Name identifies the backend in banners and bench records.
+func (s *Simulation) Name() string { return "sim" }
+
+// Seed returns the seed the simulation was built with.
+func (s *Simulation) Seed() int64 { return s.seed }
+
 // NumMDS returns the current server count.
 func (s *Simulation) NumMDS() int { return s.cluster.NumMDS() }
 
@@ -153,7 +240,7 @@ func (s *Simulation) Create(path string) int { return s.cluster.Create(path) }
 
 // CreateAll bulk-loads paths and synchronizes all replicas afterwards —
 // much faster than per-file updates for initial population.
-func (s *Simulation) CreateAll(paths []string) {
+func (s *Simulation) CreateAll(_ context.Context, paths []string) error {
 	s.cluster.Populate(func(fn func(string) bool) {
 		for _, p := range paths {
 			if !fn(p) {
@@ -161,6 +248,7 @@ func (s *Simulation) CreateAll(paths []string) {
 			}
 		}
 	})
+	return nil
 }
 
 // Delete removes a file, reporting whether it existed.
@@ -169,11 +257,21 @@ func (s *Simulation) Delete(path string) bool { return s.cluster.Delete(path) }
 // Exists reports whether path is in the namespace (ground truth).
 func (s *Simulation) Exists(path string) bool { return s.cluster.HomeOf(path) >= 0 }
 
+// HomeOf returns path's ground-truth home MDS (-1 when absent).
+func (s *Simulation) HomeOf(path string) int { return s.cluster.HomeOf(path) }
+
 // Lookup resolves the home MDS of path, entering the hierarchy at a random
-// server as the paper's clients do. Passing a negative entry lets the
-// cluster draw it under a single lock acquisition.
-func (s *Simulation) Lookup(path string) Result {
-	return toResult(s.cluster.Lookup(path, -1))
+// server drawn from the simulation's internal RNG, as the paper's clients
+// do. The context is accepted for interface parity and ignored: the
+// simulation never blocks on I/O.
+func (s *Simulation) Lookup(_ context.Context, path string) (Result, error) {
+	return toResult(s.cluster.Lookup(path, -1)), nil
+}
+
+// LookupWith is Lookup with the entry drawn from the caller's RNG — the
+// hook the parallel drivers build their determinism contract on.
+func (s *Simulation) LookupWith(_ context.Context, rng *rand.Rand, path string) (Result, error) {
+	return toResult(s.cluster.LookupWith(rng, path, -1)), nil
 }
 
 func toResult(res core.LookupResult) Result {
@@ -186,146 +284,35 @@ func toResult(res core.LookupResult) Result {
 	}
 }
 
-// workerSeed derives a deterministic per-worker RNG seed; the shared
-// derivation lives in trace.DispatchSeed so every parallel driver agrees.
-func workerSeed(seed int64, worker int) int64 {
-	return trace.DispatchSeed(seed, worker)
+// Apply dispatches one mixed-workload operation with randomness drawn from
+// the simulation's internal RNG.
+func (s *Simulation) Apply(_ context.Context, op Op) (Result, error) {
+	return toResult(s.cluster.Apply(op.record())), nil
 }
 
-// LookupParallel resolves every path using the given number of worker
-// goroutines and returns the results in path order. Each worker enters the
-// hierarchy at servers drawn from its own seeded RNG, so runs are
-// deterministic for a fixed (seed, paths, workers) triple and a
-// single-worker run is exactly the serial engine driven by worker 0's RNG.
-// workers < 1 selects GOMAXPROCS. Lookups proceed concurrently with each
-// other but serialize against reconfiguration, which remains an exclusive
-// writer.
-func (s *Simulation) LookupParallel(paths []string, workers int) []Result {
-	if len(paths) == 0 {
-		return nil
-	}
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(paths) {
-		workers = len(paths)
-	}
-	results := make([]Result, len(paths))
-	chunk := (len(paths) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(paths) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(paths) {
-			hi = len(paths)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(workerSeed(s.seed, w)))
-			for i := lo; i < hi; i++ {
-				results[i] = toResult(s.cluster.LookupWith(rng, paths[i], -1))
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	return results
-}
-
-// OpKind identifies one ApplyParallel operation.
-type OpKind uint8
-
-// Operation kinds for ApplyParallel.
-const (
-	// OpLookup resolves a path through the query hierarchy.
-	OpLookup OpKind = iota
-	// OpCreate homes a new file (an existing path degenerates to a lookup).
-	OpCreate
-	// OpDelete unlinks a file.
-	OpDelete
-)
-
-// Op is one operation of a mixed workload for ApplyParallel.
-type Op struct {
-	Kind OpKind
-	Path string
-}
-
-// ApplyParallel dispatches a mixed create/delete/lookup workload across the
-// given number of worker goroutines and returns the results in input order.
-// Each worker draws entry points and home placements from its own seeded
-// RNG, following LookupParallel's contract: runs are deterministic for a
-// fixed (seed, ops, workers) triple up to the interleaving of workers on
-// shared cluster state, and a single-worker run is exactly the serial
-// engine driven by worker 0's RNG. Mutations on different servers proceed
-// in parallel (the write path is sharded); reconfiguration still serializes
-// exclusively against the whole batch. workers < 1 selects GOMAXPROCS.
-//
-// A delete's Result reports the pre-delete home and whether the path
-// existed; a create reports the chosen home with Level 0. Replica shipping
-// is coalesced per ShipBatch — call Flush to force pending updates out at a
-// quiescent point.
-func (s *Simulation) ApplyParallel(ops []Op, workers int) []Result {
-	if len(ops) == 0 {
-		return nil
-	}
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(ops) {
-		workers = len(ops)
-	}
-	results := make([]Result, len(ops))
-	chunk := (len(ops) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		if lo >= len(ops) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(ops) {
-			hi = len(ops)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(workerSeed(s.seed, w)))
-			for i := lo; i < hi; i++ {
-				results[i] = toResult(s.cluster.ApplyWith(rng, ops[i].record()))
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	return results
-}
-
-// record converts a facade Op to the trace record the engine dispatches.
-func (op Op) record() trace.Record {
-	rec := trace.Record{Path: op.Path}
-	switch op.Kind {
-	case OpCreate:
-		rec.Op = trace.OpCreate
-	case OpDelete:
-		rec.Op = trace.OpDelete
-	default:
-		rec.Op = trace.OpStat
-	}
-	return rec
+// ApplyWith is Apply with a caller-supplied RNG: a delete's Result reports
+// the pre-delete home and existence, a create reports the chosen home with
+// Level 0, and a create of an existing path degenerates to a lookup entered
+// at the drawn server.
+func (s *Simulation) ApplyWith(_ context.Context, rng *rand.Rand, op Op) (Result, error) {
+	return toResult(s.cluster.ApplyWith(rng, op.record())), nil
 }
 
 // Flush drains the coalescing ship queue: every server whose filter
 // crossed the update threshold since the last drain ships its replicas now.
 // A no-op with the default ShipBatch of 1.
-func (s *Simulation) Flush() { s.cluster.Flush() }
+func (s *Simulation) Flush(_ context.Context) error {
+	s.cluster.Flush()
+	return nil
+}
+
+// Close implements Backend; the simulation holds no external resources.
+func (s *Simulation) Close() error { return nil }
 
 // AddMDS grows the cluster by one server (joining a group with room or
 // splitting a full one) and returns the new server's ID along with the
 // number of Bloom-filter replicas migrated.
-func (s *Simulation) AddMDS() (id, replicasMigrated int, err error) {
+func (s *Simulation) AddMDS(_ context.Context) (id, replicasMigrated int, err error) {
 	id, rep, err := s.cluster.AddMDS()
 	return id, rep.ReplicasMigrated, err
 }
@@ -333,7 +320,7 @@ func (s *Simulation) AddMDS() (id, replicasMigrated int, err error) {
 // RemoveMDS retires a server gracefully: its replicas migrate to
 // groupmates, its files re-home across survivors, and shrunken groups
 // merge.
-func (s *Simulation) RemoveMDS(id int) error {
+func (s *Simulation) RemoveMDS(_ context.Context, id int) error {
 	_, err := s.cluster.RemoveMDS(id)
 	return err
 }
@@ -342,7 +329,7 @@ func (s *Simulation) RemoveMDS(id int) error {
 // server — its group re-fetches the lost filter replicas from their
 // origins, its own filters are scrubbed everywhere, and the files it homed
 // become unavailable until recreated. Returns how many files were lost.
-func (s *Simulation) FailMDS(id int) (filesLost int, err error) {
+func (s *Simulation) FailMDS(_ context.Context, id int) (filesLost int, err error) {
 	rep, err := s.cluster.FailMDS(id)
 	return rep.FilesLost, err
 }
@@ -371,6 +358,12 @@ func (s *Simulation) LevelCounts() [5]uint64 {
 	return out
 }
 
+// ReplicaUpdates returns the number of replica-update messages the
+// XOR-delta ship path has sent.
+func (s *Simulation) ReplicaUpdates() uint64 {
+	return s.cluster.Messages().Get(simnet.MsgReplicaUpdate)
+}
+
 // MeanLatency returns the average simulated lookup latency so far.
 func (s *Simulation) MeanLatency() time.Duration {
 	return s.cluster.OverallLatency().Mean()
@@ -379,3 +372,18 @@ func (s *Simulation) MeanLatency() time.Duration {
 // CheckInvariants verifies the global-mirror-image invariant across all
 // groups; nil means every group independently covers the whole system.
 func (s *Simulation) CheckInvariants() error { return s.cluster.CheckInvariants() }
+
+// TraceOp converts a trace operation type to the facade's Op kind; replay
+// drivers use it to feed generator records through a Backend.
+func TraceOp(rec trace.Record) Op {
+	op := Op{Path: rec.Path, At: rec.At}
+	switch rec.Op {
+	case trace.OpCreate:
+		op.Kind = OpCreate
+	case trace.OpDelete:
+		op.Kind = OpDelete
+	default:
+		op.Kind = OpLookup
+	}
+	return op
+}

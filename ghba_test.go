@@ -1,6 +1,8 @@
 package ghba
 
 import (
+	"context"
+	"errors"
 	"strconv"
 	"testing"
 )
@@ -14,9 +16,64 @@ func newSim(t *testing.T, n int) *Simulation {
 	return s
 }
 
+// lk resolves one path, failing the test on error.
+func lk(t *testing.T, s *Simulation, path string) Result {
+	t.Helper()
+	res, err := s.Lookup(context.Background(), path)
+	if err != nil {
+		t.Fatalf("lookup %s: %v", path, err)
+	}
+	return res
+}
+
+func createAll(t *testing.T, s *Simulation, paths []string) {
+	t.Helper()
+	if err := s.CreateAll(context.Background(), paths); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
-	if _, err := New(Config{NumMDS: 0}); err == nil {
-		t.Error("NumMDS 0 accepted")
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"zero MDS", Config{NumMDS: 0}, "NumMDS"},
+		{"negative MDS", Config{NumMDS: -3}, "NumMDS"},
+		{"negative group size", Config{NumMDS: 4, MaxGroupSize: -1}, "MaxGroupSize"},
+		{"negative bits per file", Config{NumMDS: 4, BitsPerFile: -2}, "BitsPerFile"},
+		{"negative ship batch", Config{NumMDS: 4, ShipBatch: -1}, "ShipBatch"},
+		// 1 KiB cannot hold even one filter at the default sizing
+		// (50 000 files × 16 bits = 100 000 bytes).
+		{"budget below one filter", Config{NumMDS: 4, MemoryBudgetBytes: 1 << 10}, "MemoryBudgetBytes"},
+		{"budget below explicit filter", Config{NumMDS: 4, ExpectedFilesPerMDS: 10_000, BitsPerFile: 8, MemoryBudgetBytes: 100}, "MemoryBudgetBytes"},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var cerr *ConfigError
+		if !errors.As(err, &cerr) {
+			t.Errorf("%s: error %v is not a *ConfigError", tc.name, err)
+			continue
+		}
+		if cerr.Field != tc.field {
+			t.Errorf("%s: rejected field %q, want %q", tc.name, cerr.Field, tc.field)
+		}
+	}
+	// The same validation guards the TCP backend's shared Config half.
+	if _, err := StartPrototype(PrototypeConfig{Config: Config{NumMDS: 2, ShipBatch: -5}}); err == nil {
+		t.Error("StartPrototype accepted negative ShipBatch")
+	}
+	if _, err := StartPrototype(PrototypeConfig{Config: Config{NumMDS: 2}, Mode: "bogus"}); err == nil {
+		t.Error("StartPrototype accepted unknown mode")
+	}
+	// A budget that fits at least one filter is accepted.
+	if _, err := New(Config{NumMDS: 2, ExpectedFilesPerMDS: 1_000, MemoryBudgetBytes: 1 << 20}); err != nil {
+		t.Errorf("valid budget rejected: %v", err)
 	}
 }
 
@@ -28,6 +85,9 @@ func TestDefaultsApplied(t *testing.T) {
 	// M defaults to the recommendation (3 groups of 4 at N=12, M=6 → 2 groups).
 	if s.NumGroups() != 2 {
 		t.Errorf("NumGroups = %d, want 2 (M=6)", s.NumGroups())
+	}
+	if s.Name() != "sim" || s.Seed() != 7 {
+		t.Errorf("backend identity wrong: %s/%d", s.Name(), s.Seed())
 	}
 }
 
@@ -46,12 +106,12 @@ func TestLifecycle(t *testing.T) {
 	for i := range paths {
 		paths[i] = "/app/data/f" + strconv.Itoa(i)
 	}
-	s.CreateAll(paths)
+	createAll(t, s, paths)
 	if s.FileCount() != 300 {
 		t.Fatalf("FileCount = %d", s.FileCount())
 	}
 	for _, p := range paths {
-		res := s.Lookup(p)
+		res := lk(t, s, p)
 		if !res.Found {
 			t.Fatalf("lookup %s failed", p)
 		}
@@ -65,7 +125,7 @@ func TestLifecycle(t *testing.T) {
 	if !s.Delete(paths[0]) || s.Delete(paths[0]) {
 		t.Error("Delete semantics wrong")
 	}
-	if res := s.Lookup("/nope"); res.Found || res.Home != -1 {
+	if res := lk(t, s, "/nope"); res.Found || res.Home != -1 {
 		t.Error("missing file found")
 	}
 	if s.MeanLatency() <= 0 {
@@ -84,21 +144,22 @@ func TestCreateSingle(t *testing.T) {
 	if home < 0 || !s.Exists("/one") {
 		t.Error("Create failed")
 	}
-	res := s.Lookup("/one")
+	res := lk(t, s, "/one")
 	if !res.Found || res.Home != home {
 		t.Errorf("lookup after create = %+v", res)
 	}
 }
 
 func TestScaleUpAndDown(t *testing.T) {
+	ctx := context.Background()
 	s := newSim(t, 6)
 	paths := make([]string, 200)
 	for i := range paths {
 		paths[i] = "/scale/f" + strconv.Itoa(i)
 	}
-	s.CreateAll(paths)
+	createAll(t, s, paths)
 
-	id, migrated, err := s.AddMDS()
+	id, migrated, err := s.AddMDS(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,17 +169,17 @@ func TestScaleUpAndDown(t *testing.T) {
 	if err := s.CheckInvariants(); err != nil {
 		t.Fatalf("invariants after add: %v", err)
 	}
-	if err := s.RemoveMDS(id); err != nil {
+	if err := s.RemoveMDS(ctx, id); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.CheckInvariants(); err != nil {
 		t.Fatalf("invariants after remove: %v", err)
 	}
-	if err := s.RemoveMDS(999); err == nil {
+	if err := s.RemoveMDS(ctx, 999); err == nil {
 		t.Error("removing unknown MDS succeeded")
 	}
 	for _, p := range paths {
-		if !s.Lookup(p).Found {
+		if !lk(t, s, p).Found {
 			t.Fatalf("lost %s after reconfiguration", p)
 		}
 	}
@@ -128,14 +189,15 @@ func TestScaleUpAndDown(t *testing.T) {
 }
 
 func TestFailMDSFacade(t *testing.T) {
+	ctx := context.Background()
 	s := newSim(t, 6)
 	paths := make([]string, 120)
 	for i := range paths {
 		paths[i] = "/crash/f" + strconv.Itoa(i)
 	}
-	s.CreateAll(paths)
+	createAll(t, s, paths)
 	victim := s.MDSIDs()[0]
-	lost, err := s.FailMDS(victim)
+	lost, err := s.FailMDS(ctx, victim)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,14 +209,14 @@ func TestFailMDSFacade(t *testing.T) {
 	}
 	available := 0
 	for _, p := range paths {
-		if s.Lookup(p).Found {
+		if lk(t, s, p).Found {
 			available++
 		}
 	}
 	if available != len(paths)-lost {
 		t.Errorf("available = %d, want %d", available, len(paths)-lost)
 	}
-	if _, err := s.FailMDS(victim); err == nil {
+	if _, err := s.FailMDS(ctx, victim); err == nil {
 		t.Error("double failure of same MDS succeeded")
 	}
 }

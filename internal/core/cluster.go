@@ -12,6 +12,7 @@ import (
 	"ghba/internal/mds"
 	"ghba/internal/memmodel"
 	"ghba/internal/metrics"
+	"ghba/internal/shipq"
 	"ghba/internal/simnet"
 )
 
@@ -60,7 +61,7 @@ type Cluster struct {
 
 	// ships coalesces replica shipping out of the mutate hot path; see
 	// shipQueue. Drained while holding mu (read suffices).
-	ships *shipQueue
+	ships *shipq.Queue
 
 	// shipStripes serialize ships per origin (striped by origin ID): the
 	// snapshot taken under the origin's node lock and its installation at
@@ -123,7 +124,7 @@ func New(cfg Config) (*Cluster, error) {
 		groups:  make(map[int]*group.Group),
 		groupOf: make(map[int]int),
 		homes:   newHomeShards(),
-		ships:   newShipQueue(cfg.ShipBatch),
+		ships:   shipq.New(cfg.ShipBatch),
 		lru:     lru,
 		mem:     cfg.memoryModel(),
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
@@ -380,7 +381,7 @@ func (c *Cluster) syncAllReplicasLocked() {
 		}
 	}
 	// Everything just shipped; nothing is left to coalesce.
-	c.ships.drain()
+	c.ships.Drain()
 }
 
 // CheckInvariants verifies the global-mirror-image invariant for every

@@ -53,7 +53,7 @@ func (c *Cluster) FailMDS(id int) (FailoverReport, error) {
 	}
 	delete(c.groupOf, id)
 	delete(c.nodes, id)
-	c.ships.forget(id)
+	c.ships.Forget(id)
 	c.refreshIDsLocked()
 	if g.Size() == 0 {
 		delete(c.groups, g.ID())

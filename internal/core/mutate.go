@@ -60,7 +60,7 @@ func (c *Cluster) noteMutation(origin int) {
 	if !c.nodes[origin].NeedsShip(c.cfg.UpdateThresholdBits) {
 		return
 	}
-	c.shipBatchLocked(c.ships.note(origin))
+	c.shipBatchLocked(c.ships.Note(origin))
 }
 
 // shipBatchLocked ships every origin in the batch (nil is a no-op).
@@ -99,7 +99,7 @@ func (c *Cluster) deleteInner(path string) (int, bool) {
 	if node != nil && node.RebuildIfStale(c.cfg.RebuildDeleteThreshold) {
 		// The rebuild changed the filter wholesale; ship the fresh
 		// snapshot through the coalescing queue.
-		c.shipBatchLocked(c.ships.note(home))
+		c.shipBatchLocked(c.ships.Note(home))
 	}
 	return home, true
 }
@@ -113,7 +113,7 @@ func (c *Cluster) deleteInner(path string) (int, bool) {
 func (c *Cluster) PushUpdate(origin int) time.Duration {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	c.ships.forget(origin)
+	c.ships.Forget(origin)
 	return c.shipOriginLocked(origin)
 }
 
@@ -124,12 +124,12 @@ func (c *Cluster) PushUpdate(origin int) time.Duration {
 func (c *Cluster) Flush() {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	c.shipBatchLocked(c.ships.drain())
+	c.shipBatchLocked(c.ships.Drain())
 }
 
 // PendingShips returns how many origins have crossed the ship threshold but
 // not yet drained — observability for the coalescing queue.
-func (c *Cluster) PendingShips() int { return c.ships.pendingCount() }
+func (c *Cluster) PendingShips() int { return c.ships.PendingCount() }
 
 // shipOriginLocked distributes origin's current filter snapshot to the one
 // replica holder in every other group. Requires c.mu (read or write): group

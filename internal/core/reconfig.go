@@ -121,7 +121,7 @@ func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 	rep.Add(r)
 	delete(c.groupOf, id)
 	delete(c.nodes, id)
-	c.ships.forget(id)
+	c.ships.Forget(id)
 	c.refreshIDsLocked()
 	if g.Size() == 0 {
 		delete(c.groups, g.ID())
@@ -144,7 +144,7 @@ func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 	}
 	for _, sid := range survivors {
 		if c.nodes[sid].NeedsShip(c.cfg.UpdateThresholdBits) {
-			c.ships.forget(sid)
+			c.ships.Forget(sid)
 			c.shipOriginLocked(sid)
 		}
 	}

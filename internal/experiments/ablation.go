@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -41,8 +42,13 @@ func AblationL1(n, m, ops int, seed int64) ([]AblationL1Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		populateFromGenerator(cluster, gen)
-		points := Replay(cluster, gen, ops, ops)
+		if err := PopulateFromGenerator(coreSys{cluster}, gen); err != nil {
+			return nil, err
+		}
+		points, err := Replay(context.Background(), coreSys{cluster}, gen, ops, ops)
+		if err != nil {
+			return nil, err
+		}
 		t := cluster.Tally()
 		rows = append(rows, AblationL1Row{
 			L1Enabled:   enabled,
@@ -98,8 +104,12 @@ func AblationUpdateThreshold(n, m, ops int, thresholds []uint64, seed int64) ([]
 		if err != nil {
 			return nil, err
 		}
-		populateFromGenerator(cluster, gen)
-		Replay(cluster, gen, ops, ops)
+		if err := PopulateFromGenerator(coreSys{cluster}, gen); err != nil {
+			return nil, err
+		}
+		if _, err := Replay(context.Background(), coreSys{cluster}, gen, ops, ops); err != nil {
+			return nil, err
+		}
 		rows = append(rows, AblationUpdateRow{
 			ThresholdBits:  th,
 			UpdateMessages: cluster.Messages().Get(simnet.MsgReplicaUpdate),

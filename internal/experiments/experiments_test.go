@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -339,7 +340,10 @@ func TestReplayCheckpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys := newTestSystem(t, gen)
-	points := Replay(sys, gen, 1_000, 250)
+	points, err := Replay(context.Background(), sys, gen, 1_000, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 4 {
 		t.Fatalf("checkpoints = %d, want 4", len(points))
 	}
@@ -354,7 +358,7 @@ func TestReplayCheckpoints(t *testing.T) {
 	// interval ≤ 0 falls back to a single final checkpoint.
 	gen2, _ := trace.NewGenerator(trace.Config{Profile: trace.HP(), TIF: 1, FilesPerSubtrace: 500, Seed: 2})
 	sys2 := newTestSystem(t, gen2)
-	if pts := Replay(sys2, gen2, 100, 0); len(pts) != 1 {
+	if pts, err := Replay(context.Background(), sys2, gen2, 100, 0); err != nil || len(pts) != 1 {
 		t.Errorf("fallback checkpoints = %d", len(pts))
 	}
 }
@@ -366,6 +370,8 @@ func newTestSystem(t *testing.T, gen *trace.Generator) System {
 	if err != nil {
 		t.Fatal(err)
 	}
-	populateFromGenerator(cluster, gen)
-	return cluster
+	if err := PopulateFromGenerator(coreSys{cluster}, gen); err != nil {
+		t.Fatal(err)
+	}
+	return coreSys{cluster}
 }

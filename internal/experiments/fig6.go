@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -118,8 +119,13 @@ func fig6Run(cfg Fig6Config, m int) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	populateFromGenerator(cluster, gen)
-	points := Replay(cluster, gen, cfg.Ops, cfg.Ops)
+	if err := PopulateFromGenerator(coreSys{cluster}, gen); err != nil {
+		return 0, err
+	}
+	points, err := Replay(context.Background(), coreSys{cluster}, gen, cfg.Ops, cfg.Ops)
+	if err != nil {
+		return 0, err
+	}
 	return points[len(points)-1].MeanLatency, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -119,19 +120,26 @@ func LatencyFig(cfg LatencyFigConfig) ([]LatencySeries, error) {
 				if err != nil {
 					return nil, err
 				}
-				sys = c
+				sys = hbaSys{c}
 			default:
 				c, err := core.New(ccfg)
 				if err != nil {
 					return nil, err
 				}
-				sys = c
+				sys = coreSys{c}
 			}
-			populateFromGenerator(sys, gen)
+			if err := PopulateFromGenerator(sys, gen); err != nil {
+				return nil, err
+			}
 			if cfg.Warmup > 0 {
-				Replay(sys, gen, cfg.Warmup, cfg.Warmup)
+				if _, err := Replay(context.Background(), sys, gen, cfg.Warmup, cfg.Warmup); err != nil {
+					return nil, err
+				}
 			}
-			points := Replay(sys, gen, cfg.Ops, cfg.Interval)
+			points, err := Replay(context.Background(), sys, gen, cfg.Ops, cfg.Interval)
+			if err != nil {
+				return nil, err
+			}
 			out = append(out, LatencySeries{Scheme: scheme, MemBudgetMB: memMB, Points: points})
 		}
 	}
@@ -216,7 +224,9 @@ func Fig12(cfg Fig12Config) ([]Fig12Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	populateFromGenerator(ghbaCluster, gen)
+	if err := PopulateFromGenerator(coreSys{ghbaCluster}, gen); err != nil {
+		return nil, err
+	}
 	gen2, err := trace.NewGenerator(trace.Config{
 		Profile:          cfg.Profile,
 		TIF:              1,
@@ -226,7 +236,9 @@ func Fig12(cfg Fig12Config) ([]Fig12Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	populateFromGenerator(hbaCluster, gen2)
+	if err := PopulateFromGenerator(hbaSys{hbaCluster}, gen2); err != nil {
+		return nil, err
+	}
 
 	var ghbaSum, hbaSum time.Duration
 	for i := 0; i < cfg.Updates; i++ {

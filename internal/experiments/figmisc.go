@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -163,8 +164,12 @@ func Fig13(cfg Fig13Config) ([]Fig13Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		populateFromGenerator(cluster, gen)
-		Replay(cluster, gen, cfg.Ops, cfg.Ops)
+		if err := PopulateFromGenerator(coreSys{cluster}, gen); err != nil {
+			return nil, err
+		}
+		if _, err := Replay(context.Background(), coreSys{cluster}, gen, cfg.Ops, cfg.Ops); err != nil {
+			return nil, err
+		}
 		t := cluster.Tally()
 		rows = append(rows, Fig13Row{
 			N:  n,
@@ -233,8 +238,8 @@ func Table5(ns []int, filesPerMDS uint64, seed int64) ([]Table5Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		populateN(gc, totalFiles)
-		populateN(hc, totalFiles)
+		populateN(coreSys{gc}, totalFiles)
+		populateN(hbaSys{hc}, totalFiles)
 
 		gf := gc.MeanFootprint()
 		hf := hc.Footprint(0)
@@ -252,13 +257,11 @@ func Table5(ns []int, filesPerMDS uint64, seed int64) ([]Table5Row, error) {
 
 // populateN fills a system with count synthetic paths.
 func populateN(sys System, count uint64) {
-	sys.Populate(func(fn func(string) bool) {
-		for i := uint64(0); i < count; i++ {
-			if !fn(fmt.Sprintf("/t5/f%d", i)) {
-				return
-			}
-		}
-	})
+	paths := make([]string, count)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/t5/f%d", i)
+	}
+	sys.CreateAll(context.Background(), paths)
 }
 
 // FormatTable5 renders measured-versus-paper overhead.

@@ -12,6 +12,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -19,25 +21,115 @@ import (
 	"sync"
 	"time"
 
+	"ghba"
 	"ghba/internal/core"
+	"ghba/internal/hba"
 	"ghba/internal/trace"
 )
 
-// System is the scheme-side contract shared by core.Cluster (G-HBA) and
-// hba.Cluster: dispatch one trace record, report a lookup outcome. Apply
-// draws entry points from the system's internal RNG; ApplyWith from the
-// caller's, which is what makes replay runs reproducible independent of the
-// system's own randomness consumption.
+// System is the slice of the ghba.Backend contract the replay drivers
+// dispatch against — every Backend (the simulation facade, the TCP
+// prototype) satisfies it structurally, so one replay engine serves both
+// transports. The raw scheme engines the figure drivers build directly
+// (core.Cluster, hba.Cluster) are adapted through coreSys/hbaSys.
 type System interface {
 	Name() string
-	Apply(rec trace.Record) core.LookupResult
-	ApplyWith(rng *rand.Rand, rec trace.Record) core.LookupResult
-	Populate(each func(fn func(path string) bool))
+	// ApplyWith dispatches one record with the caller's RNG, which is what
+	// makes replay runs reproducible independent of the system's own
+	// randomness consumption.
+	ApplyWith(ctx context.Context, rng *rand.Rand, op ghba.Op) (ghba.Result, error)
+	// CreateAll bulk-loads the initial namespace.
+	CreateAll(ctx context.Context, paths []string) error
+	// Flush drains any coalesced replica ships at a quiescent point.
+	Flush(ctx context.Context) error
+	// LevelCounts snapshots the per-level lookup tallies.
+	LevelCounts() [5]uint64
 }
 
-// flusher is implemented by systems with a coalescing ship queue; the
-// replay engines drain it at quiescent points.
-type flusher interface{ Flush() }
+// CoreSystem adapts a raw G-HBA scheme engine to the System contract, for
+// drivers that tune core.Config fields the facade does not expose.
+func CoreSystem(c *core.Cluster) System { return coreSys{c} }
+
+// HBASystem adapts the HBA baseline engine to the System contract.
+func HBASystem(c *hba.Cluster) System { return hbaSys{c} }
+
+type coreSys struct{ c *core.Cluster }
+
+func (s coreSys) Name() string { return s.c.Name() }
+
+func (s coreSys) ApplyWith(_ context.Context, rng *rand.Rand, op ghba.Op) (ghba.Result, error) {
+	return fromCore(s.c.ApplyWith(rng, recordOf(op))), nil
+}
+
+func (s coreSys) CreateAll(_ context.Context, paths []string) error {
+	s.c.Populate(pathIter(paths))
+	return nil
+}
+
+func (s coreSys) Flush(context.Context) error { s.c.Flush(); return nil }
+
+func (s coreSys) LevelCounts() [5]uint64 { return levelCounts(s.c) }
+
+// hbaSys adapts the HBA baseline engine.
+type hbaSys struct{ c *hba.Cluster }
+
+func (s hbaSys) Name() string { return s.c.Name() }
+
+func (s hbaSys) ApplyWith(_ context.Context, rng *rand.Rand, op ghba.Op) (ghba.Result, error) {
+	return fromCore(s.c.ApplyWith(rng, recordOf(op))), nil
+}
+
+func (s hbaSys) CreateAll(_ context.Context, paths []string) error {
+	s.c.Populate(pathIter(paths))
+	return nil
+}
+
+func (s hbaSys) Flush(context.Context) error { return nil }
+
+func (s hbaSys) LevelCounts() [5]uint64 {
+	var out [5]uint64
+	for l := 1; l <= 4; l++ {
+		out[l] = s.c.Tally().Count(l)
+	}
+	return out
+}
+
+// recordOf converts a facade op back to the trace record the raw engines
+// dispatch (the At offset drives the simulated open-loop queue model).
+func recordOf(op ghba.Op) trace.Record {
+	rec := trace.Record{Path: op.Path, At: op.At}
+	switch op.Kind {
+	case ghba.OpCreate:
+		rec.Op = trace.OpCreate
+	case ghba.OpDelete:
+		rec.Op = trace.OpDelete
+	default:
+		rec.Op = trace.OpStat
+	}
+	return rec
+}
+
+// fromCore converts a scheme-level result to the facade's.
+func fromCore(res core.LookupResult) ghba.Result {
+	return ghba.Result{
+		Path:    res.Path,
+		Home:    res.Home,
+		Found:   res.Found,
+		Level:   res.Level,
+		Latency: res.Latency,
+	}
+}
+
+// pathIter adapts a path slice to the raw engines' streaming populate.
+func pathIter(paths []string) func(fn func(string) bool) {
+	return func(fn func(string) bool) {
+		for _, p := range paths {
+			if !fn(p) {
+				return
+			}
+		}
+	}
+}
 
 // replayRNG builds worker w's record-dispatch RNG for a replay over a trace
 // seeded with seed; trace.DispatchSeed is the shared derivation (the
@@ -60,7 +152,7 @@ type Checkpoint struct {
 // metadata lookup operations. Entry points are drawn from an RNG derived
 // from the generator's seed, so a serial replay is exactly the one-worker
 // instance of ReplayParallel.
-func Replay(sys System, gen *trace.Generator, totalOps, interval int) []Checkpoint {
+func Replay(ctx context.Context, sys System, gen *trace.Generator, totalOps, interval int) ([]Checkpoint, error) {
 	if interval <= 0 {
 		interval = totalOps
 	}
@@ -71,7 +163,10 @@ func Replay(sys System, gen *trace.Generator, totalOps, interval int) []Checkpoi
 		points  []Checkpoint
 	)
 	for op := 1; op <= totalOps; op++ {
-		res := sys.ApplyWith(rng, gen.Next())
+		res, err := sys.ApplyWith(ctx, rng, ghba.TraceOp(gen.Next()))
+		if err != nil {
+			return points, fmt.Errorf("experiments: replay op %d: %w", op, err)
+		}
 		if res.Level > 0 {
 			sum += float64(res.Latency)
 			lookups++
@@ -84,7 +179,7 @@ func Replay(sys System, gen *trace.Generator, totalOps, interval int) []Checkpoi
 			points = append(points, Checkpoint{Ops: op, MeanLatency: mean})
 		}
 	}
-	return points
+	return points, nil
 }
 
 // ReplayStats summarizes one parallel (or one-worker) replay run.
@@ -97,10 +192,12 @@ type ReplayStats struct {
 	// Creates and Deletes count mutations that hit live state; DeleteMisses
 	// counts unlinks of paths that did not exist.
 	Creates, Deletes, DeleteMisses int
-	// MeanLookupLatency is the average simulated lookup latency. The
-	// open-loop queue model it includes assumes arrival-ordered dispatch,
-	// so the value is only meaningful for one-worker runs; multi-worker
-	// lanes interleave their simulated clocks and inflate queue waits.
+	// MeanLookupLatency is the average lookup latency: simulated (queue
+	// inclusive) on the sim backend, wall clock over real sockets on the
+	// TCP backend. The simulated open-loop queue model assumes
+	// arrival-ordered dispatch, so for the sim the value is only meaningful
+	// on one-worker runs; multi-worker lanes interleave their simulated
+	// clocks and inflate queue waits.
 	MeanLookupLatency time.Duration
 	// Elapsed is the wall-clock time of the replay; OpsPerSec the
 	// wall-clock dispatch throughput.
@@ -118,9 +215,9 @@ type ReplayStats struct {
 // coalesced replica ships are flushed before returning, so the system is
 // quiescent when the stats come back.
 //
-// The system must support concurrent ApplyWith (core.Cluster does; the
+// The system must support concurrent ApplyWith (both ghba backends do; the
 // serial HBA baseline does not).
-func ReplayParallel(sys System, cfg trace.Config, totalOps, workers int) (ReplayStats, error) {
+func ReplayParallel(ctx context.Context, sys System, cfg trace.Config, totalOps, workers int) (ReplayStats, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -136,6 +233,7 @@ func ReplayParallel(sys System, cfg trace.Config, totalOps, workers int) (Replay
 		sum                            float64
 		lookups                        int
 		creates, deletes, deleteMisses int
+		err                            error
 	}
 	lanes := make([]laneStats, workers)
 	var wg sync.WaitGroup
@@ -156,7 +254,11 @@ func ReplayParallel(sys System, cfg trace.Config, totalOps, workers int) (Replay
 			ls := &lanes[w]
 			for i := 0; i < n; i++ {
 				rec := gen.Next()
-				res := sys.ApplyWith(rng, rec)
+				res, err := sys.ApplyWith(ctx, rng, ghba.TraceOp(rec))
+				if err != nil {
+					ls.err = fmt.Errorf("worker %d, op %d (%s %q): %w", w, i, rec.Op, rec.Path, err)
+					return
+				}
 				switch {
 				case res.Level > 0:
 					ls.sum += float64(res.Latency)
@@ -172,8 +274,19 @@ func ReplayParallel(sys System, cfg trace.Config, totalOps, workers int) (Replay
 		}(w, n)
 	}
 	wg.Wait()
-	if f, ok := sys.(flusher); ok {
-		f.Flush()
+	// Lane errors carry the per-op root cause (worker, op, path); surface
+	// them ahead of a flush failure, which against a dead daemon is
+	// usually just the same fault seen twice.
+	for i := range lanes {
+		if err := lanes[i].err; err != nil {
+			if ferr := sys.Flush(ctx); ferr != nil {
+				err = errors.Join(err, fmt.Errorf("experiments: flushing after replay: %w", ferr))
+			}
+			return ReplayStats{Ops: totalOps, Workers: workers}, err
+		}
+	}
+	if err := sys.Flush(ctx); err != nil {
+		return ReplayStats{}, fmt.Errorf("experiments: flushing after replay: %w", err)
 	}
 	elapsed := time.Since(start)
 
@@ -196,12 +309,15 @@ func ReplayParallel(sys System, cfg trace.Config, totalOps, workers int) (Replay
 	return stats, nil
 }
 
-// populateFromGenerator pre-creates the generator's initial namespace on a
+// PopulateFromGenerator pre-creates the generator's initial namespace on a
 // system ("all MDSs are initially populated randomly").
-func populateFromGenerator(sys System, gen *trace.Generator) {
-	sys.Populate(func(fn func(string) bool) {
-		gen.EachInitialPath(fn)
+func PopulateFromGenerator(sys System, gen *trace.Generator) error {
+	var paths []string
+	gen.EachInitialPath(func(p string) bool {
+		paths = append(paths, p)
+		return true
 	})
+	return sys.CreateAll(context.Background(), paths)
 }
 
 // formatSeries renders checkpoints as "ops→latency" pairs for banners.
@@ -214,6 +330,15 @@ func formatSeries(points []Checkpoint) string {
 		fmt.Fprintf(&b, "%d→%v", p.Ops, p.MeanLatency.Round(10*time.Microsecond))
 	}
 	return b.String()
+}
+
+// levelCounts snapshots a core cluster's per-level tallies.
+func levelCounts(c *core.Cluster) [5]uint64 {
+	var out [5]uint64
+	for l := 1; l <= 4; l++ {
+		out[l] = c.Tally().Count(l)
+	}
+	return out
 }
 
 // newCoreCluster wraps core.New so tests inside the package can build a

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sort"
 	"strconv"
 	"testing"
@@ -35,7 +36,9 @@ func newReplayTestCluster(t *testing.T, tcfg trace.Config) *core.Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	populateFromGenerator(cluster, gen)
+	if err := PopulateFromGenerator(coreSys{cluster}, gen); err != nil {
+		t.Fatal(err)
+	}
 	return cluster
 }
 
@@ -94,10 +97,13 @@ func TestReplayParallelSingleWorkerMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	points := Replay(serial, gen, ops, ops)
+	points, err := Replay(context.Background(), coreSys{serial}, gen, ops, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	parallel := newReplayTestCluster(t, tcfg)
-	stats, err := ReplayParallel(parallel, tcfg, ops, 1)
+	stats, err := ReplayParallel(context.Background(), coreSys{parallel}, tcfg, ops, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +157,7 @@ func TestReplayParallelManyWorkersProperties(t *testing.T) {
 
 	cluster := newReplayTestCluster(t, tcfg)
 	initial := cluster.FileCount()
-	stats, err := ReplayParallel(cluster, tcfg, ops, workers)
+	stats, err := ReplayParallel(context.Background(), coreSys{cluster}, tcfg, ops, workers)
 	if err != nil {
 		t.Fatal(err)
 	}

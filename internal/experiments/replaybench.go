@@ -1,20 +1,24 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
+	"ghba"
 	"ghba/internal/analysis"
-	"ghba/internal/core"
-	"ghba/internal/simnet"
 	"ghba/internal/trace"
 )
 
 // ReplayBenchConfig parameterizes the mixed-workload replay throughput
 // benchmark: a G-HBA cluster replays a lookup:create:delete stream once
 // serially and once through the parallel engine, and the driver reports
-// both wall-clock throughputs.
+// both wall-clock throughputs. The Backend field selects the transport, so
+// the identical workload runs against the in-process engine or a loopback
+// TCP cluster.
 type ReplayBenchConfig struct {
+	// Backend selects the transport: "sim" (default) or "tcp".
+	Backend string
 	// N is the MDS count; M the group size (0 selects the paper optimum).
 	N, M int
 	// Files is the total initial namespace size.
@@ -38,6 +42,7 @@ type ReplayBenchConfig struct {
 // configuration the checked-in BENCH_replay.json records.
 func DefaultReplayBenchConfig() ReplayBenchConfig {
 	return ReplayBenchConfig{
+		Backend:   "sim",
 		N:         30,
 		Files:     20_000,
 		Ops:       100_000,
@@ -66,11 +71,55 @@ type ReplayBenchResult struct {
 	FileCount int
 }
 
+// replayBackend is the extra observability ReplayBench reads off a backend
+// beyond the System dispatch surface.
+type replayBackend interface {
+	ghba.Backend
+	ReplicaUpdates() uint64
+}
+
+// buildBackend boots one backend of the configured kind, populated with the
+// generator's initial namespace.
+func (cfg ReplayBenchConfig) buildBackend(tcfg trace.Config) (replayBackend, error) {
+	gen, err := trace.NewGenerator(tcfg)
+	if err != nil {
+		return nil, err
+	}
+	gcfg := ghba.Config{
+		NumMDS:              cfg.N,
+		MaxGroupSize:        cfg.M,
+		ExpectedFilesPerMDS: gen.InitialFileCount()/uint64(cfg.N)*2 + 16,
+		// The sizing the pre-Backend replay bench used (clusterConfig), so
+		// the checked-in perf trajectory stays comparable across PRs.
+		LRUCapacity: 1_024,
+		ShipBatch:   cfg.ShipBatch,
+		Seed:        cfg.Seed,
+	}
+	var b replayBackend
+	switch cfg.Backend {
+	case "", "sim":
+		b, err = ghba.New(gcfg)
+	case "tcp":
+		b, err = ghba.StartPrototype(ghba.PrototypeConfig{Config: gcfg})
+	default:
+		err = fmt.Errorf("experiments: unknown replay backend %q (want sim or tcp)", cfg.Backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := PopulateFromGenerator(b, gen); err != nil {
+		b.Close()
+		return nil, err
+	}
+	return b, nil
+}
+
 // ReplayBench runs the serial and parallel replays on identically built,
 // identically populated clusters and returns the comparison. The serial
 // run is the one-worker engine (the pre-parallel baseline); the parallel
 // run uses cfg.Workers lanes over a split trace.
 func ReplayBench(cfg ReplayBenchConfig) (ReplayBenchResult, error) {
+	ctx := context.Background()
 	if cfg.N < 1 || cfg.Ops < 1 {
 		return ReplayBenchResult{}, fmt.Errorf("experiments: bad replay bench config N=%d ops=%d", cfg.N, cfg.Ops)
 	}
@@ -98,46 +147,32 @@ func ReplayBench(cfg ReplayBenchConfig) (ReplayBenchResult, error) {
 		Seed:             cfg.Seed,
 	}
 
-	build := func() (*core.Cluster, error) {
-		gen, err := trace.NewGenerator(tcfg)
-		if err != nil {
-			return nil, err
-		}
-		ccfg := clusterConfig(cfg.N, cfg.M, gen)
-		ccfg.Seed = cfg.Seed
-		ccfg.ShipBatch = cfg.ShipBatch
-		cluster, err := core.New(ccfg)
-		if err != nil {
-			return nil, err
-		}
-		populateFromGenerator(cluster, gen)
-		return cluster, nil
-	}
-
 	var out ReplayBenchResult
 	out.Config = cfg
 
 	// Serial baseline: the one-worker engine over the unsplit stream.
-	serialCluster, err := build()
+	serial, err := cfg.buildBackend(tcfg)
 	if err != nil {
 		return out, err
 	}
-	out.Serial, err = ReplayParallel(serialCluster, tcfg, cfg.Ops, 1)
+	defer serial.Close()
+	out.Serial, err = ReplayParallel(ctx, serial, tcfg, cfg.Ops, 1)
 	if err != nil {
 		return out, err
 	}
 
 	// Parallel engine.
-	parallelCluster, err := build()
+	parallel, err := cfg.buildBackend(tcfg)
 	if err != nil {
 		return out, err
 	}
-	before := levelCounts(parallelCluster)
-	out.Parallel, err = ReplayParallel(parallelCluster, tcfg, cfg.Ops, cfg.Workers)
+	defer parallel.Close()
+	before := parallel.LevelCounts()
+	out.Parallel, err = ReplayParallel(ctx, parallel, tcfg, cfg.Ops, cfg.Workers)
 	if err != nil {
 		return out, err
 	}
-	after := levelCounts(parallelCluster)
+	after := parallel.LevelCounts()
 	if out.Parallel.Lookups > 0 {
 		for l := 1; l <= 4; l++ {
 			out.LevelShares[l] = float64(after[l]-before[l]) / float64(out.Parallel.Lookups)
@@ -146,33 +181,29 @@ func ReplayBench(cfg ReplayBenchConfig) (ReplayBenchResult, error) {
 	if out.Serial.OpsPerSec > 0 {
 		out.Speedup = out.Parallel.OpsPerSec / out.Serial.OpsPerSec
 	}
-	out.ReplicaUpdates = parallelCluster.Messages().Get(simnet.MsgReplicaUpdate)
-	out.FileCount = parallelCluster.FileCount()
+	out.ReplicaUpdates = parallel.ReplicaUpdates()
+	out.FileCount = parallel.FileCount()
 	return out, nil
-}
-
-func levelCounts(c *core.Cluster) [5]uint64 {
-	var out [5]uint64
-	for l := 1; l <= 4; l++ {
-		out[l] = c.Tally().Count(l)
-	}
-	return out
 }
 
 // FormatReplayBench renders the comparison like the other figure banners.
 func FormatReplayBench(r ReplayBenchResult) string {
+	backend := r.Config.Backend
+	if backend == "" {
+		backend = "sim"
+	}
 	var b []byte
-	b = fmt.Appendf(b, "Replay throughput — N=%d M=%d files=%d ops=%d mix=%.0f:%.0f:%.0f shipbatch=%d seed=%d\n",
-		r.Config.N, r.Config.M, r.Config.Files, r.Config.Ops,
+	b = fmt.Appendf(b, "Replay throughput — backend=%s N=%d M=%d files=%d ops=%d mix=%.0f:%.0f:%.0f shipbatch=%d seed=%d\n",
+		backend, r.Config.N, r.Config.M, r.Config.Files, r.Config.Ops,
 		r.Config.Mix[0], r.Config.Mix[1], r.Config.Mix[2], r.Config.ShipBatch, r.Config.Seed)
 	b = fmt.Appendf(b, "  serial   (1 worker):  %9.0f ops/sec  (%v)\n",
 		r.Serial.OpsPerSec, r.Serial.Elapsed.Round(time.Millisecond))
 	b = fmt.Appendf(b, "  parallel (%d workers): %9.0f ops/sec  (%v)\n",
 		r.Parallel.Workers, r.Parallel.OpsPerSec, r.Parallel.Elapsed.Round(time.Millisecond))
 	b = fmt.Appendf(b, "  speedup        %.2fx\n", r.Speedup)
-	// The simulated mean comes from the serial run: the open-loop queue
-	// model is only meaningful under arrival-ordered dispatch.
-	b = fmt.Appendf(b, "  lookups        %d (sim mean %v serial)  creates %d  deletes %d (+%d missed)\n",
+	// The mean comes from the serial run: the sim's open-loop queue model
+	// is only meaningful under arrival-ordered dispatch.
+	b = fmt.Appendf(b, "  lookups        %d (mean %v serial)  creates %d  deletes %d (+%d missed)\n",
 		r.Parallel.Lookups, r.Serial.MeanLookupLatency.Round(time.Microsecond),
 		r.Parallel.Creates, r.Parallel.Deletes, r.Parallel.DeleteMisses)
 	b = fmt.Appendf(b, "  level shares   L1=%.3f L2=%.3f L3=%.3f L4=%.3f\n",

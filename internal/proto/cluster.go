@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -11,7 +12,10 @@ import (
 	"time"
 
 	"ghba/internal/mds"
+	"ghba/internal/metrics"
 	"ghba/internal/rpcnet"
+	"ghba/internal/shipq"
+	"ghba/internal/trace"
 )
 
 // Mode selects the scheme the prototype runs.
@@ -64,6 +68,24 @@ type Options struct {
 	// CallTimeout is the per-RPC deadline. Zero selects
 	// DefaultCallTimeout; negative disables deadlines entirely.
 	CallTimeout time.Duration
+	// UpdateThresholdBits is the XOR-delta staleness threshold: a daemon
+	// whose local filter drifted this many bits from the last shipped
+	// snapshot reports a crossing on its create response, feeding the
+	// coordinator's coalescing ship queue. Zero selects the simulator's
+	// default of 64.
+	UpdateThresholdBits uint64
+	// RebuildDeleteThreshold triggers a daemon-local filter rebuild after
+	// this many deletions. Zero selects the simulator's default of 10 000.
+	RebuildDeleteThreshold uint64
+	// ShipBatch is the coalescing ship queue's drain batch: threshold
+	// crossings absorbed before dirty origins' replicas ship over the
+	// wire. 0 or 1 ships at every crossing (the paper's protocol).
+	ShipBatch int
+	// ObserveBatch is how many confirmed lookups accumulate before the L1
+	// observation batch is multicast to every daemon. Zero selects 64; 1
+	// multicasts immediately, matching the simulator's per-lookup L1
+	// learning (the cross-backend equivalence tests rely on this).
+	ObserveBatch int
 }
 
 func (o *Options) validate() error {
@@ -80,15 +102,17 @@ func (o *Options) validate() error {
 }
 
 // Cluster is a running prototype: N daemons plus the coordinator state that
-// drives queries and reconfiguration against them.
+// drives queries, mutations and reconfiguration against them.
 //
-// The coordinator follows the same single-writer / many-reader discipline
-// as the simulator's core engine: membership, group, holder, and home state
-// live behind an RWMutex, lookups are readers that snapshot what they need
-// and issue RPCs without holding the lock, and Populate/AddMDS are
-// exclusive writers. RPC connections are pooled per daemon (connSet), so
-// concurrent lookups against one daemon ride parallel sockets rather than
-// serializing on a shared connection.
+// The coordinator follows the same discipline as the simulator's core
+// engine: membership, group and holder state live behind an RWMutex,
+// lookups and mutations are readers that snapshot what they need and issue
+// RPCs without holding the lock, and AddMDS is the exclusive writer. The
+// ground-truth home map synchronizes on its own mutex so creates and
+// deletes on different paths never contend on the membership lock. RPC
+// connections are pooled per daemon (connSet), so concurrent operations
+// against one daemon ride parallel sockets rather than serializing on a
+// shared connection.
 type Cluster struct {
 	opts Options
 
@@ -96,31 +120,41 @@ type Cluster struct {
 	servers  map[int]*NodeServer
 	groups   map[int][]int       // group index → member IDs (G-HBA)
 	holders  map[int]map[int]int // group index → origin → holding member
-	homes    map[string]int
-	ids      []int       // sorted member IDs; rebuilt on mutation, never mutated in place
-	groupIdx map[int]int // member ID → group index; rebuilt with ids
+	ids      []int               // sorted member IDs; rebuilt on mutation, never mutated in place
+	groupIdx map[int]int         // member ID → group index; rebuilt with ids
 	nextID   int
+
+	// homes is the coordinator's ground-truth path → home map, the
+	// linearization point of create and delete (claim-then-RPC, exactly as
+	// core's sharded homes map commits the claim with the node update).
+	homesMu sync.Mutex
+	homes   map[string]int
+
+	// ships coalesces XOR-delta threshold crossings per origin; shipStripes
+	// serialize ships of the same origin so two racing shippers cannot
+	// install an older snapshot over a newer one.
+	ships       *shipq.Queue
+	shipStripes [16]sync.Mutex
 
 	conns *connSet
 
-	// rng drives the serial Lookup path's entry selection; parallel
-	// workers carry their own seeded RNGs and never touch it.
+	// rng drives the serial Lookup/Apply paths' entry and placement draws;
+	// parallel workers carry their own seeded RNGs and never touch it.
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
 	// pendingObs accumulates confirmed (path → home) mappings; every
-	// obsBatchSize lookups the batch is multicast to all daemons,
-	// refreshing their replicated LRU arrays the way HBA piggybacks LRU
-	// replica updates.
+	// obsBatch lookups the batch is multicast to all daemons, refreshing
+	// their replicated LRU arrays the way HBA piggybacks LRU replica
+	// updates.
 	obsMu      sync.Mutex
 	pendingObs []observation
+	obsBatch   int
 
-	messages atomic.Uint64
+	tally        metrics.LevelTally
+	messages     atomic.Uint64
+	replicaShips atomic.Uint64
 }
-
-// obsBatchSize is how many confirmed lookups accumulate before the LRU
-// observation batch is multicast to every daemon.
-const obsBatchSize = 64
 
 // connSet owns the coordinator's per-daemon connection pools. It is
 // deliberately independent of Cluster.mu so reconfiguration can issue RPCs
@@ -186,6 +220,16 @@ func (cs *connSet) closeAll() {
 	cs.pools = nil
 }
 
+// nodeServerOptions maps cluster options onto one daemon's.
+func (o *Options) nodeServerOptions() NodeServerOptions {
+	return NodeServerOptions{
+		ResidentReplicaLimit:   o.ResidentReplicaLimit,
+		DiskPenalty:            o.DiskPenalty,
+		UpdateThresholdBits:    o.UpdateThresholdBits,
+		RebuildDeleteThreshold: o.RebuildDeleteThreshold,
+	}
+}
+
 // Start builds, populates and launches a prototype cluster on loopback
 // ports. Callers must Close it.
 func Start(opts Options) (*Cluster, error) {
@@ -196,15 +240,21 @@ func Start(opts Options) (*Cluster, error) {
 	if callTimeout == 0 {
 		callTimeout = DefaultCallTimeout
 	}
+	obsBatch := opts.ObserveBatch
+	if obsBatch <= 0 {
+		obsBatch = 64
+	}
 	c := &Cluster{
-		opts:    opts,
-		servers: make(map[int]*NodeServer),
-		groups:  make(map[int][]int),
-		holders: make(map[int]map[int]int),
-		homes:   make(map[string]int),
-		conns:   newConnSet(callTimeout),
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		nextID:  opts.N,
+		opts:     opts,
+		servers:  make(map[int]*NodeServer),
+		groups:   make(map[int][]int),
+		holders:  make(map[int]map[int]int),
+		homes:    make(map[string]int),
+		ships:    shipq.New(opts.ShipBatch),
+		conns:    newConnSet(callTimeout),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		obsBatch: obsBatch,
+		nextID:   opts.N,
 	}
 	for i := 0; i < opts.N; i++ {
 		node, err := mds.NewNode(i, opts.Node)
@@ -212,7 +262,7 @@ func Start(opts Options) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("proto: node %d: %w", i, err)
 		}
-		ns, err := StartNode(node, "127.0.0.1:0", opts.ResidentReplicaLimit, opts.DiskPenalty)
+		ns, err := StartNode(node, "127.0.0.1:0", opts.nodeServerOptions())
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -220,21 +270,26 @@ func Start(opts Options) (*Cluster, error) {
 		c.servers[i] = ns
 		c.conns.register(i, ns.Addr())
 	}
-	// Group layout (G-HBA) or flat (HBA).
+	// Group layout (G-HBA) or flat (HBA). The partition matches the
+	// simulator's: ⌈N/M⌉ groups with sizes as even as possible, so a sim
+	// and a prototype built from the same (N, M) agree on membership.
 	if opts.Mode == ModeGHBA {
-		gi := 0
-		for start := 0; start < opts.N; start += opts.M {
-			end := start + opts.M
-			if end > opts.N {
-				end = opts.N
+		numGroups := (opts.N + opts.M - 1) / opts.M
+		base := opts.N / numGroups
+		extra := opts.N % numGroups
+		next := 0
+		for gi := 0; gi < numGroups; gi++ {
+			size := base
+			if gi < extra {
+				size++
 			}
-			var members []int
-			for id := start; id < end; id++ {
+			members := make([]int, 0, size)
+			for id := next; id < next+size; id++ {
 				members = append(members, id)
 			}
+			next += size
 			c.groups[gi] = members
 			c.holders[gi] = make(map[int]int)
-			gi++
 		}
 	}
 	c.rebuildIndexLocked()
@@ -263,7 +318,10 @@ func (c *Cluster) rebuildIndexLocked() {
 }
 
 // seedReplicas distributes initial (empty) replicas directly, before any
-// measurement traffic.
+// measurement traffic. Holder assignment round-robins each group's members
+// in ascending member order over ascending external origins — the same
+// placement the simulator's lightest-member rule produces on a fresh
+// cluster.
 func (c *Cluster) seedReplicas() {
 	switch c.opts.Mode {
 	case ModeHBA:
@@ -322,14 +380,47 @@ func (c *Cluster) NumMDS() int {
 	return len(c.servers)
 }
 
+// MDSIDs returns the current daemon IDs in ascending order.
+func (c *Cluster) MDSIDs() []int {
+	return append([]int(nil), c.snapshotIDs()...)
+}
+
+// FileCount returns the number of files in the namespace.
+func (c *Cluster) FileCount() int {
+	c.homesMu.Lock()
+	defer c.homesMu.Unlock()
+	return len(c.homes)
+}
+
 // Mode returns the running scheme.
 func (c *Cluster) Mode() Mode { return c.opts.Mode }
+
+// Seed returns the seed the cluster's own RNG was built from.
+func (c *Cluster) Seed() int64 { return c.opts.Seed }
 
 // Messages returns the total RPC messages issued by the coordinator.
 func (c *Cluster) Messages() uint64 { return c.messages.Load() }
 
 // ResetMessages zeroes the message counter between experiment phases.
 func (c *Cluster) ResetMessages() { c.messages.Store(0) }
+
+// ReplicaUpdates returns the number of replica-install messages the
+// XOR-delta ship path has sent — the traffic the coalescing queue
+// amortizes (initial seeding is direct and uncounted).
+func (c *Cluster) ReplicaUpdates() uint64 { return c.replicaShips.Load() }
+
+// Tally exposes the per-level hit counters.
+func (c *Cluster) Tally() *metrics.LevelTally { return &c.tally }
+
+// LevelCounts returns the cumulative number of lookups served at each level
+// (indices 1–4; index 0 unused).
+func (c *Cluster) LevelCounts() [5]uint64 {
+	var out [5]uint64
+	for l := 1; l <= 4; l++ {
+		out[l] = c.tally.Count(l)
+	}
+	return out
+}
 
 // Close shuts down all daemons and connections.
 func (c *Cluster) Close() {
@@ -345,7 +436,7 @@ func (c *Cluster) Close() {
 // when non-nil, additionally charges the message to one lookup or
 // reconfiguration, keeping per-operation counts exact even while other
 // operations are in flight.
-func (c *Cluster) call(id int, msgType uint8, payload []byte, ctr *atomic.Int64) ([]byte, error) {
+func (c *Cluster) call(ctx context.Context, id int, msgType uint8, payload []byte, ctr *atomic.Int64) ([]byte, error) {
 	pool, err := c.conns.pool(id)
 	if err != nil {
 		return nil, err
@@ -354,25 +445,28 @@ func (c *Cluster) call(id int, msgType uint8, payload []byte, ctr *atomic.Int64)
 	if ctr != nil {
 		ctr.Add(1)
 	}
-	return pool.Call(msgType, payload)
+	return pool.CallContext(ctx, msgType, payload)
 }
 
 // Populate homes paths at random daemons (direct, unmeasured) and refreshes
-// replicas. It is an exclusive writer against the coordinator's home map
-// and RNG; note that a lookup which snapshotted membership before the lock
-// was taken may still have RPCs in flight while daemon stores update —
-// each NodeServer serializes its own state, so such a lookup sees each
-// daemon either before or after its update, never a torn one.
+// replicas — the bulk-load path behind the Backend's CreateAll. It is an
+// exclusive writer against the coordinator's membership and RNG; note that
+// a lookup which snapshotted membership before the lock was taken may still
+// have RPCs in flight while daemon stores update — each NodeServer
+// serializes its own state, so such a lookup sees each daemon either before
+// or after its update, never a torn one.
 func (c *Cluster) Populate(paths []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ids := c.ids
 	c.rngMu.Lock()
+	c.homesMu.Lock()
 	for _, p := range paths {
 		home := ids[c.rng.Intn(len(ids))]
 		c.servers[home].AddFileDirect(p)
 		c.homes[p] = home
 	}
+	c.homesMu.Unlock()
 	c.rngMu.Unlock()
 	c.refreshReplicas()
 }
@@ -397,12 +491,14 @@ func (c *Cluster) refreshReplicas() {
 			}
 		}
 	}
+	// Everything just shipped; nothing is left to coalesce.
+	c.ships.Drain()
 }
 
 // HomeOf returns the ground-truth home (-1 when absent).
 func (c *Cluster) HomeOf(path string) int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.homesMu.Lock()
+	defer c.homesMu.Unlock()
 	home, ok := c.homes[path]
 	if !ok {
 		return -1
@@ -416,7 +512,8 @@ type LookupResult struct {
 	Home int
 	// Found reports existence.
 	Found bool
-	// Level is the hierarchy level that answered (1, 2, 3 or 4).
+	// Level is the hierarchy level that answered (1, 2, 3 or 4), or 0 for
+	// a pure mutation dispatched through Apply.
 	Level int
 	// Latency is the measured wall-clock duration.
 	Latency time.Duration
@@ -428,58 +525,58 @@ type LookupResult struct {
 // drawn from the cluster's own RNG. Safe for concurrent use, though
 // concurrent callers contend on that RNG — parallel drivers should prefer
 // LookupParallel or LookupWith with per-worker RNGs.
-func (c *Cluster) Lookup(path string) (LookupResult, error) {
+func (c *Cluster) Lookup(ctx context.Context, path string) (LookupResult, error) {
 	ids := c.snapshotIDs()
 	c.rngMu.Lock()
 	entry := ids[c.rng.Intn(len(ids))]
 	c.rngMu.Unlock()
-	return c.LookupVia(path, entry)
+	return c.LookupVia(ctx, path, entry)
 }
 
 // LookupWith resolves path with the entry MDS drawn from the caller's RNG,
 // the prototype's reproducible-concurrency hook: each worker owns an RNG,
 // so runs are deterministic for a fixed (seed, paths, workers) triple.
-func (c *Cluster) LookupWith(rng *rand.Rand, path string) (LookupResult, error) {
+func (c *Cluster) LookupWith(ctx context.Context, rng *rand.Rand, path string) (LookupResult, error) {
 	ids := c.snapshotIDs()
 	entry := ids[rng.Intn(len(ids))]
-	return c.LookupVia(path, entry)
+	return c.LookupVia(ctx, path, entry)
 }
 
 // LookupVia resolves path with the given entry MDS.
-func (c *Cluster) LookupVia(path string, entry int) (LookupResult, error) {
+func (c *Cluster) LookupVia(ctx context.Context, path string, entry int) (LookupResult, error) {
 	start := time.Now()
 	var msgs atomic.Int64
-	res, err := c.lookup(path, entry, &msgs)
+	res, err := c.lookup(ctx, path, entry, &msgs)
 	if err != nil {
 		return LookupResult{}, err
 	}
 	res.Latency = time.Since(start)
 	res.Messages = int(msgs.Load())
+	c.tally.Record(res.Level)
 	if res.Found {
-		if err := c.observe(path, res.Home); err != nil {
+		if err := c.observe(ctx, path, res.Home); err != nil {
 			return res, err
 		}
 	}
 	return res, nil
 }
 
-// workerSeed derives a deterministic per-worker RNG seed (SplitMix64-style
-// spacing keeps neighbouring workers' streams uncorrelated; same formula as
-// the simulator facade, so prototype and simulation runs line up).
+// workerSeed derives a deterministic per-worker RNG seed; the shared
+// derivation lives in trace.DispatchSeed so every parallel driver — the
+// facade's backend pools, the replay engine, this one — agrees on it.
 func workerSeed(seed int64, worker int) int64 {
-	const golden = uint64(0x9E3779B97F4A7C15)
-	return seed ^ int64(uint64(worker+1)*golden)
+	return trace.DispatchSeed(seed, worker)
 }
 
 // LookupParallel resolves every path over real sockets using the given
 // number of worker goroutines and returns the results in path order. Each
 // worker enters the hierarchy at daemons drawn from its own seeded RNG, so
 // entry sequences are deterministic for a fixed (seed, paths, workers)
-// triple, and a single-worker run issues exactly the RPCs the serial
-// Lookup path would with worker 0's RNG. workers < 1 selects GOMAXPROCS.
-// The first error stops that worker's chunk; other workers finish theirs,
-// and all errors are joined.
-func (c *Cluster) LookupParallel(paths []string, workers int) ([]LookupResult, error) {
+// triple, and a single-worker run issues exactly the RPCs a serial
+// LookupWith loop would with worker 0's RNG. workers < 1 selects
+// GOMAXPROCS. The first error stops that worker's chunk; other workers
+// finish theirs, and all errors are joined.
+func (c *Cluster) LookupParallel(ctx context.Context, paths []string, workers int) ([]LookupResult, error) {
 	if len(paths) == 0 {
 		return nil, nil
 	}
@@ -507,7 +604,7 @@ func (c *Cluster) LookupParallel(paths []string, workers int) ([]LookupResult, e
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(workerSeed(c.opts.Seed, w)))
 			for i := lo; i < hi; i++ {
-				res, err := c.LookupWith(rng, paths[i])
+				res, err := c.LookupWith(ctx, rng, paths[i])
 				if err != nil {
 					errs[w] = fmt.Errorf("worker %d, lookup %q: %w", w, paths[i], err)
 					return
@@ -525,10 +622,10 @@ func (c *Cluster) LookupParallel(paths []string, workers int) ([]LookupResult, e
 // LRU arrays to a fraction of a message per lookup. A daemon that fails
 // its delivery does not cost the others theirs: the batch still reaches
 // every reachable daemon and the failures are reported joined.
-func (c *Cluster) observe(path string, home int) error {
+func (c *Cluster) observe(ctx context.Context, path string, home int) error {
 	c.obsMu.Lock()
 	c.pendingObs = append(c.pendingObs, observation{home: home, path: path})
-	if len(c.pendingObs) < obsBatchSize {
+	if len(c.pendingObs) < c.obsBatch {
 		c.obsMu.Unlock()
 		return nil
 	}
@@ -545,7 +642,7 @@ func (c *Cluster) observe(path string, home int) error {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			if _, err := c.call(id, opObserveBatch, payload, nil); err != nil {
+			if _, err := c.call(ctx, id, opObserveBatch, payload, nil); err != nil {
 				errCh <- fmt.Errorf("observe batch to MDS %d: %w", id, err)
 			}
 		}(id)
@@ -559,9 +656,9 @@ func (c *Cluster) observe(path string, home int) error {
 	return errors.Join(errs...)
 }
 
-func (c *Cluster) lookup(path string, entry int, ctr *atomic.Int64) (LookupResult, error) {
+func (c *Cluster) lookup(ctx context.Context, path string, entry int, ctr *atomic.Int64) (LookupResult, error) {
 	// Entry query: L1 + L2 in one RPC.
-	resp, err := c.call(entry, opQueryEntry, []byte(path), ctr)
+	resp, err := c.call(ctx, entry, opQueryEntry, []byte(path), ctr)
 	if err != nil {
 		return LookupResult{}, err
 	}
@@ -575,36 +672,36 @@ func (c *Cluster) lookup(path string, entry int, ctr *atomic.Int64) (LookupResul
 	}
 
 	if len(l1Hits) == 1 {
-		if ok, err := c.verify(l1Hits[0], path, ctr); err != nil {
+		if ok, err := c.verify(ctx, l1Hits[0], path, ctr); err != nil {
 			return LookupResult{}, err
 		} else if ok {
 			return LookupResult{Home: l1Hits[0], Found: true, Level: 1}, nil
 		}
 	}
 	if len(l2Hits) == 1 {
-		if ok, err := c.verify(l2Hits[0], path, ctr); err != nil {
+		if ok, err := c.verify(ctx, l2Hits[0], path, ctr); err != nil {
 			return LookupResult{}, err
 		} else if ok {
 			return LookupResult{Home: l2Hits[0], Found: true, Level: 2}, nil
 		}
 	}
 
-	// L3 (G-HBA only): parallel multicast to the entry's groupmates.
+	// L3 (G-HBA only): parallel multicast to the entry's groupmates. The
+	// union covers the groupmates' arrays only — the entry's own L2 hits
+	// already had their chance above, and folding them back in would
+	// resolve at L3 what the simulator sends to L4.
 	if c.opts.Mode == ModeGHBA {
 		if members := c.groupMembers(entry); members != nil {
-			hits, err := c.multicastQuery(members, entry, opQueryMember, path, ctr)
+			hits, err := c.multicastQuery(ctx, members, entry, opQueryMember, path, ctr)
 			if err != nil {
 				return LookupResult{}, err
-			}
-			for _, h := range l2Hits {
-				hits[h] = struct{}{}
 			}
 			if len(hits) == 1 {
 				var home int
 				for h := range hits {
 					home = h
 				}
-				if ok, err := c.verify(home, path, ctr); err != nil {
+				if ok, err := c.verify(ctx, home, path, ctr); err != nil {
 					return LookupResult{}, err
 				} else if ok {
 					return LookupResult{Home: home, Found: true, Level: 3}, nil
@@ -614,7 +711,7 @@ func (c *Cluster) lookup(path string, entry int, ctr *atomic.Int64) (LookupResul
 	}
 
 	// L4: global multicast; every daemon checks its local filter + store.
-	home, err := c.globalSearch(path, entry, ctr)
+	home, err := c.globalSearch(ctx, path, entry, ctr)
 	if err != nil {
 		return LookupResult{}, err
 	}
@@ -624,8 +721,8 @@ func (c *Cluster) lookup(path string, entry int, ctr *atomic.Int64) (LookupResul
 	return LookupResult{Home: -1, Found: false, Level: 4}, nil
 }
 
-func (c *Cluster) verify(id int, path string, ctr *atomic.Int64) (bool, error) {
-	resp, err := c.call(id, opVerify, []byte(path), ctr)
+func (c *Cluster) verify(ctx context.Context, id int, path string, ctr *atomic.Int64) (bool, error) {
+	resp, err := c.call(ctx, id, opVerify, []byte(path), ctr)
 	if err != nil {
 		return false, err
 	}
@@ -634,7 +731,7 @@ func (c *Cluster) verify(id int, path string, ctr *atomic.Int64) (bool, error) {
 
 // multicastQuery fans a query out to members (minus the entry) in parallel
 // and returns the union of their hits.
-func (c *Cluster) multicastQuery(members []int, entry int, msgType uint8, path string, ctr *atomic.Int64) (map[int]struct{}, error) {
+func (c *Cluster) multicastQuery(ctx context.Context, members []int, entry int, msgType uint8, path string, ctr *atomic.Int64) (map[int]struct{}, error) {
 	type answer struct {
 		hits []int
 		err  error
@@ -648,7 +745,7 @@ func (c *Cluster) multicastQuery(members []int, entry int, msgType uint8, path s
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			resp, err := c.call(id, msgType, []byte(path), ctr)
+			resp, err := c.call(ctx, id, msgType, []byte(path), ctr)
 			if err != nil {
 				answers <- answer{err: err}
 				return
@@ -672,7 +769,7 @@ func (c *Cluster) multicastQuery(members []int, entry int, msgType uint8, path s
 }
 
 // globalSearch asks every daemon (minus the entry) whether it homes path.
-func (c *Cluster) globalSearch(path string, entry int, ctr *atomic.Int64) (int, error) {
+func (c *Cluster) globalSearch(ctx context.Context, path string, entry int, ctr *atomic.Int64) (int, error) {
 	ids := c.snapshotIDs()
 	type answer struct {
 		id  int
@@ -688,14 +785,14 @@ func (c *Cluster) globalSearch(path string, entry int, ctr *atomic.Int64) (int, 
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			resp, err := c.call(id, opHasLocal, []byte(path), ctr)
+			resp, err := c.call(ctx, id, opHasLocal, []byte(path), ctr)
 			answers <- answer{id: id, has: err == nil && byteBool(resp), err: err}
 		}(id)
 	}
 	// The entry checks itself locally too (no extra message: it is the
 	// server driving the query; count one self-check call for symmetry
 	// with the simulator's accounting).
-	selfResp, selfErr := c.call(entry, opHasLocal, []byte(path), ctr)
+	selfResp, selfErr := c.call(ctx, entry, opHasLocal, []byte(path), ctr)
 	wg.Wait()
 	close(answers)
 	if selfErr == nil && byteBool(selfResp) {

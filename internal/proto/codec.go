@@ -29,7 +29,28 @@ const (
 	opObserve                         // home + path → ack (L1 learning)
 	opObserveBatch                    // batched L1 observations → ack
 	opPing                            // membership/IDBFA-update stand-in → ack
+	opCreateFile                      // path → 1 byte: filter crossed the XOR-delta ship threshold
+	opDeleteFile                      // path → 2 bytes: existed, local filter rebuilt
 )
+
+// decodeCreateResp parses an opCreateFile response: whether the origin's
+// filter drifted past the XOR-delta threshold and should ship.
+func decodeCreateResp(data []byte) (crossed bool, err error) {
+	if len(data) != 1 {
+		return false, fmt.Errorf("proto: create response wants 1 byte, got %d", len(data))
+	}
+	return data[0] == 1, nil
+}
+
+// decodeDeleteResp parses an opDeleteFile response: whether the file was
+// homed at the daemon, and whether the deletion triggered a local-filter
+// rebuild (which replaces the filter wholesale and must ship).
+func decodeDeleteResp(data []byte) (existed, rebuilt bool, err error) {
+	if len(data) != 2 {
+		return false, false, fmt.Errorf("proto: delete response wants 2 bytes, got %d", len(data))
+	}
+	return data[0] == 1, data[1] == 1, nil
+}
 
 // observation is one (home, path) L1 learning record.
 type observation struct {

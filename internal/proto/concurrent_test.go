@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -26,14 +27,14 @@ func TestLookupParallelSingleWorkerMatchesSerial(t *testing.T) {
 		batch[i] = "/p/f" + strconv.Itoa((i*7)%200)
 	}
 
-	parallel, err := a.LookupParallel(batch, 1)
+	parallel, err := a.LookupParallel(context.Background(), batch, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	rng := rand.New(rand.NewSource(workerSeed(b.opts.Seed, 0)))
 	for i, p := range batch {
-		serial, err := b.LookupWith(rng, p)
+		serial, err := b.LookupWith(context.Background(), rng, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func TestLookupParallelManyWorkers(t *testing.T) {
 	for i := range batch {
 		batch[i] = "/p/f" + strconv.Itoa(i%300)
 	}
-	results, err := c.LookupParallel(batch, 8)
+	results, err := c.LookupParallel(context.Background(), batch, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestParallelLookupsDuringAddMDSChurn(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 3; i++ {
-			if _, _, err := c.AddMDS(); err != nil {
+			if _, _, err := c.AddMDS(context.Background()); err != nil {
 				errs <- fmt.Errorf("AddMDS %d: %w", i, err)
 				return
 			}
@@ -100,7 +101,7 @@ func TestParallelLookupsDuringAddMDSChurn(t *testing.T) {
 			rng := rand.New(rand.NewSource(workerSeed(99, w)))
 			for i := 0; i < 60; i++ {
 				path := "/p/f" + strconv.Itoa((w*97+i)%300)
-				res, err := c.LookupWith(rng, path)
+				res, err := c.LookupWith(context.Background(), rng, path)
 				if err != nil {
 					errs <- fmt.Errorf("worker %d lookup %s: %w", w, path, err)
 					return
@@ -124,7 +125,7 @@ func TestParallelLookupsDuringAddMDSChurn(t *testing.T) {
 	// The grown cluster still resolves everything.
 	for i := 0; i < 300; i += 17 {
 		path := "/p/f" + strconv.Itoa(i)
-		res, err := c.Lookup(path)
+		res, err := c.Lookup(context.Background(), path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,11 +144,11 @@ func TestAddMDSDeterministicReplicaOffload(t *testing.T) {
 	// with replica offload.
 	a := startPopulated(t, 7, 4, ModeGHBA, 100)
 	b := startPopulated(t, 7, 4, ModeGHBA, 100)
-	_, aMsgs, err := a.AddMDS()
+	_, aMsgs, err := a.AddMDS(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, bMsgs, err := b.AddMDS()
+	_, bMsgs, err := b.AddMDS(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestAddMDSFailureRollsBackCoordinatorState(t *testing.T) {
 	// whose member 4 must offload replicas to the newcomer. Kill 4 so
 	// that opDropReplica fails.
 	c.servers[4].Close()
-	if _, _, err := c.AddMDS(); err == nil {
+	if _, _, err := c.AddMDS(context.Background()); err == nil {
 		t.Fatal("AddMDS against a dead group member succeeded")
 	}
 	if n := c.NumMDS(); n != 7 {
@@ -192,14 +193,14 @@ func TestAddMDSFailureRollsBackCoordinatorState(t *testing.T) {
 	}
 	c.mu.RUnlock()
 	// Lookups that stay inside the healthy group still resolve. Stay
-	// under obsBatchSize total so the observation flush (which would
+	// under c.obsBatch total so the observation flush (which would
 	// multicast into the dead daemon) never fires here.
 	checked := 0
-	for i := 0; i < 100 && checked < obsBatchSize-1; i++ {
+	for i := 0; i < 100 && checked < c.obsBatch-1; i++ {
 		p := "/p/f" + strconv.Itoa(i)
 		if home := c.HomeOf(p); home >= 0 && home <= 3 {
 			checked++
-			res, err := c.LookupVia(p, 0)
+			res, err := c.LookupVia(context.Background(), p, 0)
 			if err != nil {
 				t.Fatalf("post-rollback lookup %s: %v", p, err)
 			}
@@ -233,8 +234,8 @@ func TestObserveBatchSurvivesDeadDaemon(t *testing.T) {
 	c.servers[3].Close()
 
 	var flushErr error
-	for i := 0; i < obsBatchSize; i++ {
-		res, err := c.LookupVia(hot, 0)
+	for i := 0; i < c.obsBatch; i++ {
+		res, err := c.LookupVia(context.Background(), hot, 0)
 		if err != nil {
 			flushErr = err
 		}
@@ -249,7 +250,7 @@ func TestObserveBatchSurvivesDeadDaemon(t *testing.T) {
 		t.Errorf("flush error does not name the dead daemon: %v", flushErr)
 	}
 	// The surviving daemons received the batch despite the failure.
-	res, err := c.LookupVia(hot, 0)
+	res, err := c.LookupVia(context.Background(), hot, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

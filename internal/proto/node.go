@@ -31,16 +31,48 @@ type NodeServer struct {
 	// filter array incurs on real hardware.
 	residentLimit int
 	diskPenalty   time.Duration
+
+	// updateThresholdBits and rebuildDeleteThreshold mirror the simulator's
+	// core.Config knobs: the XOR-delta drift that marks the local filter
+	// dirty for shipping, and the deletion count that triggers a rebuild.
+	updateThresholdBits    uint64
+	rebuildDeleteThreshold uint64
+}
+
+// NodeServerOptions configures one daemon beyond its mds.Node state.
+type NodeServerOptions struct {
+	// ResidentReplicaLimit is how many replicas fit in RAM; ≤ 0 means
+	// everything fits.
+	ResidentReplicaLimit int
+	// DiskPenalty is the emulated disk cost per query against an over-RAM
+	// replica array.
+	DiskPenalty time.Duration
+	// UpdateThresholdBits is the XOR-delta staleness threshold an
+	// opCreateFile response reports against. Zero selects the simulator's
+	// default of 64 bits.
+	UpdateThresholdBits uint64
+	// RebuildDeleteThreshold is the deletion count that triggers a
+	// local-filter rebuild inside opDeleteFile. Zero selects the
+	// simulator's default of 10 000.
+	RebuildDeleteThreshold uint64
 }
 
 // StartNode launches a daemon for the given node on addr ("127.0.0.1:0"
-// for tests). residentLimit ≤ 0 means everything fits.
-func StartNode(node *mds.Node, addr string, residentLimit int, diskPenalty time.Duration) (*NodeServer, error) {
+// for tests).
+func StartNode(node *mds.Node, addr string, opts NodeServerOptions) (*NodeServer, error) {
+	if opts.UpdateThresholdBits == 0 {
+		opts.UpdateThresholdBits = 64
+	}
+	if opts.RebuildDeleteThreshold == 0 {
+		opts.RebuildDeleteThreshold = 10_000
+	}
 	ns := &NodeServer{
-		id:            node.ID(),
-		node:          node,
-		residentLimit: residentLimit,
-		diskPenalty:   diskPenalty,
+		id:                     node.ID(),
+		node:                   node,
+		residentLimit:          opts.ResidentReplicaLimit,
+		diskPenalty:            opts.DiskPenalty,
+		updateThresholdBits:    opts.UpdateThresholdBits,
+		rebuildDeleteThreshold: opts.RebuildDeleteThreshold,
 	}
 	srv, err := rpcnet.Serve(addr, ns.handle)
 	if err != nil {
@@ -141,6 +173,28 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 	case opAddFile:
 		ns.node.AddFile(string(payload))
 		return nil, nil
+
+	case opCreateFile:
+		// The mutation and the threshold check happen in one request, so
+		// the coordinator learns whether to feed the ship queue without a
+		// second round trip — the networked twin of core.noteMutation.
+		ns.node.AddFile(string(payload))
+		return boolByte(ns.node.NeedsShip(ns.updateThresholdBits)), nil
+
+	case opDeleteFile:
+		existed := ns.node.DeleteFile(string(payload))
+		rebuilt := false
+		if existed {
+			rebuilt = ns.node.RebuildIfStale(ns.rebuildDeleteThreshold)
+		}
+		resp := []byte{0, 0}
+		if existed {
+			resp[0] = 1
+		}
+		if rebuilt {
+			resp[1] = 1
+		}
+		return resp, nil
 
 	case opInstallReplica:
 		origin, body, err := decodeOriginPayload(payload)

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync"
@@ -65,7 +66,7 @@ func TestGHBALookupOverRealSockets(t *testing.T) {
 	c := startPopulated(t, 6, 3, ModeGHBA, 200)
 	for i := 0; i < 100; i++ {
 		path := "/p/f" + strconv.Itoa(i)
-		res, err := c.Lookup(path)
+		res, err := c.Lookup(context.Background(), path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func TestHBALookupOverRealSockets(t *testing.T) {
 	c := startPopulated(t, 6, 0, ModeHBA, 200)
 	for i := 0; i < 100; i++ {
 		path := "/p/f" + strconv.Itoa(i)
-		res, err := c.Lookup(path)
+		res, err := c.Lookup(context.Background(), path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func TestHBALookupOverRealSockets(t *testing.T) {
 func TestLookupMissingFile(t *testing.T) {
 	for _, mode := range []Mode{ModeGHBA, ModeHBA} {
 		c := startPopulated(t, 4, 2, mode, 50)
-		res, err := c.Lookup("/ghost")
+		res, err := c.Lookup(context.Background(), "/ghost")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,11 +116,11 @@ func TestL1LearningAfterBatchFlush(t *testing.T) {
 		if i%2 == 0 {
 			path = "/p/f" + strconv.Itoa(i%200)
 		}
-		if _, err := c.LookupVia(path, i%6); err != nil {
+		if _, err := c.LookupVia(context.Background(), path, i%6); err != nil {
 			t.Fatal(err)
 		}
 	}
-	res, err := c.LookupVia(hot, 5)
+	res, err := c.LookupVia(context.Background(), hot, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestConcurrentLookups(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				path := "/p/f" + strconv.Itoa((w*50+i)%300)
-				res, err := c.LookupVia(path, w)
+				res, err := c.LookupVia(context.Background(), path, w)
 				if err != nil {
 					errs <- err
 					return
@@ -163,7 +164,7 @@ func TestConcurrentLookups(t *testing.T) {
 func TestAddMDSMessageCounts(t *testing.T) {
 	const n = 12
 	hba := startPopulated(t, n, 0, ModeHBA, 100)
-	_, hbaMsgs, err := hba.AddMDS()
+	_, hbaMsgs, err := hba.AddMDS(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestAddMDSMessageCounts(t *testing.T) {
 	}
 
 	ghba := startPopulated(t, n, 4, ModeGHBA, 100) // groups of 4, full → split
-	_, ghbaMsgs, err := ghba.AddMDS()
+	_, ghbaMsgs, err := ghba.AddMDS(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +185,7 @@ func TestAddMDSMessageCounts(t *testing.T) {
 func TestAddMDSJoinThenLookup(t *testing.T) {
 	// 7 servers, M=4 → groups 4+3, room in the second.
 	c := startPopulated(t, 7, 4, ModeGHBA, 200)
-	id, msgs, err := c.AddMDS()
+	id, msgs, err := c.AddMDS(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestAddMDSJoinThenLookup(t *testing.T) {
 	// Lookups still resolve, including via the newcomer.
 	for i := 0; i < 50; i++ {
 		path := "/p/f" + strconv.Itoa(i*3%200)
-		res, err := c.LookupVia(path, id)
+		res, err := c.LookupVia(context.Background(), path, id)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,12 +210,12 @@ func TestAddMDSJoinThenLookup(t *testing.T) {
 
 func TestAddMDSSplitThenLookup(t *testing.T) {
 	c := startPopulated(t, 4, 2, ModeGHBA, 150)
-	if _, _, err := c.AddMDS(); err != nil {
+	if _, _, err := c.AddMDS(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 150; i += 11 {
 		path := "/p/f" + strconv.Itoa(i)
-		res, err := c.Lookup(path)
+		res, err := c.Lookup(context.Background(), path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -246,11 +247,11 @@ func TestDiskPenaltySlowsOverloadedNodes(t *testing.T) {
 	var fastTotal, slowTotal time.Duration
 	for i := 0; i < 30; i++ {
 		path := "/p/f" + strconv.Itoa(i)
-		rf, err := fast.Lookup(path)
+		rf, err := fast.Lookup(context.Background(), path)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rs, err := slow.Lookup(path)
+		rs, err := slow.Lookup(context.Background(), path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,7 +265,7 @@ func TestDiskPenaltySlowsOverloadedNodes(t *testing.T) {
 
 func TestMessagesCounterAndReset(t *testing.T) {
 	c := startPopulated(t, 4, 2, ModeGHBA, 50)
-	if _, err := c.Lookup("/p/f1"); err != nil {
+	if _, err := c.Lookup(context.Background(), "/p/f1"); err != nil {
 		t.Fatal(err)
 	}
 	if c.Messages() == 0 {

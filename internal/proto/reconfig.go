@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -26,7 +27,7 @@ import (
 // completes — a lookup can never select a half-wired daemon as its entry
 // and probe an empty node. The operation's message count is tracked
 // per-operation, so concurrent lookup traffic does not pollute it.
-func (c *Cluster) AddMDS() (int, int, error) {
+func (c *Cluster) AddMDS(ctx context.Context) (int, int, error) {
 	// Build and launch the daemon before taking the write lock; only the
 	// reconfiguration itself excludes readers.
 	c.mu.Lock()
@@ -38,7 +39,7 @@ func (c *Cluster) AddMDS() (int, int, error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("proto: node %d: %w", id, err)
 	}
-	ns, err := StartNode(node, "127.0.0.1:0", c.opts.ResidentReplicaLimit, c.opts.DiskPenalty)
+	ns, err := StartNode(node, "127.0.0.1:0", c.opts.nodeServerOptions())
 	if err != nil {
 		return 0, 0, err
 	}
@@ -52,9 +53,9 @@ func (c *Cluster) AddMDS() (int, int, error) {
 	groupsBak, holdersBak := copyGroups(c.groups), copyHolders(c.holders)
 	switch c.opts.Mode {
 	case ModeHBA:
-		err = c.addHBA(id, &msgs)
+		err = c.addHBA(ctx, id, &msgs)
 	case ModeGHBA:
-		err = c.addGHBA(id, &msgs)
+		err = c.addGHBA(ctx, id, &msgs)
 	}
 	if err != nil {
 		// Roll the coordinator's bookkeeping back to the pre-join state so
@@ -76,24 +77,24 @@ func (c *Cluster) AddMDS() (int, int, error) {
 
 // addHBA: full replica exchange with every existing server. The newcomer is
 // not yet in c.ids, so "every existing server" is simply the cached list.
-func (c *Cluster) addHBA(id int, msgs *atomic.Int64) error {
+func (c *Cluster) addHBA(ctx context.Context, id int, msgs *atomic.Int64) error {
 	for _, other := range c.ids {
 		// Fetch the peer's filter and install it on the newcomer.
-		snap, err := c.call(other, opShipFilter, nil, msgs)
+		snap, err := c.call(ctx, other, opShipFilter, nil, msgs)
 		if err != nil {
 			return err
 		}
-		if _, err := c.call(id, opInstallReplica, encodeOriginPayload(other, snap), msgs); err != nil {
+		if _, err := c.call(ctx, id, opInstallReplica, encodeOriginPayload(other, snap), msgs); err != nil {
 			return err
 		}
 	}
 	// Distribute the newcomer's filter to everyone.
-	snap, err := c.call(id, opShipFilter, nil, msgs)
+	snap, err := c.call(ctx, id, opShipFilter, nil, msgs)
 	if err != nil {
 		return err
 	}
 	for _, other := range c.ids {
-		if _, err := c.call(other, opInstallReplica, encodeOriginPayload(id, snap), msgs); err != nil {
+		if _, err := c.call(ctx, other, opInstallReplica, encodeOriginPayload(id, snap), msgs); err != nil {
 			return err
 		}
 	}
@@ -101,20 +102,20 @@ func (c *Cluster) addHBA(id int, msgs *atomic.Int64) error {
 }
 
 // addGHBA: join-with-room or split, then replica distribution.
-func (c *Cluster) addGHBA(id int, msgs *atomic.Int64) error {
+func (c *Cluster) addGHBA(ctx context.Context, id int, msgs *atomic.Int64) error {
 	gi := c.pickGroupWithRoom()
 	if gi >= 0 {
-		if err := c.joinGroup(gi, id, msgs); err != nil {
+		if err := c.joinGroup(ctx, gi, id, msgs); err != nil {
 			return err
 		}
 	} else {
-		if err := c.splitGroup(id, msgs); err != nil {
+		if err := c.splitGroup(ctx, id, msgs); err != nil {
 			return err
 		}
 	}
 	// Distribute the newcomer's filter to one member of each other group.
 	ownGroup := c.groupOfLocked(id)
-	snap, err := c.call(id, opShipFilter, nil, msgs)
+	snap, err := c.call(ctx, id, opShipFilter, nil, msgs)
 	if err != nil {
 		return err
 	}
@@ -128,7 +129,7 @@ func (c *Cluster) addGHBA(id int, msgs *atomic.Int64) error {
 			continue
 		}
 		target := c.lightestMember(gi)
-		if _, err := c.call(target, opInstallReplica, encodeOriginPayload(id, snap), msgs); err != nil {
+		if _, err := c.call(ctx, target, opInstallReplica, encodeOriginPayload(id, snap), msgs); err != nil {
 			return err
 		}
 		c.holders[gi][id] = target
@@ -180,7 +181,7 @@ func (c *Cluster) lightestMember(gi int) int {
 // joinGroup performs the light-weight migration: members above the target
 // replica count offload their excess to the newcomer over RPC, then the
 // updated IDBFA is multicast (a ping per member).
-func (c *Cluster) joinGroup(gi, id int, msgs *atomic.Int64) error {
+func (c *Cluster) joinGroup(ctx context.Context, gi, id int, msgs *atomic.Int64) error {
 	members := c.groups[gi]
 	newSize := len(members) + 1
 	// The newcomer is not yet registered in c.servers, hence the +1.
@@ -202,11 +203,11 @@ func (c *Cluster) joinGroup(gi, id int, msgs *atomic.Int64) error {
 		for i := 0; i < excess; i++ {
 			origin := origins[i]
 			// Fetch-and-drop from the current holder, install on newcomer.
-			snap, err := c.call(m, opDropReplica, encodeOriginPayload(origin, nil), msgs)
+			snap, err := c.call(ctx, m, opDropReplica, encodeOriginPayload(origin, nil), msgs)
 			if err != nil {
 				return err
 			}
-			if _, err := c.call(id, opInstallReplica, encodeOriginPayload(origin, snap), msgs); err != nil {
+			if _, err := c.call(ctx, id, opInstallReplica, encodeOriginPayload(origin, snap), msgs); err != nil {
 				return err
 			}
 			c.holders[gi][origin] = id
@@ -214,7 +215,7 @@ func (c *Cluster) joinGroup(gi, id int, msgs *atomic.Int64) error {
 	}
 	// Batched IDBFA multicast to the existing members.
 	for _, m := range members {
-		if _, err := c.call(m, opPing, nil, msgs); err != nil {
+		if _, err := c.call(ctx, m, opPing, nil, msgs); err != nil {
 			return err
 		}
 	}
@@ -225,7 +226,7 @@ func (c *Cluster) joinGroup(gi, id int, msgs *atomic.Int64) error {
 // splitGroup divides the first full group into two halves, the newcomer
 // joining the second, with replica-copy exchange so both halves keep a
 // global mirror image.
-func (c *Cluster) splitGroup(id int, msgs *atomic.Int64) error {
+func (c *Cluster) splitGroup(ctx context.Context, id int, msgs *atomic.Int64) error {
 	// Deterministic victim: lowest group index.
 	victim := -1
 	for gi := range c.groups {
@@ -277,12 +278,12 @@ func (c *Cluster) splitGroup(id int, msgs *atomic.Int64) error {
 			// Fetch a fresh filter from the origin itself (alive in the
 			// prototype); copying the other side's replica bytes would be
 			// equivalent but staler.
-			snap, err := c.call(origin, opShipFilter, nil, msgs)
+			snap, err := c.call(ctx, origin, opShipFilter, nil, msgs)
 			if err != nil {
 				return err
 			}
 			target := c.lightestMember(pair.dst)
-			if _, err := c.call(target, opInstallReplica, encodeOriginPayload(origin, snap), msgs); err != nil {
+			if _, err := c.call(ctx, target, opInstallReplica, encodeOriginPayload(origin, snap), msgs); err != nil {
 				return err
 			}
 			c.holders[pair.dst][origin] = target
@@ -291,12 +292,12 @@ func (c *Cluster) splitGroup(id int, msgs *atomic.Int64) error {
 			if _, ok := c.holders[pair.dst][member]; ok {
 				continue
 			}
-			snap, err := c.call(member, opShipFilter, nil, msgs)
+			snap, err := c.call(ctx, member, opShipFilter, nil, msgs)
 			if err != nil {
 				return err
 			}
 			target := c.lightestMember(pair.dst)
-			if _, err := c.call(target, opInstallReplica, encodeOriginPayload(member, snap), msgs); err != nil {
+			if _, err := c.call(ctx, target, opInstallReplica, encodeOriginPayload(member, snap), msgs); err != nil {
 				return err
 			}
 			c.holders[pair.dst][member] = target
@@ -305,7 +306,7 @@ func (c *Cluster) splitGroup(id int, msgs *atomic.Int64) error {
 	// IDBFA multicast within both halves.
 	for _, gi := range []int{victim, newGi} {
 		for _, m := range c.groups[gi] {
-			if _, err := c.call(m, opPing, nil, msgs); err != nil {
+			if _, err := c.call(ctx, m, opPing, nil, msgs); err != nil {
 				return err
 			}
 		}

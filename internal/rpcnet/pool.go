@@ -1,6 +1,7 @@
 package rpcnet
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -54,21 +55,31 @@ func (p *Pool) Addr() string { return p.addr }
 // connection to the pool. Application errors (*RemoteError) leave the
 // connection reusable; transport errors discard it.
 func (p *Pool) Call(msgType uint8, payload []byte) ([]byte, error) {
-	cl, err := p.get()
+	return p.CallContext(context.Background(), msgType, payload)
+}
+
+// CallContext is Call with per-call cancellation and deadline control; see
+// Client.CallContext for the deadline-merging and poisoning semantics. A
+// cancelled call discards its connection, never returning it to the pool.
+func (p *Pool) CallContext(ctx context.Context, msgType uint8, payload []byte) ([]byte, error) {
+	cl, err := p.Get()
 	if err != nil {
 		return nil, err
 	}
-	resp, err := cl.Call(msgType, payload)
+	resp, err := cl.CallContext(ctx, msgType, payload)
 	var remote *RemoteError
 	if err == nil || errors.As(err, &remote) {
-		p.put(cl)
+		p.Put(cl)
 	} else {
 		cl.Close()
 	}
 	return resp, err
 }
 
-func (p *Pool) get() (*Client, error) {
+// Get checks a connection out of the pool, dialing when none is idle. After
+// Close it returns ErrPoolClosed. Callers must hand the connection back with
+// Put (or Close it after a transport error).
+func (p *Pool) Get() (*Client, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -84,7 +95,13 @@ func (p *Pool) get() (*Client, error) {
 	return DialTimeout(p.addr, p.opts.DialTimeout, p.opts.CallTimeout)
 }
 
-func (p *Pool) put(cl *Client) {
+// Put returns a checked-out connection. Connections handed back after Close
+// (in-flight calls racing a shutdown) or beyond the idle cap are closed
+// instead of retained; both cases are safe, never a panic.
+func (p *Pool) Put(cl *Client) {
+	if cl == nil {
+		return
+	}
 	p.mu.Lock()
 	if !p.closed && len(p.idle) < p.opts.MaxIdle {
 		p.idle = append(p.idle, cl)
@@ -102,14 +119,20 @@ func (p *Pool) IdleConns() int {
 	return len(p.idle)
 }
 
-// Close closes all idle connections and fails subsequent calls.
-// Connections checked out by in-flight calls are closed as they return.
+// Close closes all idle connections and fails subsequent Gets with
+// ErrPoolClosed. It is idempotent, and connections checked out by in-flight
+// calls are closed as they return.
 func (p *Pool) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
 	p.closed = true
-	for _, cl := range p.idle {
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, cl := range idle {
 		cl.Close()
 	}
-	p.idle = nil
 }

@@ -15,6 +15,7 @@ package rpcnet
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -220,25 +221,79 @@ func DialTimeout(addr string, dialTimeout, callTimeout time.Duration) (*Client, 
 // from the handler is returned as a *RemoteError with the server's message;
 // any other error means the connection is now closed.
 func (c *Client) Call(msgType uint8, payload []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), msgType, payload)
+}
+
+// CallContext is Call with per-call cancellation and deadline control. The
+// effective deadline is the earlier of the client's configured call timeout
+// and the context's deadline; cancelling the context interrupts an in-flight
+// round trip. Because interruption leaves the frame boundary unknown, a
+// cancelled or expired call poisons the connection like any transport error,
+// and the returned error wraps ctx.Err() so callers can test it with
+// errors.Is(err, context.Canceled / context.DeadlineExceeded).
+func (c *Client) CallContext(ctx context.Context, msgType uint8, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
 		return nil, ErrServerClosed
 	}
+	if err := ctx.Err(); err != nil {
+		// Nothing was written: the connection is still clean, fail fast.
+		return nil, err
+	}
+	var deadline time.Time
+	ctxDeadline := false
 	if c.timeout > 0 {
-		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
-			return nil, c.poisonLocked(fmt.Errorf("rpcnet: deadline: %w", err))
+		deadline = time.Now().Add(c.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (deadline.IsZero() || d.Before(deadline)) {
+		deadline = d
+		ctxDeadline = true
+	}
+	// A zero deadline clears any bound left by a previous call.
+	if err := c.conn.SetDeadline(deadline); err != nil {
+		return nil, c.poisonLocked(fmt.Errorf("rpcnet: deadline: %w", err))
+	}
+	// Watch for cancellation: an immediate past deadline interrupts the
+	// blocked read/write. The conn handle is captured because poisonLocked
+	// may nil out c.conn while the watcher is live; net.Conn is safe for
+	// concurrent SetDeadline, and setting one on a closed conn only errors.
+	if done := ctx.Done(); done != nil {
+		conn := c.conn
+		stop := make(chan struct{})
+		watched := make(chan struct{})
+		go func() {
+			defer close(watched)
+			select {
+			case <-done:
+				conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() { close(stop); <-watched }()
+	}
+	ctxErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("%w (%v)", cerr, err)
 		}
+		// The connection deadline came from the context and fired a beat
+		// before the context's own timer flipped: still the context's
+		// deadline, report it as such.
+		var nerr net.Error
+		if ctxDeadline && errors.As(err, &nerr) && nerr.Timeout() {
+			return fmt.Errorf("%w (%v)", context.DeadlineExceeded, err)
+		}
+		return err
 	}
 	if err := writeFrame(c.bw, msgType, payload); err != nil {
-		return nil, c.poisonLocked(fmt.Errorf("rpcnet: write: %w", err))
+		return nil, c.poisonLocked(ctxErr(fmt.Errorf("rpcnet: write: %w", err)))
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, c.poisonLocked(fmt.Errorf("rpcnet: flush: %w", err))
+		return nil, c.poisonLocked(ctxErr(fmt.Errorf("rpcnet: flush: %w", err)))
 	}
 	status, resp, err := readFrame(c.br)
 	if err != nil {
-		return nil, c.poisonLocked(fmt.Errorf("rpcnet: read: %w", err))
+		return nil, c.poisonLocked(ctxErr(fmt.Errorf("rpcnet: read: %w", err)))
 	}
 	if status != 0 {
 		return nil, &RemoteError{Msg: string(resp)}

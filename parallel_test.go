@@ -1,6 +1,7 @@
 package ghba
 
 import (
+	"context"
 	"math/rand"
 	"strconv"
 	"sync"
@@ -19,7 +20,9 @@ func newParallelSim(t testing.TB, files, lookups int) (*Simulation, []string) {
 	for i := range paths {
 		paths[i] = "/par/f" + strconv.Itoa(i)
 	}
-	sim.CreateAll(paths)
+	if err := sim.CreateAll(context.Background(), paths); err != nil {
+		t.Fatal(err)
+	}
 	batch := make([]string, lookups)
 	for i := range batch {
 		batch[i] = paths[i%files]
@@ -37,7 +40,10 @@ func TestLookupParallelSingleWorkerMatchesSerial(t *testing.T) {
 	simA, batch := newParallelSim(t, 500, 1_500)
 	simB, _ := newParallelSim(t, 500, 1_500)
 
-	parallel := simA.LookupParallel(batch, 1)
+	parallel, err := LookupParallel(context.Background(), simA, batch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	rng := rand.New(rand.NewSource(workerSeed(simB.seed, 0)))
 	serial := make([]Result, len(batch))
@@ -66,7 +72,10 @@ func TestLookupParallelSingleWorkerMatchesSerial(t *testing.T) {
 // and the tallies account for every lookup.
 func TestLookupParallelManyWorkers(t *testing.T) {
 	sim, batch := newParallelSim(t, 500, 4_000)
-	results := sim.LookupParallel(batch, 8)
+	results, err := LookupParallel(context.Background(), sim, batch, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(results) != len(batch) {
 		t.Fatalf("got %d results for %d paths", len(results), len(batch))
 	}
@@ -101,18 +110,21 @@ func TestLookupParallelWithReconfig(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < 5; i++ {
-			id, _, err := sim.AddMDS()
+			id, _, err := sim.AddMDS(context.Background())
 			if err != nil {
 				t.Errorf("AddMDS: %v", err)
 				return
 			}
-			if err := sim.RemoveMDS(id); err != nil {
+			if err := sim.RemoveMDS(context.Background(), id); err != nil {
 				t.Errorf("RemoveMDS(%d): %v", id, err)
 				return
 			}
 		}
 	}()
-	results := sim.LookupParallel(batch, 4)
+	results, err := LookupParallel(context.Background(), sim, batch, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	wg.Wait()
 
 	for _, res := range results {
@@ -128,17 +140,23 @@ func TestLookupParallelWithReconfig(t *testing.T) {
 // TestLookupParallelEdgeCases covers empty input and worker clamping.
 func TestLookupParallelEdgeCases(t *testing.T) {
 	sim, _ := newParallelSim(t, 10, 10)
-	if res := sim.LookupParallel(nil, 4); res != nil {
+	if res, err := LookupParallel(context.Background(), sim, nil, 4); err != nil || res != nil {
 		t.Errorf("empty batch returned %v", res)
 	}
 	// More workers than paths: must clamp, not spawn idle goroutines that
 	// index past the batch.
-	res := sim.LookupParallel([]string{"/par/f1", "/par/f2"}, 16)
+	res, err := LookupParallel(context.Background(), sim, []string{"/par/f1", "/par/f2"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 2 || !res[0].Found || !res[1].Found {
 		t.Errorf("clamped run returned %+v", res)
 	}
 	// workers < 1 selects GOMAXPROCS.
-	res = sim.LookupParallel([]string{"/par/f3"}, 0)
+	res, err = LookupParallel(context.Background(), sim, []string{"/par/f3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(res) != 1 || !res[0].Found {
 		t.Errorf("default-worker run returned %+v", res)
 	}

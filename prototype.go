@@ -1,0 +1,183 @@
+package ghba
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ghba/internal/proto"
+)
+
+// PrototypeConfig describes a TCP-backed deployment: the shared Config plus
+// the knobs only the networked prototype has.
+type PrototypeConfig struct {
+	Config
+
+	// Mode selects the scheme: "ghba" (default) or the "hba" baseline.
+	Mode string
+	// ResidentReplicaLimit is how many replicas fit in one daemon's RAM;
+	// holdings beyond it pay DiskPenalty per query. Zero disables.
+	ResidentReplicaLimit int
+	// DiskPenalty is the emulated disk cost for over-RAM replica arrays.
+	DiskPenalty time.Duration
+	// CallTimeout is the per-RPC deadline. Zero selects the library
+	// default; negative disables deadlines entirely. Per-call contexts
+	// tighten (never loosen) this bound.
+	CallTimeout time.Duration
+	// ObserveBatch is how many confirmed lookups accumulate before the L1
+	// observation batch is multicast to every daemon. Zero selects 64; 1
+	// multicasts immediately, matching the simulation's per-lookup L1
+	// learning.
+	ObserveBatch int
+}
+
+// Prototype is the TCP Backend: N real MDS daemons on loopback ports (the
+// paper's Section 5 prototype), driven by a concurrent coordinator over
+// pooled connections. Lookups, creates and deletes are genuine socket
+// traffic; latencies include the real network stack.
+type Prototype struct {
+	cluster *proto.Cluster
+	seed    int64
+}
+
+// StartPrototype boots a TCP cluster from cfg. Callers must Close it.
+func StartPrototype(cfg PrototypeConfig) (*Prototype, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	mode := proto.ModeGHBA
+	switch cfg.Mode {
+	case "", "ghba":
+	case "hba":
+		mode = proto.ModeHBA
+	default:
+		return nil, &ConfigError{Field: "Mode", Reason: fmt.Sprintf("want %q or %q, got %q", "ghba", "hba", cfg.Mode)}
+	}
+	cluster, err := proto.Start(proto.Options{
+		N:                    cfg.NumMDS,
+		M:                    cfg.groupSize(),
+		Mode:                 mode,
+		Node:                 cfg.nodeConfig(),
+		ResidentReplicaLimit: cfg.ResidentReplicaLimit,
+		DiskPenalty:          cfg.DiskPenalty,
+		Seed:                 cfg.Seed,
+		CallTimeout:          cfg.CallTimeout,
+		ShipBatch:            cfg.ShipBatch,
+		ObserveBatch:         cfg.ObserveBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Prototype{cluster: cluster, seed: cfg.Seed}, nil
+}
+
+// Name identifies the backend in banners and bench records.
+func (p *Prototype) Name() string { return "tcp" }
+
+// Seed returns the seed the prototype was built with.
+func (p *Prototype) Seed() int64 { return p.seed }
+
+// NumMDS returns the current daemon count.
+func (p *Prototype) NumMDS() int { return p.cluster.NumMDS() }
+
+// MDSIDs returns the current daemon IDs in ascending order.
+func (p *Prototype) MDSIDs() []int { return p.cluster.MDSIDs() }
+
+// FileCount returns the number of files in the namespace.
+func (p *Prototype) FileCount() int { return p.cluster.FileCount() }
+
+// HomeOf returns path's ground-truth home MDS (-1 when absent).
+func (p *Prototype) HomeOf(path string) int { return p.cluster.HomeOf(path) }
+
+// Cluster exposes the underlying prototype coordinator for callers that
+// need its extra observability (RPC message counters, reset hooks).
+func (p *Prototype) Cluster() *proto.Cluster { return p.cluster }
+
+func protoResult(path string, res proto.LookupResult) Result {
+	return Result{
+		Path:    path,
+		Home:    res.Home,
+		Found:   res.Found,
+		Level:   res.Level,
+		Latency: res.Latency,
+	}
+}
+
+// Lookup resolves path over real RPCs, entering at a daemon drawn from the
+// cluster's internal RNG.
+func (p *Prototype) Lookup(ctx context.Context, path string) (Result, error) {
+	res, err := p.cluster.Lookup(ctx, path)
+	if err != nil {
+		return Result{}, err
+	}
+	return protoResult(path, res), nil
+}
+
+// LookupWith is Lookup with the entry drawn from the caller's RNG.
+func (p *Prototype) LookupWith(ctx context.Context, rng *rand.Rand, path string) (Result, error) {
+	res, err := p.cluster.LookupWith(ctx, rng, path)
+	if err != nil {
+		return Result{}, err
+	}
+	return protoResult(path, res), nil
+}
+
+// Apply dispatches one mixed-workload operation over the wire: creates home
+// files at RNG-chosen daemons (shipping XOR-delta replica updates when the
+// home's filter crosses the threshold), deletes unlink, lookups walk the
+// hierarchy.
+func (p *Prototype) Apply(ctx context.Context, op Op) (Result, error) {
+	res, err := p.cluster.Apply(ctx, op.record())
+	if err != nil {
+		return Result{}, err
+	}
+	return protoResult(op.Path, res), nil
+}
+
+// ApplyWith is Apply with a caller-supplied RNG. The draw pattern matches
+// the simulation's exactly, so a fixed-seed trace replays onto identical
+// homes on either backend.
+func (p *Prototype) ApplyWith(ctx context.Context, rng *rand.Rand, op Op) (Result, error) {
+	res, err := p.cluster.ApplyWith(ctx, rng, op.record())
+	if err != nil {
+		return Result{}, err
+	}
+	return protoResult(op.Path, res), nil
+}
+
+// CreateAll bulk-loads paths directly into the daemons (unmeasured) and
+// refreshes every replica, like the simulation's populate path.
+func (p *Prototype) CreateAll(_ context.Context, paths []string) error {
+	p.cluster.Populate(paths)
+	return nil
+}
+
+// Flush drains the coalescing ship queue over the wire.
+func (p *Prototype) Flush(ctx context.Context) error { return p.cluster.Flush(ctx) }
+
+// LevelCounts returns the cumulative lookups served at each level.
+func (p *Prototype) LevelCounts() [5]uint64 { return p.cluster.LevelCounts() }
+
+// ReplicaUpdates returns the replica-install messages the XOR-delta ship
+// path has sent.
+func (p *Prototype) ReplicaUpdates() uint64 { return p.cluster.ReplicaUpdates() }
+
+// Close shuts down every daemon and connection.
+func (p *Prototype) Close() error {
+	p.cluster.Close()
+	return nil
+}
+
+// AddMDS boots one new daemon and reconfigures the running cluster over
+// real RPCs, returning the new ID and the number of messages the operation
+// cost.
+func (p *Prototype) AddMDS(ctx context.Context) (id, replicasMigrated int, err error) {
+	return p.cluster.AddMDS(ctx)
+}
+
+// RemoveMDS is not yet implemented by the TCP prototype.
+func (p *Prototype) RemoveMDS(context.Context, int) error { return ErrUnsupported }
+
+// FailMDS is not yet implemented by the TCP prototype.
+func (p *Prototype) FailMDS(context.Context, int) (int, error) { return 0, ErrUnsupported }
