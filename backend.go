@@ -64,6 +64,24 @@ type Backend interface {
 	Close() error
 }
 
+// BatchApplier is the optional batch half of the backend contract: a
+// backend that dispatches a whole vector of operations per call, letting a
+// networked transport amortize syscalls, frame headers and digest work
+// across the vector. Both shipped backends implement it — the simulation as
+// a serial loop (it has no wire rounds to amortize), the prototype through
+// the batch RPCs (LookupBatch/ApplyBatch in internal/proto).
+type BatchApplier interface {
+	// ApplyBatch dispatches ops as one batch with the caller's RNG,
+	// returning per-op results in input order. The RNG draw pattern matches
+	// a serial ApplyWith loop over the same ops — one draw per create or
+	// lookup, none per delete — so fixed-seed runs home every file
+	// identically whichever path dispatches them.
+	ApplyBatch(ctx context.Context, rng *rand.Rand, ops []Op) ([]Result, error)
+	// LookupBatch resolves a vector of paths as one batch, drawing each
+	// path's entry from the caller's RNG in path order.
+	LookupBatch(ctx context.Context, rng *rand.Rand, paths []string) ([]Result, error)
+}
+
 // Reconfigurer is the dynamic-membership half of the backend contract.
 // Simulation supports all three operations; Prototype supports AddMDS and
 // returns ErrUnsupported for the others.
@@ -175,6 +193,64 @@ func ApplyParallel(ctx context.Context, b Backend, ops []Op, workers int) ([]Res
 	return results, nil
 }
 
+// ApplyParallelBatched is ApplyParallel with each worker dispatching its
+// chunk in batchSize vectors through the backend's BatchApplier instead of
+// op by op. The chunking, per-worker RNG seeds and within-chunk op order are
+// identical to ApplyParallel's, so the determinism contract carries over; a
+// backend without batch support (or batchSize ≤ 1) falls back to the per-op
+// path.
+func ApplyParallelBatched(ctx context.Context, b Backend, ops []Op, workers, batchSize int) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	ba, ok := b.(BatchApplier)
+	if !ok || batchSize <= 1 {
+		return ApplyParallel(ctx, b, ops, workers)
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ops) {
+		workers = len(ops)
+	}
+	results := make([]Result, len(ops))
+	errs := make([]error, workers)
+	chunk := (len(ops) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(ops) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(workerSeed(b.Seed(), w)))
+			for at := lo; at < hi; at += batchSize {
+				end := at + batchSize
+				if end > hi {
+					end = hi
+				}
+				res, err := ba.ApplyBatch(ctx, rng, ops[at:end])
+				if err != nil {
+					errs[w] = fmt.Errorf("worker %d, batch at op %d: %w", w, at, err)
+					return
+				}
+				copy(results[at:end], res)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 // fanOut chunks n items over workers goroutines, handing each worker its
 // own deterministically seeded RNG; worker 0's chunk starts at item 0, so a
 // one-worker fan-out is the serial loop.
@@ -219,4 +295,6 @@ var (
 	_ Backend      = (*Prototype)(nil)
 	_ Reconfigurer = (*Simulation)(nil)
 	_ Reconfigurer = (*Prototype)(nil)
+	_ BatchApplier = (*Simulation)(nil)
+	_ BatchApplier = (*Prototype)(nil)
 )

@@ -20,6 +20,16 @@
 //	ghbabench -replay -mix 70:20:10 -workers 4 -ops 100000 -n 30
 //	ghbabench -replay -backend tcp -ops 20000 -n 12   # same workload, real sockets
 //
+// -wire measures the wire protocol itself: the same mixed workload replays
+// against three identically populated TCP clusters — the classic
+// call-per-connection protocol, the multiplexed framed protocol dispatching
+// per op, and the multiplexed protocol dispatching -rpcbatch-op vectors
+// through the batch RPCs — and reports each phase's throughput, RPC count
+// and RPCs/op alongside the speedups over classic.
+//
+//	ghbabench -wire -files 5000 -workers 4 -ops 20000
+//	ghbabench -wire -files 5000 -workers 4 -rpcbatch 256
+//
 // Output is the textual equivalent of the paper's chart: the same series,
 // ready to diff against EXPERIMENTS.md.
 package main
@@ -50,6 +60,8 @@ func main() {
 		protoN     = flag.Int("proto-n", 20, "prototype daemon count (figs 14–15)")
 		throughput = flag.Bool("throughput", false, "measure parallel lookup throughput instead of a figure")
 		replay     = flag.Bool("replay", false, "measure mixed-workload replay throughput (serial vs parallel) instead of a figure")
+		wire       = flag.Bool("wire", false, "measure wire-protocol replay throughput (classic vs mux vs mux+batch) instead of a figure")
+		rpcBatch   = flag.Int("rpcbatch", 0, "ops per batch-RPC vector for -wire's batched phase (0 = default)")
 		workers    = flag.Int("workers", 1, "worker goroutines for -throughput / -replay")
 		lookups    = flag.Int("lookups", 100_000, "lookup count for -throughput")
 		files      = flag.Int("files", 20_000, "namespace size for -throughput / -replay")
@@ -74,6 +86,10 @@ func main() {
 			nn = 30
 		}
 		exitIf(runReplay(*backend, nn, *files, *ops, *workers, *shipBatch, *seed, *mix, jsonPath(*jsonOut, "BENCH_replay.json")))
+		return
+	}
+	if *wire {
+		exitIf(runWire(*n, *files, *ops, *workers, *shipBatch, *rpcBatch, *seed, *mix, jsonPath(*jsonOut, "BENCH_wire.json")))
 		return
 	}
 
@@ -188,6 +204,8 @@ func main() {
 
 // benchRecord is the perf-trajectory datum -throughput emits: one point of
 // (configuration, lookups/sec, ns/op, allocs/op) comparable across PRs.
+// CPUs records the machine's parallelism so numbers measured on differently
+// sized runners are not compared as like for like.
 type benchRecord struct {
 	Bench         string  `json:"bench"`
 	NumMDS        int     `json:"num_mds"`
@@ -195,6 +213,7 @@ type benchRecord struct {
 	Lookups       int     `json:"lookups"`
 	Workers       int     `json:"workers"`
 	Seed          int64   `json:"seed"`
+	CPUs          int     `json:"cpus"`
 	LookupsPerSec float64 `json:"lookups_per_sec"`
 	NsPerOp       float64 `json:"ns_per_op"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
@@ -281,6 +300,7 @@ func runThroughput(n, files, lookups, workers int, seed int64, jsonOut string) e
 		Lookups:       lookups,
 		Workers:       workers,
 		Seed:          seed,
+		CPUs:          runtime.NumCPU(),
 		LookupsPerSec: ops / elapsed.Seconds(),
 		NsPerOp:       float64(elapsed.Nanoseconds()) / ops,
 		AllocsPerOp:   float64(after.Mallocs-before.Mallocs) / ops,
@@ -399,6 +419,121 @@ func runReplay(backend string, n, files, ops, workers, shipBatch int, seed int64
 		L2Share:           res.LevelShares[2],
 		L3Share:           res.LevelShares[3],
 		L4Share:           res.LevelShares[4],
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", jsonOut, err)
+	}
+	fmt.Printf("  perf record    %s\n", jsonOut)
+	return nil
+}
+
+// wirePhaseRecord is one protocol configuration inside a wireRecord.
+type wirePhaseRecord struct {
+	Name      string            `json:"name"`
+	Transport string            `json:"transport"`
+	RPCBatch  int               `json:"rpc_batch"`
+	OpsPerSec float64           `json:"ops_per_sec"`
+	RPCs      uint64            `json:"rpcs"`
+	RPCsPerOp float64           `json:"rpcs_per_op"`
+	Speedup   float64           `json:"speedup"`
+	ByOpcode  map[string]uint64 `json:"by_opcode"`
+}
+
+// wireRecord is the perf-trajectory datum -wire emits: the same mixed
+// workload replayed over the classic call-per-connection protocol, the
+// multiplexed protocol per-op, and the multiplexed protocol through the
+// batch RPCs, with per-opcode RPC counts for each phase.
+type wireRecord struct {
+	Bench            string            `json:"bench"`
+	NumMDS           int               `json:"num_mds"`
+	GroupSize        int               `json:"group_size"`
+	Files            int               `json:"files"`
+	Ops              int               `json:"ops"`
+	Workers          int               `json:"workers"`
+	Mix              string            `json:"mix"`
+	ShipBatch        int               `json:"ship_batch"`
+	RPCBatch         int               `json:"rpc_batch"`
+	Seed             int64             `json:"seed"`
+	CPUs             int               `json:"cpus"`
+	ClassicOpsPerSec float64           `json:"classic_ops_per_sec"`
+	MuxOpsPerSec     float64           `json:"mux_ops_per_sec"`
+	BatchedOpsPerSec float64           `json:"batched_ops_per_sec"`
+	MuxSpeedup       float64           `json:"mux_speedup"`
+	BatchedSpeedup   float64           `json:"batched_speedup"`
+	ClassicRPCsPerOp float64           `json:"classic_rpcs_per_op"`
+	BatchedRPCsPerOp float64           `json:"batched_rpcs_per_op"`
+	RPCReduction     float64           `json:"rpc_reduction"`
+	Phases           []wirePhaseRecord `json:"phases"`
+}
+
+// runWire drives experiments.WireBench: classic versus mux versus
+// mux+batch over one mixed workload, real sockets in every phase.
+func runWire(n, files, ops, workers, shipBatch, rpcBatch int, seed int64, mix, jsonOut string) error {
+	var l, c, d float64
+	if _, err := fmt.Sscanf(mix, "%f:%f:%f", &l, &c, &d); err != nil {
+		return fmt.Errorf("parsing -mix %q (want lookup:create:delete, e.g. 70:20:10): %w", mix, err)
+	}
+	cfg := experiments.DefaultWireBenchConfig()
+	if n > 0 {
+		cfg.N = n
+		cfg.M = analysis.PaperOptimalM(n)
+	}
+	cfg.Files = uint64(files)
+	if ops > 0 {
+		cfg.Ops = ops
+	}
+	cfg.Workers = workers
+	cfg.Mix = [3]float64{l, c, d}
+	cfg.ShipBatch = shipBatch
+	if rpcBatch > 0 {
+		cfg.RPCBatch = rpcBatch
+	}
+	cfg.Seed = seed
+
+	res, err := experiments.WireBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatWireBench(res))
+	if jsonOut == "" {
+		return nil
+	}
+	rec := wireRecord{
+		Bench:            "ghbabench-wire",
+		NumMDS:           res.Config.N,
+		GroupSize:        res.Config.M,
+		Files:            files,
+		Ops:              res.Config.Ops,
+		Workers:          res.Config.Workers,
+		Mix:              mix,
+		ShipBatch:        res.Config.ShipBatch,
+		RPCBatch:         res.Config.RPCBatch,
+		Seed:             seed,
+		CPUs:             runtime.NumCPU(),
+		ClassicOpsPerSec: res.Phases[0].Stats.OpsPerSec,
+		MuxOpsPerSec:     res.Phases[1].Stats.OpsPerSec,
+		BatchedOpsPerSec: res.Phases[2].Stats.OpsPerSec,
+		MuxSpeedup:       res.MuxSpeedup,
+		BatchedSpeedup:   res.BatchedSpeedup,
+		ClassicRPCsPerOp: res.Phases[0].RPCsPerOp,
+		BatchedRPCsPerOp: res.Phases[2].RPCsPerOp,
+		RPCReduction:     res.RPCReduction,
+	}
+	for _, p := range res.Phases {
+		rec.Phases = append(rec.Phases, wirePhaseRecord{
+			Name:      p.Name,
+			Transport: p.Transport,
+			RPCBatch:  p.RPCBatch,
+			OpsPerSec: p.Stats.OpsPerSec,
+			RPCs:      p.RPCs,
+			RPCsPerOp: p.RPCsPerOp,
+			Speedup:   p.Speedup,
+			ByOpcode:  p.ByOpcode,
+		})
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -7,6 +7,8 @@
 //	ghbactl -mode hba -n 20 -add 5
 //	ghbactl -throughput -workers 8 -ops 5000
 //	ghbactl -replay -mix 70:20:10 -workers 4 -ops 5000
+//	ghbactl -replay -rpcbatch 256 -ops 5000        # vectorized batch RPCs
+//	ghbactl -transport classic -ops 2000           # pre-mux wire protocol
 //
 // -throughput switches the replay to the concurrent driver: the same
 // lookup batch runs through the parallel engine at worker counts doubling
@@ -48,6 +50,8 @@ func main() {
 		shipBatch  = flag.Int("shipbatch", 1, "coalescing ship-queue drain batch for -replay (1 = ship at every threshold crossing)")
 		workers    = flag.Int("workers", 8, "max parallel workers in -throughput / -replay mode")
 		timeout    = flag.Duration("call-timeout", 0, "per-RPC deadline (0 = library default, negative = none)")
+		transport  = flag.String("transport", "", "wire protocol: mux (default) or classic")
+		rpcBatch   = flag.Int("rpcbatch", 1, "ops per batch-RPC vector in -replay mode (1 = per-op dispatch)")
 	)
 	flag.Parse()
 	ctx := context.Background()
@@ -65,13 +69,15 @@ func main() {
 		ResidentReplicaLimit: *resid,
 		DiskPenalty:          *penalty,
 		CallTimeout:          *timeout,
+		Transport:            *transport,
 	})
 	exitIf(err)
 	defer cluster.Close()
-	fmt.Printf("ghbactl: %s cluster of %d daemons up\n", cluster.Cluster().Mode(), cluster.NumMDS())
+	fmt.Printf("ghbactl: %s cluster of %d daemons up (%s transport)\n",
+		cluster.Cluster().Mode(), cluster.NumMDS(), cluster.Transport())
 
 	if *replay {
-		runReplay(ctx, cluster, *files, *ops, *workers, *mix, *seed)
+		runReplay(ctx, cluster, *files, *ops, *workers, *rpcBatch, *mix, *seed)
 	} else {
 		paths := make([]string, *files)
 		for i := range paths {
@@ -94,8 +100,9 @@ func main() {
 }
 
 // runReplay feeds a mixed trace through the backend-level replay engine:
-// every create, delete and lookup is a real RPC conversation.
-func runReplay(ctx context.Context, cluster *ghba.Prototype, files, ops, workers int, mix string, seed int64) {
+// every create, delete and lookup is a real RPC conversation. With rpcBatch
+// > 1 the replay dispatches rpcBatch-op vectors through the batch RPCs.
+func runReplay(ctx context.Context, cluster *ghba.Prototype, files, ops, workers, rpcBatch int, mix string, seed int64) {
 	var l, c, d float64
 	if _, err := fmt.Sscanf(mix, "%f:%f:%f", &l, &c, &d); err != nil {
 		exitIf(fmt.Errorf("parsing -mix %q (want lookup:create:delete, e.g. 70:20:10): %w", mix, err))
@@ -115,7 +122,7 @@ func runReplay(ctx context.Context, cluster *ghba.Prototype, files, ops, workers
 		cluster.FileCount(), ops, mix, workers)
 
 	before := cluster.LevelCounts()
-	stats, err := experiments.ReplayParallel(ctx, cluster, tcfg, ops, workers)
+	stats, err := experiments.ReplayParallelBatched(ctx, cluster, tcfg, ops, workers, rpcBatch)
 	exitIf(err)
 	after := cluster.LevelCounts()
 

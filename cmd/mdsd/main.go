@@ -2,6 +2,12 @@
 // behind the rpcnet TCP protocol, the building block of the Section 5
 // prototype. Point ghbactl at its address to issue queries.
 //
+// One listener serves both wire protocols: connections opening with the
+// "GMX1" magic speak the multiplexed framed protocol (request-ID-tagged
+// frames pipelined over one socket, batch RPC opcodes included); all other
+// connections speak the classic one-call-at-a-time protocol, so old clients
+// keep working unchanged.
+//
 //	mdsd -id 0 -listen 127.0.0.1:7000
 //	mdsd -id 1 -listen 127.0.0.1:7001 -files 100000 -bits 16
 package main

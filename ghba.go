@@ -298,6 +298,27 @@ func (s *Simulation) ApplyWith(_ context.Context, rng *rand.Rand, op Op) (Result
 	return toResult(s.cluster.ApplyWith(rng, op.record())), nil
 }
 
+// ApplyBatch dispatches ops serially with rng. The simulation has no wire
+// rounds to amortize, so its batch path is exactly the serial loop — which
+// keeps the cross-backend determinism contract trivially intact.
+func (s *Simulation) ApplyBatch(_ context.Context, rng *rand.Rand, ops []Op) ([]Result, error) {
+	out := make([]Result, len(ops))
+	for i, op := range ops {
+		out[i] = toResult(s.cluster.ApplyWith(rng, op.record()))
+	}
+	return out, nil
+}
+
+// LookupBatch resolves paths serially with rng, one entry draw per path in
+// path order — the simulation twin of the prototype's batched lookup.
+func (s *Simulation) LookupBatch(_ context.Context, rng *rand.Rand, paths []string) ([]Result, error) {
+	out := make([]Result, len(paths))
+	for i, p := range paths {
+		out[i] = toResult(s.cluster.LookupWith(rng, p, -1))
+	}
+	return out, nil
+}
+
 // Flush drains the coalescing ship queue: every server whose filter
 // crossed the update threshold since the last drain ships its replicas now.
 // A no-op with the default ShipBatch of 1.

@@ -46,6 +46,17 @@ type System interface {
 	LevelCounts() [5]uint64
 }
 
+// BatchSystem is the optional vectorized dispatch surface — the replay
+// layer's mirror of ghba.BatchApplier. Both ghba backends satisfy it; the
+// raw scheme adapters do not, and fall back to per-op dispatch.
+type BatchSystem interface {
+	System
+	// ApplyBatch dispatches ops as one batch with the caller's RNG. The RNG
+	// draw pattern matches a serial ApplyWith loop over the same ops, so
+	// fixed-seed replays are identical whichever path dispatches them.
+	ApplyBatch(ctx context.Context, rng *rand.Rand, ops []ghba.Op) ([]ghba.Result, error)
+}
+
 // CoreSystem adapts a raw G-HBA scheme engine to the System contract, for
 // drivers that tune core.Config fields the facade does not expose.
 func CoreSystem(c *core.Cluster) System { return coreSys{c} }
@@ -277,6 +288,120 @@ func ReplayParallel(ctx context.Context, sys System, cfg trace.Config, totalOps,
 	// Lane errors carry the per-op root cause (worker, op, path); surface
 	// them ahead of a flush failure, which against a dead daemon is
 	// usually just the same fault seen twice.
+	for i := range lanes {
+		if err := lanes[i].err; err != nil {
+			if ferr := sys.Flush(ctx); ferr != nil {
+				err = errors.Join(err, fmt.Errorf("experiments: flushing after replay: %w", ferr))
+			}
+			return ReplayStats{Ops: totalOps, Workers: workers}, err
+		}
+	}
+	if err := sys.Flush(ctx); err != nil {
+		return ReplayStats{}, fmt.Errorf("experiments: flushing after replay: %w", err)
+	}
+	elapsed := time.Since(start)
+
+	stats := ReplayStats{Ops: totalOps, Workers: workers, Elapsed: elapsed}
+	var sum float64
+	for i := range lanes {
+		ls := &lanes[i]
+		sum += ls.sum
+		stats.Lookups += ls.lookups
+		stats.Creates += ls.creates
+		stats.Deletes += ls.deletes
+		stats.DeleteMisses += ls.deleteMisses
+	}
+	if stats.Lookups > 0 {
+		stats.MeanLookupLatency = time.Duration(sum / float64(stats.Lookups))
+	}
+	if elapsed > 0 {
+		stats.OpsPerSec = float64(totalOps) / elapsed.Seconds()
+	}
+	return stats, nil
+}
+
+// ReplayParallelBatched is ReplayParallel with each worker dispatching its
+// lane in batchSize vectors through the system's BatchSystem surface: many
+// trace records per wire round, so a networked backend amortizes syscalls,
+// frame headers and digests across the vector. Lane assignment, per-worker
+// RNG seeds and within-lane record order are identical to ReplayParallel's.
+// A system without batch support (or batchSize ≤ 1) falls back to the
+// per-op engine.
+func ReplayParallelBatched(ctx context.Context, sys System, cfg trace.Config, totalOps, workers, batchSize int) (ReplayStats, error) {
+	bs, ok := sys.(BatchSystem)
+	if !ok || batchSize <= 1 {
+		return ReplayParallel(ctx, sys, cfg, totalOps, workers)
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > totalOps && totalOps > 0 {
+		workers = totalOps
+	}
+	gens, err := trace.SplitGenerators(cfg, workers)
+	if err != nil {
+		return ReplayStats{}, err
+	}
+
+	type laneStats struct {
+		sum                            float64
+		lookups                        int
+		creates, deletes, deleteMisses int
+		err                            error
+	}
+	lanes := make([]laneStats, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		n := totalOps / workers
+		if w < totalOps%workers {
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := replayRNG(cfg.Seed, w)
+			gen := gens[w]
+			ls := &lanes[w]
+			recs := make([]trace.Record, 0, batchSize)
+			ops := make([]ghba.Op, 0, batchSize)
+			for done := 0; done < n; {
+				size := batchSize
+				if n-done < size {
+					size = n - done
+				}
+				recs, ops = recs[:0], ops[:0]
+				for i := 0; i < size; i++ {
+					rec := gen.Next()
+					recs = append(recs, rec)
+					ops = append(ops, ghba.TraceOp(rec))
+				}
+				results, err := bs.ApplyBatch(ctx, rng, ops)
+				if err != nil {
+					ls.err = fmt.Errorf("worker %d, batch at op %d: %w", w, done, err)
+					return
+				}
+				for i, res := range results {
+					switch {
+					case res.Level > 0:
+						ls.sum += float64(res.Latency)
+						ls.lookups++
+					case recs[i].Op == trace.OpCreate:
+						ls.creates++
+					case res.Found:
+						ls.deletes++
+					default:
+						ls.deleteMisses++
+					}
+				}
+				done += size
+			}
+		}(w, n)
+	}
+	wg.Wait()
 	for i := range lanes {
 		if err := lanes[i].err; err != nil {
 			if ferr := sys.Flush(ctx); ferr != nil {

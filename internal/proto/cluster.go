@@ -47,6 +47,19 @@ func (m Mode) String() string {
 // coordinator.
 const DefaultCallTimeout = 10 * time.Second
 
+// Transport names for Options.Transport.
+const (
+	// TransportMux (the default) multiplexes every RPC to a daemon over one
+	// shared socket: request-ID-tagged frames, a single writer and reader
+	// goroutine per connection, and an in-flight window that pipelines calls
+	// instead of serializing them.
+	TransportMux = "mux"
+	// TransportClassic is the original call-per-connection protocol behind a
+	// per-daemon pool — kept selectable so the wire bench can measure the
+	// pre-mux path live.
+	TransportClassic = "classic"
+)
+
 // Options configures a prototype cluster.
 type Options struct {
 	// N is the number of MDS daemons.
@@ -86,6 +99,9 @@ type Options struct {
 	// multicasts immediately, matching the simulator's per-lookup L1
 	// learning (the cross-backend equivalence tests rely on this).
 	ObserveBatch int
+	// Transport selects the wire protocol: TransportMux (default when
+	// empty) or TransportClassic.
+	Transport string
 }
 
 func (o *Options) validate() error {
@@ -97,6 +113,9 @@ func (o *Options) validate() error {
 	}
 	if o.Mode != ModeGHBA && o.Mode != ModeHBA {
 		return fmt.Errorf("proto: unknown mode %d", int(o.Mode))
+	}
+	if o.Transport != "" && o.Transport != TransportMux && o.Transport != TransportClassic {
+		return fmt.Errorf("proto: unknown transport %q", o.Transport)
 	}
 	return nil
 }
@@ -151,60 +170,82 @@ type Cluster struct {
 	pendingObs []observation
 	obsBatch   int
 
+	// useMux is true when the cluster rides the multiplexed transport; the
+	// L4 scatter-gather cancels losing probes only then, because abandoning
+	// a classic pooled call poisons its connection.
+	useMux bool
+
 	tally        metrics.LevelTally
 	messages     atomic.Uint64
 	replicaShips atomic.Uint64
+	rpcByOp      [len(opNames)]atomic.Uint64
 }
 
-// connSet owns the coordinator's per-daemon connection pools. It is
+// caller is the per-daemon connection surface the coordinator drives: the
+// classic per-call connection pool and the multiplexed client both satisfy
+// it, which is all the transport switch amounts to above the rpcnet layer.
+type caller interface {
+	CallContext(ctx context.Context, msgType uint8, payload []byte) ([]byte, error)
+	Close()
+}
+
+// connSet owns the coordinator's per-daemon connections. It is
 // deliberately independent of Cluster.mu so reconfiguration can issue RPCs
 // to a daemon (including a half-joined newcomer) while holding the
 // membership write lock.
 type connSet struct {
 	callTimeout time.Duration // ≤ 0 disables per-call deadlines
+	mux         bool
 
 	mu    sync.Mutex
-	pools map[int]*rpcnet.Pool
+	conns map[int]caller
 }
 
-func newConnSet(callTimeout time.Duration) *connSet {
-	return &connSet{callTimeout: callTimeout, pools: make(map[int]*rpcnet.Pool)}
+func newConnSet(callTimeout time.Duration, mux bool) *connSet {
+	return &connSet{callTimeout: callTimeout, mux: mux, conns: make(map[int]caller)}
 }
 
-// register creates (or replaces) the pool for a daemon.
+// register creates (or replaces) the connection for a daemon.
 func (cs *connSet) register(id int, addr string) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	if cs.pools == nil {
+	if cs.conns == nil {
 		return // closed
 	}
-	if old, ok := cs.pools[id]; ok {
+	if old, ok := cs.conns[id]; ok {
 		old.Close()
 	}
 	timeout := cs.callTimeout
 	if timeout < 0 {
 		timeout = 0
 	}
-	cs.pools[id] = rpcnet.NewPool(addr, rpcnet.PoolOptions{
-		DialTimeout: timeout,
-		CallTimeout: timeout,
-	})
-}
-
-// unregister drops a daemon's pool (failed join, removal).
-func (cs *connSet) unregister(id int) {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	if p, ok := cs.pools[id]; ok {
-		p.Close()
-		delete(cs.pools, id)
+	if cs.mux {
+		cs.conns[id] = rpcnet.NewMuxClient(addr, rpcnet.MuxOptions{
+			DialTimeout: timeout,
+			CallTimeout: timeout,
+		})
+	} else {
+		cs.conns[id] = rpcnet.NewPool(addr, rpcnet.PoolOptions{
+			DialTimeout: timeout,
+			CallTimeout: timeout,
+		})
 	}
 }
 
-func (cs *connSet) pool(id int) (*rpcnet.Pool, error) {
+// unregister drops a daemon's connection (failed join, removal).
+func (cs *connSet) unregister(id int) {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	p, ok := cs.pools[id]
+	if p, ok := cs.conns[id]; ok {
+		p.Close()
+		delete(cs.conns, id)
+	}
+}
+
+func (cs *connSet) conn(id int) (caller, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	p, ok := cs.conns[id]
 	if !ok {
 		return nil, fmt.Errorf("proto: unknown MDS %d", id)
 	}
@@ -214,10 +255,10 @@ func (cs *connSet) pool(id int) (*rpcnet.Pool, error) {
 func (cs *connSet) closeAll() {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
-	for _, p := range cs.pools {
+	for _, p := range cs.conns {
 		p.Close()
 	}
-	cs.pools = nil
+	cs.conns = nil
 }
 
 // nodeServerOptions maps cluster options onto one daemon's.
@@ -244,6 +285,7 @@ func Start(opts Options) (*Cluster, error) {
 	if obsBatch <= 0 {
 		obsBatch = 64
 	}
+	useMux := opts.Transport != TransportClassic
 	c := &Cluster{
 		opts:     opts,
 		servers:  make(map[int]*NodeServer),
@@ -251,10 +293,11 @@ func Start(opts Options) (*Cluster, error) {
 		holders:  make(map[int]map[int]int),
 		homes:    make(map[string]int),
 		ships:    shipq.New(opts.ShipBatch),
-		conns:    newConnSet(callTimeout),
+		conns:    newConnSet(callTimeout, useMux),
 		rng:      rand.New(rand.NewSource(opts.Seed)),
 		obsBatch: obsBatch,
 		nextID:   opts.N,
+		useMux:   useMux,
 	}
 	for i := 0; i < opts.N; i++ {
 		node, err := mds.NewNode(i, opts.Node)
@@ -398,11 +441,40 @@ func (c *Cluster) Mode() Mode { return c.opts.Mode }
 // Seed returns the seed the cluster's own RNG was built from.
 func (c *Cluster) Seed() int64 { return c.opts.Seed }
 
+// Transport returns the wire protocol in use (TransportMux or
+// TransportClassic).
+func (c *Cluster) Transport() string {
+	if c.useMux {
+		return TransportMux
+	}
+	return TransportClassic
+}
+
 // Messages returns the total RPC messages issued by the coordinator.
 func (c *Cluster) Messages() uint64 { return c.messages.Load() }
 
 // ResetMessages zeroes the message counter between experiment phases.
 func (c *Cluster) ResetMessages() { c.messages.Store(0) }
+
+// RPCCounts returns the cumulative RPCs issued per message type, keyed by
+// wire name — the per-opcode evidence behind the wire bench's
+// RPCs-per-operation numbers. Types never issued are omitted.
+func (c *Cluster) RPCCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	for op := range c.rpcByOp {
+		if n := c.rpcByOp[op].Load(); n > 0 {
+			out[opName(uint8(op))] = n
+		}
+	}
+	return out
+}
+
+// ResetRPCCounts zeroes the per-opcode counters between experiment phases.
+func (c *Cluster) ResetRPCCounts() {
+	for op := range c.rpcByOp {
+		c.rpcByOp[op].Store(0)
+	}
+}
 
 // ReplicaUpdates returns the number of replica-install messages the
 // XOR-delta ship path has sent — the traffic the coalescing queue
@@ -437,15 +509,18 @@ func (c *Cluster) Close() {
 // reconfiguration, keeping per-operation counts exact even while other
 // operations are in flight.
 func (c *Cluster) call(ctx context.Context, id int, msgType uint8, payload []byte, ctr *atomic.Int64) ([]byte, error) {
-	pool, err := c.conns.pool(id)
+	conn, err := c.conns.conn(id)
 	if err != nil {
 		return nil, err
 	}
 	c.messages.Add(1)
+	if int(msgType) < len(c.rpcByOp) {
+		c.rpcByOp[msgType].Add(1)
+	}
 	if ctr != nil {
 		ctr.Add(1)
 	}
-	return pool.CallContext(ctx, msgType, payload)
+	return conn.CallContext(ctx, msgType, payload)
 }
 
 // Populate homes paths at random daemons (direct, unmeasured) and refreshes
@@ -623,8 +698,19 @@ func (c *Cluster) LookupParallel(ctx context.Context, paths []string, workers in
 // its delivery does not cost the others theirs: the batch still reaches
 // every reachable daemon and the failures are reported joined.
 func (c *Cluster) observe(ctx context.Context, path string, home int) error {
+	return c.observeMany(ctx, []observation{{home: home, path: path}})
+}
+
+// observeMany bulk-appends a vector's worth of L1 learning records and
+// multicasts at most once: however far past ObserveBatch the append lands,
+// the whole accumulation flushes as a single batch, so a large lookup
+// vector pays one multicast instead of one per ObserveBatch lookups.
+func (c *Cluster) observeMany(ctx context.Context, obs []observation) error {
+	if len(obs) == 0 {
+		return nil
+	}
 	c.obsMu.Lock()
-	c.pendingObs = append(c.pendingObs, observation{home: home, path: path})
+	c.pendingObs = append(c.pendingObs, obs...)
 	if len(c.pendingObs) < c.obsBatch {
 		c.obsMu.Unlock()
 		return nil
@@ -769,8 +855,24 @@ func (c *Cluster) multicastQuery(ctx context.Context, members []int, entry int, 
 }
 
 // globalSearch asks every daemon (minus the entry) whether it homes path.
+//
+// On the mux transport the fan-out is a true scatter-gather round: exactly
+// one daemon — the path's home — can answer positive (an opHasLocal positive
+// is an authoritative store check, not a filter guess), so the first
+// positive is decisive and cancels the remaining probes. An abandoned mux
+// call is discarded by request ID without harming the shared connection;
+// the classic transport poisons a cancelled pooled connection, so there the
+// gather runs to completion instead.
 func (c *Cluster) globalSearch(ctx context.Context, path string, entry int, ctr *atomic.Int64) (int, error) {
 	ids := c.snapshotIDs()
+	searchCtx := ctx
+	cancelRest := func() {}
+	if c.useMux {
+		var cancel context.CancelFunc
+		searchCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		cancelRest = cancel
+	}
 	type answer struct {
 		id  int
 		has bool
@@ -785,26 +887,41 @@ func (c *Cluster) globalSearch(ctx context.Context, path string, entry int, ctr 
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			resp, err := c.call(ctx, id, opHasLocal, []byte(path), ctr)
-			answers <- answer{id: id, has: err == nil && byteBool(resp), err: err}
+			resp, err := c.call(searchCtx, id, opHasLocal, []byte(path), ctr)
+			has := err == nil && byteBool(resp)
+			if has {
+				cancelRest()
+			}
+			answers <- answer{id: id, has: has, err: err}
 		}(id)
 	}
 	// The entry checks itself locally too (no extra message: it is the
 	// server driving the query; count one self-check call for symmetry
 	// with the simulator's accounting).
 	selfResp, selfErr := c.call(ctx, entry, opHasLocal, []byte(path), ctr)
+	if selfErr == nil && byteBool(selfResp) {
+		cancelRest()
+	}
 	wg.Wait()
 	close(answers)
 	if selfErr == nil && byteBool(selfResp) {
 		return entry, nil
 	}
+	home := -1
+	var firstErr error
 	for a := range answers {
-		if a.err != nil {
-			return -1, a.err
-		}
 		if a.has {
-			return a.id, nil
+			home = a.id
+		} else if a.err != nil && firstErr == nil {
+			firstErr = a.err
 		}
 	}
-	return -1, nil
+	if home >= 0 {
+		// Losing probes cancelled by the winner are expected, not failures.
+		return home, nil
+	}
+	if selfErr != nil {
+		return -1, selfErr
+	}
+	return -1, firstErr
 }

@@ -31,7 +31,133 @@ const (
 	opPing                            // membership/IDBFA-update stand-in → ack
 	opCreateFile                      // path → 1 byte: filter crossed the XOR-delta ship threshold
 	opDeleteFile                      // path → 2 bytes: existed, local filter rebuilt
+
+	// Batch RPCs: one frame carries a vector of paths, amortizing syscalls,
+	// frame headers and digest computation across the whole vector. They
+	// ride the mux transport's pipelining, but are legal (if pointless) over
+	// the classic protocol too.
+	opLookupBatch      // paths → per path: L1 hits + L2 hits (entry leg)
+	opQueryMemberBatch // paths → per path: L2 hits (group multicast leg)
+	opVerifyBatch      // paths → per path: 1/0 authoritative answer
+	opHasLocalBatch    // paths → per path: 1/0 local-filter + store check
+	opCreateBatch      // paths → 1 byte: filter crossed the ship threshold after the batch
+	opDeleteBatch      // paths → per path existed byte, then 1 rebuilt byte
 )
+
+// opNames labels each RPC type for the per-op counters the wire bench
+// reports; index = opcode.
+var opNames = [...]string{
+	opQueryEntry:       "query_entry",
+	opQueryMember:      "query_member",
+	opVerify:           "verify",
+	opHasLocal:         "has_local",
+	opAddFile:          "add_file",
+	opInstallReplica:   "install_replica",
+	opDropReplica:      "drop_replica",
+	opShipFilter:       "ship_filter",
+	opObserve:          "observe",
+	opObserveBatch:     "observe_batch",
+	opPing:             "ping",
+	opCreateFile:       "create_file",
+	opDeleteFile:       "delete_file",
+	opLookupBatch:      "lookup_batch",
+	opQueryMemberBatch: "query_member_batch",
+	opVerifyBatch:      "verify_batch",
+	opHasLocalBatch:    "has_local_batch",
+	opCreateBatch:      "create_batch",
+	opDeleteBatch:      "delete_batch",
+}
+
+// opName returns the label of one RPC type.
+func opName(op uint8) string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op_%d", op)
+}
+
+// encodePaths serializes a path vector: count uint32, then per path
+// len uint16 | bytes.
+func encodePaths(paths []string) []byte {
+	size := 4
+	for _, p := range paths {
+		size += 2 + len(p)
+	}
+	buf := make([]byte, 0, size)
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(paths)))
+	buf = append(buf, tmp[:4]...)
+	for _, p := range paths {
+		binary.BigEndian.PutUint16(tmp[:2], uint16(len(p)))
+		buf = append(buf, tmp[:2]...)
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// decodePaths parses a path vector.
+func decodePaths(data []byte) ([]string, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("proto: truncated path vector")
+	}
+	n := int(binary.BigEndian.Uint32(data))
+	data = data[4:]
+	// Each path costs at least its 2-byte length prefix; reject counts the
+	// remaining bytes cannot possibly carry before allocating for them.
+	if n > len(data)/2 {
+		return nil, fmt.Errorf("proto: path vector declares %d paths in %d bytes", n, len(data))
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 2 {
+			return nil, fmt.Errorf("proto: truncated path %d", i)
+		}
+		plen := int(binary.BigEndian.Uint16(data))
+		data = data[2:]
+		if len(data) < plen {
+			return nil, fmt.Errorf("proto: truncated path %d body", i)
+		}
+		out = append(out, string(data[:plen]))
+		data = data[plen:]
+	}
+	return out, nil
+}
+
+// decodeHitsVec parses n consecutive hit lists (the lookup/member batch
+// response bodies).
+func decodeHitsVec(data []byte, n int) ([][]int, error) {
+	out := make([][]int, n)
+	var err error
+	for i := 0; i < n; i++ {
+		if out[i], data, err = decodeHits(data); err != nil {
+			return nil, fmt.Errorf("proto: hit list %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// encodeBools packs one byte per answer.
+func encodeBools(bs []bool) []byte {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		if b {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// decodeBools parses an n-answer bool vector.
+func decodeBools(data []byte, n int) ([]bool, error) {
+	if len(data) != n {
+		return nil, fmt.Errorf("proto: bool vector wants %d bytes, got %d", n, len(data))
+	}
+	out := make([]bool, n)
+	for i, b := range data {
+		out[i] = b == 1
+	}
+	return out, nil
+}
 
 // decodeCreateResp parses an opCreateFile response: whether the origin's
 // filter drifted past the XOR-delta threshold and should ship.

@@ -245,6 +245,100 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 	case opPing:
 		return nil, nil
 
+	case opLookupBatch:
+		// The entry leg of a batched lookup: one digest per path, L1 and L2
+		// hits for the whole vector in one response — the per-frame costs
+		// (syscall, header, lock) amortize across the batch.
+		paths, err := decodePaths(payload)
+		if err != nil {
+			return nil, err
+		}
+		var out []byte
+		for _, p := range paths {
+			d := bloom.NewDigestString(p)
+			l1 := ns.node.QueryL1Digest(&d, ns.qbuf)
+			out = append(out, encodeHits(l1.Hits)...)
+			ns.qbuf = l1.Hits
+			ns.spilledSleep()
+			l2 := ns.node.QueryL2Digest(&d, ns.qbuf)
+			out = append(out, encodeHits(l2.Hits)...)
+			ns.qbuf = l2.Hits
+		}
+		return out, nil
+
+	case opQueryMemberBatch:
+		paths, err := decodePaths(payload)
+		if err != nil {
+			return nil, err
+		}
+		var out []byte
+		for _, p := range paths {
+			d := bloom.NewDigestString(p)
+			ns.spilledSleep()
+			l2 := ns.node.QueryL2Digest(&d, ns.qbuf)
+			out = append(out, encodeHits(l2.Hits)...)
+			ns.qbuf = l2.Hits
+		}
+		return out, nil
+
+	case opVerifyBatch:
+		paths, err := decodePaths(payload)
+		if err != nil {
+			return nil, err
+		}
+		answers := make([]bool, len(paths))
+		for i, p := range paths {
+			answers[i] = ns.node.HasFile(p)
+		}
+		return encodeBools(answers), nil
+
+	case opHasLocalBatch:
+		paths, err := decodePaths(payload)
+		if err != nil {
+			return nil, err
+		}
+		answers := make([]bool, len(paths))
+		for i, p := range paths {
+			d := bloom.NewDigestString(p)
+			if ns.node.LocalPositiveDigest(&d) {
+				answers[i] = ns.node.HasFile(p)
+			}
+		}
+		return encodeBools(answers), nil
+
+	case opCreateBatch:
+		paths, err := decodePaths(payload)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range paths {
+			ns.node.AddFile(p)
+		}
+		// One threshold answer for the whole batch: the coordinator's ship
+		// queue coalesces by origin anyway, so per-path flags would collapse
+		// to the same single Note.
+		return boolByte(ns.node.NeedsShip(ns.updateThresholdBits)), nil
+
+	case opDeleteBatch:
+		paths, err := decodePaths(payload)
+		if err != nil {
+			return nil, err
+		}
+		resp := make([]byte, len(paths)+1)
+		rebuilt := false
+		for i, p := range paths {
+			if ns.node.DeleteFile(p) {
+				resp[i] = 1
+				if ns.node.RebuildIfStale(ns.rebuildDeleteThreshold) {
+					rebuilt = true
+				}
+			}
+		}
+		if rebuilt {
+			resp[len(paths)] = 1
+		}
+		return resp, nil
+
 	default:
 		return nil, fmt.Errorf("proto: unknown message type %d", msgType)
 	}

@@ -97,9 +97,16 @@ func (p *Pool) Get() (*Client, error) {
 
 // Put returns a checked-out connection. Connections handed back after Close
 // (in-flight calls racing a shutdown) or beyond the idle cap are closed
-// instead of retained; both cases are safe, never a panic.
+// instead of retained; both cases are safe, never a panic. A connection
+// poisoned mid-call — by a transport error, a timeout, or a context
+// cancellation that interrupted its round trip — is dropped, never retained:
+// retaining it would hand a guaranteed-to-fail socket to a later caller.
 func (p *Pool) Put(cl *Client) {
 	if cl == nil {
+		return
+	}
+	if cl.Broken() {
+		cl.Close()
 		return
 	}
 	p.mu.Lock()

@@ -2,6 +2,7 @@ package rpcnet
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -144,6 +145,41 @@ func TestPoolConcurrentCalls(t *testing.T) {
 	}
 	if p.IdleConns() > 4 {
 		t.Errorf("idle = %d, exceeds MaxIdle 4", p.IdleConns())
+	}
+}
+
+// TestPoolPutDropsPoisonedConnection is the regression test for the
+// reuse-then-fail bug: a caller using the exported Get/Put surface could
+// hand back a connection poisoned by a context cancellation mid-call, and
+// the pool would retain it for a later caller to fail on. Put must drop
+// broken connections instead.
+func TestPoolPutDropsPoisonedConnection(t *testing.T) {
+	s := stallServer(t)
+	p := NewPool(s.Addr(), PoolOptions{})
+	defer p.Close()
+	cl, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := cl.CallContext(ctx, opStall, []byte("wedge")); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stalled call = %v, want DeadlineExceeded", err)
+	}
+	if !cl.Broken() {
+		t.Fatal("cancelled mid-call connection not marked broken")
+	}
+	p.Put(cl)
+	if p.IdleConns() != 0 {
+		t.Fatalf("idle = %d after putting a poisoned connection, want 0", p.IdleConns())
+	}
+	// The next checkout dials fresh and works.
+	resp, err := p.Call(1, []byte("fresh"))
+	if err != nil {
+		t.Fatalf("call after dropped poison: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("fresh")) {
+		t.Errorf("got %q", resp)
 	}
 }
 

@@ -108,6 +108,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	br := bufio.NewReader(conn)
+	// One port, two protocols: a mux client opens with a 4-byte magic that
+	// can never be a legal classic length prefix, so the first bytes decide
+	// which framing this connection speaks.
+	if magic, err := br.Peek(len(muxMagic)); err == nil && string(magic) == muxMagic {
+		br.Discard(len(muxMagic))
+		s.serveMuxConn(conn, br)
+		return
+	}
 	bw := bufio.NewWriter(conn)
 	for {
 		msgType, payload, err := readFrame(br)
@@ -309,6 +317,16 @@ func (c *Client) poisonLocked(err error) error {
 		c.conn = nil
 	}
 	return err
+}
+
+// Broken reports whether the connection has been poisoned (by a transport
+// error, a timeout, or a context cancellation mid-call) or closed. A broken
+// client can never carry another call; pools use this to drop, rather than
+// retain, connections handed back after such a failure.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn == nil
 }
 
 // Close closes the connection; subsequent calls fail.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ghba/internal/proto"
+	"ghba/internal/trace"
 )
 
 // PrototypeConfig describes a TCP-backed deployment: the shared Config plus
@@ -30,6 +31,11 @@ type PrototypeConfig struct {
 	// multicasts immediately, matching the simulation's per-lookup L1
 	// learning.
 	ObserveBatch int
+	// Transport selects the wire protocol: "mux" (default when empty) for
+	// the multiplexed framed protocol — one shared socket per daemon,
+	// pipelined request-ID-tagged frames — or "classic" for the original
+	// call-per-connection protocol behind per-daemon pools.
+	Transport string
 }
 
 // Prototype is the TCP Backend: N real MDS daemons on loopback ports (the
@@ -65,6 +71,7 @@ func StartPrototype(cfg PrototypeConfig) (*Prototype, error) {
 		CallTimeout:          cfg.CallTimeout,
 		ShipBatch:            cfg.ShipBatch,
 		ObserveBatch:         cfg.ObserveBatch,
+		Transport:            cfg.Transport,
 	})
 	if err != nil {
 		return nil, err
@@ -145,6 +152,44 @@ func (p *Prototype) ApplyWith(ctx context.Context, rng *rand.Rand, op Op) (Resul
 	}
 	return protoResult(op.Path, res), nil
 }
+
+// ApplyBatch dispatches a vector of operations through the batch RPCs: one
+// frame carries many paths, so syscalls, frame headers and digest work
+// amortize across the vector. The RNG draw pattern matches a serial
+// ApplyWith loop over the same ops, so fixed-seed runs home every file
+// identically on either path.
+func (p *Prototype) ApplyBatch(ctx context.Context, rng *rand.Rand, ops []Op) ([]Result, error) {
+	recs := make([]trace.Record, len(ops))
+	for i, op := range ops {
+		recs[i] = op.record()
+	}
+	res, err := p.cluster.ApplyBatch(ctx, rng, recs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = protoResult(ops[i].Path, r)
+	}
+	return out, nil
+}
+
+// LookupBatch resolves a vector of paths through the batch RPCs, drawing
+// each path's entry from rng in path order.
+func (p *Prototype) LookupBatch(ctx context.Context, rng *rand.Rand, paths []string) ([]Result, error) {
+	res, err := p.cluster.LookupBatch(ctx, rng, paths)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = protoResult(paths[i], r)
+	}
+	return out, nil
+}
+
+// Transport returns the wire protocol in use ("mux" or "classic").
+func (p *Prototype) Transport() string { return p.cluster.Transport() }
 
 // CreateAll bulk-loads paths directly into the daemons (unmeasured) and
 // refreshes every replica, like the simulation's populate path.
