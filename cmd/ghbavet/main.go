@@ -1,0 +1,59 @@
+// Command ghbavet runs the repo's custom static-analysis suite (see
+// internal/vet): lockcheck, detrand, ctxflow, and wireguard.
+//
+// Two modes share one binary:
+//
+//   - Vet tool: `go vet -vettool=$(which ghbavet) ./...` — go vet drives
+//     the analyzers package by package over the unitchecker protocol.
+//   - Standalone: `go run ./cmd/ghbavet ./...` — the binary re-executes
+//     `go vet -vettool=<self>` on the given patterns, so the two modes
+//     cannot drift apart.
+//
+// Exit status is non-zero when any analyzer reports a finding.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"ghba/internal/vet"
+	"golang.org/x/tools/go/analysis/unitchecker"
+)
+
+func main() {
+	// go vet drives the tool with flags only: `-V=full` for the version
+	// fingerprint, `-flags` to enumerate analyzer flags, then
+	// `-flag... <unit>.cfg` per package. A human passes package patterns.
+	// Anything flag-shaped therefore belongs to unitchecker — routing it
+	// to the re-exec path instead would recurse through go vet forever.
+	for _, arg := range os.Args[1:] {
+		if strings.HasPrefix(arg, "-") || strings.HasSuffix(arg, ".cfg") {
+			unitchecker.Main(vet.Analyzers...) // exits
+		}
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghbavet: locating own binary: %v\n", err)
+		os.Exit(2)
+	}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		var exit *exec.ExitError
+		if errors.As(err, &exit) {
+			os.Exit(exit.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "ghbavet: running go vet: %v\n", err)
+		os.Exit(2)
+	}
+}

@@ -90,7 +90,7 @@ func (c *Cluster) FailMDS(id int) (FailoverReport, error) {
 	c.lru.Forget(id)
 
 	// Groups merge if the shrink allows it, as after a graceful departure.
-	mergeRep := c.mergeWherePossible()
+	mergeRep := c.mergeWherePossibleLocked()
 	rep.Messages += mergeRep.Messages
 
 	c.msgs.Add(simnet.MsgMembership, uint64(rep.Messages))

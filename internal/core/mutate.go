@@ -38,25 +38,25 @@ func (l lockedRand) Intn(n int) int {
 func (c *Cluster) Create(path string) int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.createWith(lockedRand{c}, path)
+	return c.createWithLocked(lockedRand{c}, path)
 }
 
-// createWith is Create with a caller-supplied randomness source. Requires
+// createWithLocked is Create with a caller-supplied randomness source. Requires
 // c.mu (read suffices). The map entry and the node update commit together
 // under the path's shard lock, so a racing delete of the same path can
 // never strand the file in a node store that ground truth no longer knows.
-func (c *Cluster) createWith(r intner, path string) int {
+func (c *Cluster) createWithLocked(r intner, path string) int {
 	home := c.ids[r.Intn(len(c.ids))]
 	node := c.nodes[home]
 	c.homes.putThen(path, home, func() { node.AddFile(path) })
-	c.noteMutation(home)
+	c.noteMutationLocked(home)
 	return home
 }
 
-// noteMutation checks origin's XOR-delta drift and, past the threshold,
+// noteMutationLocked checks origin's XOR-delta drift and, past the threshold,
 // marks it dirty in the ship queue, draining inline when the batch fills.
 // Requires c.mu (read suffices).
-func (c *Cluster) noteMutation(origin int) {
+func (c *Cluster) noteMutationLocked(origin int) {
 	if !c.nodes[origin].NeedsShip(c.cfg.UpdateThresholdBits) {
 		return
 	}
@@ -77,15 +77,15 @@ func (c *Cluster) shipBatchLocked(origins []int) {
 func (c *Cluster) Delete(path string) bool {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	_, existed := c.deleteInner(path)
+	_, existed := c.deleteInnerLocked(path)
 	return existed
 }
 
-// deleteInner removes path, returning its pre-delete home (-1 when absent)
+// deleteInnerLocked removes path, returning its pre-delete home (-1 when absent)
 // and whether it existed. Requires c.mu (read suffices). The unlink runs
-// under the path's shard lock, paired with createWith/applyRecord, so
+// under the path's shard lock, paired with createWithLocked/applyRecord, so
 // create and delete of one path fully serialize.
-func (c *Cluster) deleteInner(path string) (int, bool) {
+func (c *Cluster) deleteInnerLocked(path string) (int, bool) {
 	var node *mds.Node
 	home, ok := c.homes.removeThen(path, func(home int) {
 		if n := c.nodes[home]; n != nil {
@@ -230,10 +230,10 @@ func (c *Cluster) applyRecord(r intner, rec trace.Record) LookupResult {
 		if _, inserted := c.homes.putIfAbsentThen(rec.Path, id, func() { node.AddFile(rec.Path) }); !inserted {
 			return c.lookupLocked(rec.Path, id, rec.At, true)
 		}
-		c.noteMutation(id)
+		c.noteMutationLocked(id)
 		return LookupResult{Path: rec.Path, Home: id, Found: true, Level: 0}
 	case trace.OpDelete:
-		home, existed := c.deleteInner(rec.Path)
+		home, existed := c.deleteInnerLocked(rec.Path)
 		return LookupResult{Path: rec.Path, Home: home, Found: existed, Level: 0}
 	default:
 		return c.lookupLocked(rec.Path, c.ids[r.Intn(len(c.ids))], rec.At, true)

@@ -24,7 +24,7 @@ func (c *Cluster) AddMDS() (int, group.Report, error) {
 		return 0, rep, fmt.Errorf("core: creating MDS %d: %w", id, err)
 	}
 
-	target := c.pickJoinGroup()
+	target := c.pickJoinGroupLocked()
 	if target != nil {
 		r, err := target.Join(node, len(c.nodes)+1)
 		if err != nil {
@@ -79,11 +79,11 @@ func (c *Cluster) AddMDS() (int, group.Report, error) {
 	return id, rep, nil
 }
 
-// pickJoinGroup returns the fullest group that still has room, or nil when
+// pickJoinGroupLocked returns the fullest group that still has room, or nil when
 // all groups are full. Joining the fullest group keeps the newcomer's
 // offload share near the paper's (N−M′)/(M′+1) bound; joining a tiny group
 // would make the newcomer absorb nearly half of that group's replicas.
-func (c *Cluster) pickJoinGroup() *group.Group {
+func (c *Cluster) pickJoinGroupLocked() *group.Group {
 	var best *group.Group
 	for _, g := range c.sortedGroupsLocked() {
 		if g.Size() >= c.cfg.MaxGroupSize {
@@ -152,16 +152,16 @@ func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 	c.lru.Forget(id)
 
 	// (4) Merge groups whose union now fits within M.
-	rep.Add(c.mergeWherePossible())
+	rep.Add(c.mergeWherePossibleLocked())
 
 	c.msgs.Add(simnet.MsgReplicaMigration, uint64(rep.ReplicasMigrated))
 	return rep, nil
 }
 
-// mergeWherePossible repeatedly merges the two smallest groups while their
+// mergeWherePossibleLocked repeatedly merges the two smallest groups while their
 // union fits within M, per Section 3.2 ("this process repeats until no
 // merging can be performed").
-func (c *Cluster) mergeWherePossible() group.Report {
+func (c *Cluster) mergeWherePossibleLocked() group.Report {
 	var rep group.Report
 	for {
 		groups := c.sortedGroupsLocked()

@@ -187,6 +187,9 @@ func (c *Cluster) createRun(ctx context.Context, recs []trace.Record, draws []in
 	}
 	wg.Wait()
 	if len(errs) > 0 {
+		// Goroutines appended under map-iteration fan-out; order the join
+		// deterministically so error text is seed-stable.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 		return errors.Join(errs...)
 	}
 	perLat := amortized(time.Since(start), len(idxs)-len(opens))
@@ -291,6 +294,9 @@ func (c *Cluster) deleteRun(ctx context.Context, recs []trace.Record, idxs []int
 	}
 	wg.Wait()
 	if len(errs) > 0 {
+		// Goroutines appended under map-iteration fan-out; order the join
+		// deterministically so error text is seed-stable.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 		return errors.Join(errs...)
 	}
 	perLat := amortized(time.Since(start), total)
@@ -376,6 +382,9 @@ func (c *Cluster) lookupVector(ctx context.Context, paths []string, entries []in
 		}
 		wg.Wait()
 		if len(errs) > 0 {
+			// Goroutines appended under map-iteration fan-out; order the join
+			// deterministically so error text is seed-stable.
+			sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 			return nil, errors.Join(errs...)
 		}
 	}
@@ -481,6 +490,9 @@ func (c *Cluster) lookupVector(ctx context.Context, paths []string, entries []in
 		}
 		wg.Wait()
 		if len(errs) > 0 {
+			// Goroutines appended under map-iteration fan-out; order the join
+			// deterministically so error text is seed-stable.
+			sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 			return nil, errors.Join(errs...)
 		}
 		candsL3 := make(map[int]int)
@@ -489,10 +501,14 @@ func (c *Cluster) lookupVector(ctx context.Context, paths []string, entries []in
 			if resolved[i] || len(unions[i]) != 1 {
 				continue
 			}
-			for h := range unions[i] {
-				candsL3[i] = h
-				pairs3 = append(pairs3, verifyPair{idx: i, daemon: h})
+			// unions[i] holds exactly one daemon here; extract it before
+			// appending so pairs3 never accumulates in map-iteration order.
+			var h int
+			for sole := range unions[i] {
+				h = sole
 			}
+			candsL3[i] = h
+			pairs3 = append(pairs3, verifyPair{idx: i, daemon: h})
 		}
 		ans3, err := c.verifyPairs(ctx, paths, pairs3, &msgs)
 		if err != nil {
@@ -592,6 +608,9 @@ func (c *Cluster) verifyPairs(ctx context.Context, paths []string, pairs []verif
 	}
 	wg.Wait()
 	if len(errs) > 0 {
+		// Goroutines appended under map-iteration fan-out; order the join
+		// deterministically so error text is seed-stable.
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
 		return nil, errors.Join(errs...)
 	}
 	return answers, nil

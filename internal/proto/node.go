@@ -177,7 +177,7 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 	case opCreateFile:
 		// The mutation and the threshold check happen in one request, so
 		// the coordinator learns whether to feed the ship queue without a
-		// second round trip — the networked twin of core.noteMutation.
+		// second round trip — the networked twin of core.noteMutationLocked.
 		ns.node.AddFile(string(payload))
 		return boolByte(ns.node.NeedsShip(ns.updateThresholdBits)), nil
 

@@ -55,7 +55,7 @@ func (c *Cluster) AddMDS(ctx context.Context) (int, int, error) {
 	case ModeHBA:
 		err = c.addHBA(ctx, id, &msgs)
 	case ModeGHBA:
-		err = c.addGHBA(ctx, id, &msgs)
+		err = c.addGHBALocked(ctx, id, &msgs)
 	}
 	if err != nil {
 		// Roll the coordinator's bookkeeping back to the pre-join state so
@@ -101,8 +101,8 @@ func (c *Cluster) addHBA(ctx context.Context, id int, msgs *atomic.Int64) error 
 	return nil
 }
 
-// addGHBA: join-with-room or split, then replica distribution.
-func (c *Cluster) addGHBA(ctx context.Context, id int, msgs *atomic.Int64) error {
+// addGHBALocked: join-with-room or split, then replica distribution.
+func (c *Cluster) addGHBALocked(ctx context.Context, id int, msgs *atomic.Int64) error {
 	gi := c.pickGroupWithRoom()
 	if gi >= 0 {
 		if err := c.joinGroup(ctx, gi, id, msgs); err != nil {

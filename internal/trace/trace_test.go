@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -276,7 +277,7 @@ func TestGeneratorPopularitySkewed(t *testing.T) {
 	for _, c := range counts {
 		freqs = append(freqs, c)
 	}
-	sortDesc(freqs)
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
 	top := len(freqs) / 10
 	if top == 0 {
 		top = 1
@@ -287,14 +288,6 @@ func TestGeneratorPopularitySkewed(t *testing.T) {
 	}
 	if frac := float64(topSum) / n; frac < 0.5 {
 		t.Errorf("top-decile access share %.2f, want ≥ 0.5 (skew broken)", frac)
-	}
-}
-
-func sortDesc(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j-1] < xs[j]; j-- {
-			xs[j-1], xs[j] = xs[j], xs[j-1]
-		}
 	}
 }
 

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"ghba/internal/vet/ctxflow"
+	"ghba/internal/vet/vettest"
+)
+
+func TestCtxflow(t *testing.T) {
+	vettest.Run(t, "testdata", ctxflow.Analyzer, "proto", "rpcnet")
+}

@@ -1,0 +1,73 @@
+// Package proto (fixture) exercises ctxflow below the API boundary: the
+// coordinator shapes mirror internal/proto.Cluster.
+package proto
+
+import (
+	"context"
+	"time"
+)
+
+type conn struct{}
+
+func (conn) CallContext(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+	return nil, nil
+}
+
+type Cluster struct {
+	conns conn
+}
+
+// call is the coordinator's single RPC funnel, like proto.(*Cluster).call.
+func (c *Cluster) call(ctx context.Context, id int, op uint8, payload []byte) ([]byte, error) {
+	return c.conns.CallContext(ctx, op, payload)
+}
+
+// The contract: ctx in, ctx forwarded.
+func (c *Cluster) Lookup(ctx context.Context, path string) error {
+	_, err := c.call(ctx, 0, 1, []byte(path))
+	return err
+}
+
+// Rule 1: a ctx parameter exists but a fresh root context goes down the
+// stack — the caller's deadline and cancellation are severed.
+func (c *Cluster) LookupDetached(ctx context.Context, path string) error {
+	_, err := c.call(context.Background(), 0, 1, []byte(path)) // want `LookupDetached has a context parameter but calls context\.Background`
+	return err
+}
+
+func (c *Cluster) LookupTodo(ctx context.Context, path string) error {
+	_, err := c.call(context.TODO(), 0, 1, []byte(path)) // want `LookupTodo has a context parameter but calls context\.TODO`
+	return err
+}
+
+// Rule 2: an exported RPC-issuing method with no way to cancel it.
+func (c *Cluster) Refresh() error { // want `exported method Refresh issues RPCs but has no context\.Context parameter`
+	_, err := c.call(context.Background(), 0, 2, nil)
+	return err
+}
+
+// Unexported helpers and RPC-free exported methods are not the boundary.
+func (c *Cluster) refresh() error {
+	_, err := c.call(context.Background(), 0, 2, nil)
+	return err
+}
+
+func (c *Cluster) NumMDS() int { return 1 }
+
+// Rule 3: a discarded cancel keeps every losing probe of the fan-out
+// running after the decisive answer.
+func (c *Cluster) fanout(ctx context.Context, ids []int) {
+	probeCtx, _ := context.WithCancel(ctx) // want `cancel from context\.WithCancel discarded`
+	for _, id := range ids {
+		go c.call(probeCtx, id, 3, nil)
+	}
+}
+
+// The shape the scatter-gather actually uses.
+func (c *Cluster) fanoutCancelled(ctx context.Context, ids []int) {
+	probeCtx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	for _, id := range ids {
+		go c.call(probeCtx, id, 3, nil)
+	}
+}

@@ -1,0 +1,27 @@
+// Package rpcnet (fixture): the transport layer's ctx-less Call wrappers
+// are documented compatibility adapters — rule 2 is scoped to proto, and
+// rule 1 never fires in a function with no ctx parameter to drop.
+package rpcnet
+
+import "context"
+
+type Client struct{}
+
+func (c *Client) CallContext(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+	return nil, nil
+}
+
+// Call is the legacy adapter: originating a root context here is the
+// documented boundary behavior, not a dropped caller context.
+func (c *Client) Call(op uint8, payload []byte) ([]byte, error) {
+	return c.CallContext(context.Background(), op, payload)
+}
+
+// But a transport helper holding a ctx must not fork a fresh root.
+func (c *Client) retry(ctx context.Context, op uint8, payload []byte) ([]byte, error) {
+	out, err := c.CallContext(context.Background(), op, payload) // want `retry has a context parameter but calls context\.Background`
+	if err != nil {
+		return c.CallContext(ctx, op, payload)
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"ghba/internal/vet/detrand"
+	"ghba/internal/vet/vettest"
+)
+
+func TestDetrand(t *testing.T) {
+	vettest.Run(t, "testdata", detrand.Analyzer, "core", "drivers")
+}

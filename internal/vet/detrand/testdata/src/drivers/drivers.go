@@ -1,0 +1,16 @@
+// Package drivers (fixture) proves detrand stays quiet outside the engine
+// packages: benchmarks and cmd/ binaries may use wall-clock seeds.
+package drivers
+
+import (
+	"math/rand"
+	"time"
+)
+
+func demoSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+func demoDraw() int {
+	return rand.Intn(10)
+}

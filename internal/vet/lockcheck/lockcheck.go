@@ -1,0 +1,301 @@
+// Package lockcheck enforces the repo's *Locked naming discipline.
+//
+// The engine packages document their locking convention in code: a method
+// suffixed "Locked" assumes the receiver's mu field is already held, and a
+// method that acquires mu pairs the acquire with a matching deferred
+// release. Six PRs of concurrency work rest on those comments; this
+// analyzer turns them into a build failure. Concretely:
+//
+//  1. A *Locked method must not Lock/Unlock/RLock/RUnlock its own
+//     receiver's mu — the caller holds it by contract. (Other mutex
+//     fields — rngMu, queueMu, homesMu — remain fair game: several
+//     *Locked helpers take finer locks internally.)
+//  2. A call x.fooLocked(...) must come either from another *Locked method
+//     on the same receiver, or from a scope that lexically acquired x.mu
+//     (Lock or RLock) before the call and has not released it. A function
+//     that constructs x itself (x := &T{...}) is exempt: the object is
+//     unpublished, so pre-concurrency initialization may call *Locked
+//     helpers lock-free, the way core.New and proto.Start seed state.
+//  3. An acquire immediately paired with a deferred release of the other
+//     kind (mu.Lock + defer mu.RUnlock, or mu.RLock + defer mu.Unlock) is
+//     flagged: it compiles, runs, and corrupts the lock state.
+//  4. Two acquires of the same mutex in one block with no release between
+//     them are flagged; a second RLock on the same RWMutex can deadlock
+//     against a writer queued between the two.
+//
+// The checks are lexical within one function body (no interprocedural
+// path analysis), which keeps them fast and predictable; suppress a false
+// positive with //ghbavet:ignore <reason>.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"ghba/internal/vet/vetutil"
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockcheck",
+	Doc:      "enforce the *Locked suffix contract: callers hold mu, helpers never re-acquire it",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// mutexEvent is one Lock/Unlock-family call site inside a function body.
+type mutexEvent struct {
+	pos      token.Pos
+	mutex    string // rendered lock expression, e.g. "c.mu"
+	method   string // Lock, Unlock, RLock, RUnlock
+	deferred bool
+	block    ast.Node // nearest enclosing block or case clause
+}
+
+func (e mutexEvent) acquire() bool { return e.method == "Lock" || e.method == "RLock" }
+
+func run(pass *analysis.Pass) (any, error) {
+	rep := vetutil.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil {
+			return
+		}
+		checkFunc(pass, rep, fd)
+	})
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, rep *vetutil.Reporter, fd *ast.FuncDecl) {
+	recvName := receiverName(fd)
+	isLockedFn := strings.HasSuffix(fd.Name.Name, "Locked")
+
+	events := collectMutexEvents(pass, fd.Body)
+	fresh := freshObjects(fd.Body)
+
+	// Rule 1: a *Locked method keeps its hands off its own mu.
+	if isLockedFn && recvName != "" {
+		own := recvName + ".mu"
+		for _, e := range events {
+			if e.mutex == own {
+				rep.Reportf(e.pos, "%s is suffixed Locked (caller holds %s) but calls %s.%s itself", fd.Name.Name, own, own, e.method)
+			}
+		}
+	}
+
+	// Rule 3 + 4: defer pairing and double acquisition, per block.
+	checkPairing(rep, events)
+
+	// Rule 2: every x.fooLocked(...) call needs the lock to be held.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+			return true
+		}
+		base := vetutil.RecvBase(sel.X)
+		if base == "" {
+			return true
+		}
+		// A *Locked method may call sibling *Locked helpers on the same
+		// receiver: the contract transfers.
+		if isLockedFn && base == recvName {
+			return true
+		}
+		// Constructors calling helpers on an object they just built are
+		// pre-concurrency by definition.
+		if fresh[base] {
+			return true
+		}
+		if !heldAt(events, base+".mu", call.Pos()) {
+			rep.Reportf(call.Pos(), "call to %s.%s without holding %s.mu (callers of *Locked methods must hold the lock or be *Locked themselves)", base, sel.Sel.Name, base)
+		}
+		return true
+	})
+}
+
+// receiverName returns the receiver identifier of a method, or "".
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// collectMutexEvents walks a body recording every mutex call with its
+// enclosing block, in positional order.
+func collectMutexEvents(pass *analysis.Pass, body *ast.BlockStmt) []mutexEvent {
+	var events []mutexEvent
+	var walk func(stmts []ast.Stmt, block ast.Node)
+	record := func(call *ast.CallExpr, deferred bool, block ast.Node) {
+		_, mutex, method, ok := vetutil.MutexMethod(pass.TypesInfo, call)
+		if !ok {
+			return
+		}
+		events = append(events, mutexEvent{pos: call.Pos(), mutex: mutex, method: method, deferred: deferred, block: block})
+	}
+	walk = func(stmts []ast.Stmt, block ast.Node) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case *ast.ExprStmt:
+				if call, isCall := s.X.(*ast.CallExpr); isCall {
+					record(call, false, block)
+				}
+			case *ast.DeferStmt:
+				record(s.Call, true, block)
+			case *ast.BlockStmt:
+				walk(s.List, s)
+			case *ast.IfStmt:
+				walk(s.Body.List, s.Body)
+				if s.Else != nil {
+					switch e := s.Else.(type) {
+					case *ast.BlockStmt:
+						walk(e.List, e)
+					case *ast.IfStmt:
+						walk([]ast.Stmt{e}, block)
+					}
+				}
+			case *ast.ForStmt:
+				walk(s.Body.List, s.Body)
+			case *ast.RangeStmt:
+				walk(s.Body.List, s.Body)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, isCase := c.(*ast.CaseClause); isCase {
+						walk(cc.Body, cc)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, isCase := c.(*ast.CaseClause); isCase {
+						walk(cc.Body, cc)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, isComm := c.(*ast.CommClause); isComm {
+						walk(cc.Body, cc)
+					}
+				}
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{s.Stmt}, block)
+			}
+		}
+	}
+	walk(body.List, body)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// heldAt reports whether mutex is lexically held at pos: the last
+// non-deferred event on it before pos is an acquire. Deferred releases run
+// at function exit and therefore never end a critical section mid-body.
+func heldAt(events []mutexEvent, mutex string, pos token.Pos) bool {
+	held := false
+	for _, e := range events {
+		if e.pos >= pos || e.mutex != mutex || e.deferred {
+			continue
+		}
+		held = e.acquire()
+	}
+	return held
+}
+
+// checkPairing flags mismatched defer releases (rule 3) and double
+// acquisition within one block (rule 4).
+func checkPairing(rep *vetutil.Reporter, events []mutexEvent) {
+	// Rule 3: a deferred release pairs with the nearest prior acquire of
+	// the same mutex; the kinds must match.
+	for i, e := range events {
+		if !e.deferred || e.acquire() {
+			continue
+		}
+		for j := i - 1; j >= 0; j-- {
+			prev := events[j]
+			if prev.mutex != e.mutex || prev.deferred || !prev.acquire() {
+				continue
+			}
+			want := map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}[prev.method]
+			if e.method != want {
+				rep.Reportf(e.pos, "defer %s.%s pairs with %s.%s above: mismatched lock kinds corrupt the RWMutex", e.mutex, e.method, e.mutex, prev.method)
+			}
+			break
+		}
+	}
+
+	// Rule 4: two acquires of one mutex in the same block with no release
+	// between them. Blocks keep if/else branches from cross-flagging.
+	type key struct {
+		block ast.Node
+		mutex string
+	}
+	lastAcquire := make(map[key]string)
+	for _, e := range events {
+		if e.deferred {
+			continue
+		}
+		k := key{e.block, e.mutex}
+		if e.acquire() {
+			if prev, held := lastAcquire[k]; held {
+				detail := "double acquisition deadlocks"
+				if prev == "RLock" && e.method == "RLock" {
+					detail = "a writer queued between the two RLocks deadlocks both"
+				}
+				rep.Reportf(e.pos, "%s.%s while %s is already held by %s in this block: %s", e.mutex, e.method, e.mutex, prev, detail)
+			}
+			lastAcquire[k] = e.method
+		} else {
+			delete(lastAcquire, k)
+		}
+	}
+}
+
+// freshObjects returns the identifiers assigned a composite literal (or
+// new(T)) in this body — objects the function itself constructed and has
+// not yet shared, exempt from the caller-holds-the-lock rule.
+func freshObjects(body *ast.BlockStmt) map[string]bool {
+	fresh := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				continue
+			}
+			if isFreshExpr(assign.Rhs[i]) {
+				fresh[id.Name] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isFreshExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, isLit := e.X.(*ast.CompositeLit)
+			return isLit
+		}
+	case *ast.CallExpr:
+		if id, isIdent := e.Fun.(*ast.Ident); isIdent && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"ghba/internal/vet/lockcheck"
+	"ghba/internal/vet/vettest"
+)
+
+func TestLockcheck(t *testing.T) {
+	vettest.Run(t, "testdata", lockcheck.Analyzer, "a", "regress")
+}

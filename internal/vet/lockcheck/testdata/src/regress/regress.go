@@ -1,0 +1,43 @@
+// Package regress reproduces the real pre-fix finding ghbavet surfaced in
+// this repo: internal/proto/reconfig.go's addGHBA helper called
+// c.groupOfLocked(id) without holding c.mu and without advertising the lock
+// contract in its own name — only its caller, AddMDS, actually held the
+// write lock. The fix (shipped alongside the analyzer) renamed the helper
+// addGHBALocked, so the contract is checked at every call site instead of
+// being a comment-level convention.
+package regress
+
+import "sync"
+
+type Cluster struct {
+	mu       sync.RWMutex
+	groupIdx map[int]int
+}
+
+// groupOfLocked mirrors proto.(*Cluster).groupOfLocked.
+func (c *Cluster) groupOfLocked(id int) int {
+	gi, ok := c.groupIdx[id]
+	if !ok {
+		return -1
+	}
+	return gi
+}
+
+// addGHBA is the pre-fix shape: the caller holds c.mu, but this helper's
+// name does not say so, so the *Locked call inside it is unprovable.
+func (c *Cluster) addGHBA(id int) int {
+	return c.groupOfLocked(id) // want `call to c\.groupOfLocked without holding c\.mu`
+}
+
+// addGHBALocked is the post-fix shape: the suffix states the contract, and
+// sibling *Locked calls on the same receiver are allowed.
+func (c *Cluster) addGHBALocked(id int) int {
+	return c.groupOfLocked(id)
+}
+
+// AddMDS is the caller: it holds the write lock across the helper.
+func (c *Cluster) AddMDS(id int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addGHBALocked(id)
+}

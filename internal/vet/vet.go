@@ -1,0 +1,33 @@
+// Package vet assembles ghbavet — the repo's custom go/analysis suite.
+//
+// Four analyzers mechanically enforce the conventions the concurrency,
+// determinism, and RPC work rests on:
+//
+//   - lockcheck: the *Locked suffix contract (callers hold mu; helpers
+//     never re-acquire it; defer pairing; no double-RLock)
+//   - detrand: engines draw randomness only from caller-supplied
+//     *rand.Rand values; no clock seeding; no map-order-dependent output
+//   - ctxflow: context.Context threads through every RPC path; no dropped
+//     cancellation below the API boundary
+//   - wireguard: every proto opcode is fully wired — names table,
+//     dispatch case, sender, round-trip test
+//
+// Run them via cmd/ghbavet: `go run ./cmd/ghbavet ./...` or
+// `go vet -vettool=$(which ghbavet) ./...`.
+package vet
+
+import (
+	"ghba/internal/vet/ctxflow"
+	"ghba/internal/vet/detrand"
+	"ghba/internal/vet/lockcheck"
+	"ghba/internal/vet/wireguard"
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers is the full ghbavet suite, in the order findings print.
+var Analyzers = []*analysis.Analyzer{
+	lockcheck.Analyzer,
+	detrand.Analyzer,
+	ctxflow.Analyzer,
+	wireguard.Analyzer,
+}

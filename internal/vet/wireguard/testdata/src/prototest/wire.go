@@ -1,0 +1,31 @@
+// Package proto (fixture, [test] variant) exercises wireguard's
+// round-trip-coverage check: with test files in the compilation unit, each
+// opcode must be referenced from one.
+package proto
+
+const (
+	opPing     uint8 = iota + 1
+	opUntested       // want `opcode opUntested has no round-trip or fuzz test referencing it`
+)
+
+var opNames = [...]string{
+	opPing:     "ping",
+	opUntested: "untested",
+}
+
+func dispatch(op uint8) string {
+	switch op {
+	case opPing:
+		return "pong"
+	case opUntested:
+		return "untested"
+	}
+	return "unknown"
+}
+
+func send(op uint8) {}
+
+func client() {
+	send(opPing)
+	send(opUntested)
+}

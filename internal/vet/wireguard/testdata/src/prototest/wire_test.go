@@ -1,0 +1,10 @@
+package proto
+
+import "testing"
+
+// TestPingRoundTrip covers opPing; nothing covers opUntested.
+func TestPingRoundTrip(t *testing.T) {
+	if dispatch(opPing) != "pong" {
+		t.Fatal("ping did not round-trip")
+	}
+}

@@ -1,0 +1,12 @@
+package wireguard_test
+
+import (
+	"testing"
+
+	"ghba/internal/vet/vettest"
+	"ghba/internal/vet/wireguard"
+)
+
+func TestWireguard(t *testing.T) {
+	vettest.Run(t, "testdata", wireguard.Analyzer, "proto", "prototest")
+}
