@@ -84,7 +84,8 @@ type BatchApplier interface {
 
 // Reconfigurer is the dynamic-membership half of the backend contract.
 // Simulation supports all three operations; Prototype supports AddMDS and
-// returns ErrUnsupported for the others.
+// FailMDS (plus crash/recover cycles via its own KillMDS/RestartMDS) and
+// returns ErrUnsupported for graceful RemoveMDS.
 type Reconfigurer interface {
 	// AddMDS grows the cluster by one server, returning the new ID and the
 	// number of Bloom-filter replicas migrated (messages, on the wire).

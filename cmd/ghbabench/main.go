@@ -30,6 +30,14 @@
 //	ghbabench -wire -files 5000 -workers 4 -ops 20000
 //	ghbabench -wire -files 5000 -workers 4 -rpcbatch 256
 //
+// -recovery measures the durability subsystem: time-to-recover for a
+// crashed daemon as a function of its WAL length and snapshot cadence, and
+// the lookup latency percentiles of a cluster that keeps serving while one
+// daemon crash-restarts under load.
+//
+//	ghbabench -recovery
+//	ghbabench -recovery -files 8000 -lookups 50000 -workers 4
+//
 // Output is the textual equivalent of the paper's chart: the same series,
 // ready to diff against EXPERIMENTS.md.
 package main
@@ -61,6 +69,8 @@ func main() {
 		throughput = flag.Bool("throughput", false, "measure parallel lookup throughput instead of a figure")
 		replay     = flag.Bool("replay", false, "measure mixed-workload replay throughput (serial vs parallel) instead of a figure")
 		wire       = flag.Bool("wire", false, "measure wire-protocol replay throughput (classic vs mux vs mux+batch) instead of a figure")
+		recovery   = flag.Bool("recovery", false, "measure WAL recovery time and lookup p99 during a daemon restart instead of a figure")
+		walSync    = flag.String("wal-sync", "always", "WAL fsync policy for -recovery: always, interval or never")
 		rpcBatch   = flag.Int("rpcbatch", 0, "ops per batch-RPC vector for -wire's batched phase (0 = default)")
 		workers    = flag.Int("workers", 1, "worker goroutines for -throughput / -replay")
 		lookups    = flag.Int("lookups", 100_000, "lookup count for -throughput")
@@ -90,6 +100,10 @@ func main() {
 	}
 	if *wire {
 		exitIf(runWire(*n, *files, *ops, *workers, *shipBatch, *rpcBatch, *seed, *mix, jsonPath(*jsonOut, "BENCH_wire.json")))
+		return
+	}
+	if *recovery {
+		exitIf(runRecovery(*n, *files, *lookups, *workers, *seed, *walSync, jsonPath(*jsonOut, "BENCH_recovery.json")))
 		return
 	}
 
@@ -533,6 +547,101 @@ func runWire(n, files, ops, workers, shipBatch, rpcBatch int, seed int64, mix, j
 			RPCsPerOp: p.RPCsPerOp,
 			Speedup:   p.Speedup,
 			ByOpcode:  p.ByOpcode,
+		})
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing %s: %w", jsonOut, err)
+	}
+	fmt.Printf("  perf record    %s\n", jsonOut)
+	return nil
+}
+
+// recoveryPointRecord is one (log length, snapshot cadence) → recovery time
+// measurement inside a recoveryRecord.
+type recoveryPointRecord struct {
+	LogRecords    int     `json:"log_records"`
+	SnapshotEvery int     `json:"snapshot_every"`
+	Replayed      int     `json:"replayed"`
+	Files         int     `json:"files"`
+	RecoveryNs    float64 `json:"recovery_ns"`
+}
+
+// recoveryRecord is the perf-trajectory datum -recovery emits: the
+// recovery-time series plus the lookup percentiles of a cluster serving
+// through one daemon's crash-restart.
+type recoveryRecord struct {
+	Bench             string                `json:"bench"`
+	NumMDS            int                   `json:"num_mds"`
+	Files             int                   `json:"files"`
+	Lookups           int                   `json:"lookups"`
+	Workers           int                   `json:"workers"`
+	WALSync           string                `json:"wal_sync"`
+	Seed              int64                 `json:"seed"`
+	CPUs              int                   `json:"cpus"`
+	Points            []recoveryPointRecord `json:"points"`
+	SteadyP50Ns       float64               `json:"steady_p50_ns"`
+	SteadyP99Ns       float64               `json:"steady_p99_ns"`
+	RestartP99Ns      float64               `json:"restart_p99_ns"`
+	RestartWindowNs   float64               `json:"restart_window_ns"`
+	RestartRecoveryNs float64               `json:"restart_recovery_ns"`
+	LookupErrors      int                   `json:"lookup_errors"`
+}
+
+// runRecovery drives experiments.RecoveryBench and reports recovery time
+// versus log length and snapshot cadence, plus restart-window lookup p99.
+func runRecovery(n, files, lookups, workers int, seed int64, walSync, jsonOut string) error {
+	cfg := experiments.DefaultRecoveryBenchConfig()
+	if n > 0 {
+		cfg.N = n
+		cfg.M = analysis.PaperOptimalM(n)
+	}
+	if files > 0 {
+		cfg.Files = files
+	}
+	if lookups > 0 {
+		cfg.Lookups = lookups
+	}
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	cfg.WALSync = walSync
+	cfg.Seed = seed
+
+	res, err := experiments.RecoveryBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatRecoveryBench(res))
+	if jsonOut == "" {
+		return nil
+	}
+	rec := recoveryRecord{
+		Bench:             "ghbabench-recovery",
+		NumMDS:            cfg.N,
+		Files:             cfg.Files,
+		Lookups:           res.Lookups,
+		Workers:           cfg.Workers,
+		WALSync:           walSync,
+		Seed:              seed,
+		CPUs:              runtime.NumCPU(),
+		SteadyP50Ns:       float64(res.SteadyP50.Nanoseconds()),
+		SteadyP99Ns:       float64(res.SteadyP99.Nanoseconds()),
+		RestartP99Ns:      float64(res.RestartP99.Nanoseconds()),
+		RestartWindowNs:   float64(res.RestartWindow.Nanoseconds()),
+		RestartRecoveryNs: float64(res.RestartRecovery.Nanoseconds()),
+		LookupErrors:      res.LookupErrors,
+	}
+	for _, p := range res.Points {
+		rec.Points = append(rec.Points, recoveryPointRecord{
+			LogRecords:    p.LogRecords,
+			SnapshotEvery: p.SnapshotEvery,
+			Replayed:      p.Replayed,
+			Files:         p.Files,
+			RecoveryNs:    float64(p.Recovery.Nanoseconds()),
 		})
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")

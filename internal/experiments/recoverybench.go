@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghba/internal/proto"
+	"ghba/internal/rpcnet"
+	"ghba/internal/trace"
+)
+
+// RecoveryBenchConfig parameterizes the durability benchmark: how long a
+// crashed daemon takes to recover as a function of its WAL tail length and
+// snapshot cadence, and what a daemon restart does to the lookup tail
+// latency of a cluster that keeps serving through it.
+type RecoveryBenchConfig struct {
+	// LogLens is the mutation counts whose recovery time is measured; each
+	// is the WAL tail a killed daemon replays when compaction is disabled.
+	LogLens []int
+	// SnapshotEverys is the compaction cadences crossed with the longest
+	// LogLen: a smaller cadence bounds the replayed tail, so recovery time
+	// should flatten as the cadence shrinks. Values < 0 disable compaction.
+	SnapshotEverys []int
+	// N is the daemon count and M the group size for the p99-during-restart
+	// phase; Files its namespace; Lookups its total lookup count; Workers
+	// its client goroutines.
+	N, M    int
+	Files   int
+	Lookups int
+	Workers int
+	// WALSync is the fsync policy for every phase ("always" default).
+	WALSync string
+	// DataDir roots the WAL directories; empty selects a temp dir that is
+	// removed afterwards.
+	DataDir string
+	// Seed drives placement and entry choice.
+	Seed int64
+}
+
+// DefaultRecoveryBenchConfig returns the configuration the checked-in
+// BENCH_recovery.json records.
+func DefaultRecoveryBenchConfig() RecoveryBenchConfig {
+	return RecoveryBenchConfig{
+		LogLens:        []int{1_000, 5_000, 20_000},
+		SnapshotEverys: []int{-1, 4_096, 512},
+		N:              6,
+		M:              3,
+		Files:          4_000,
+		Lookups:        20_000,
+		Workers:        4,
+		Seed:           1,
+	}
+}
+
+// RecoveryPoint is one (log length, snapshot cadence) → recovery time
+// measurement.
+type RecoveryPoint struct {
+	// LogRecords is how many mutations the daemon logged before the kill;
+	// SnapshotEvery its compaction cadence (< 0 disabled).
+	LogRecords    int
+	SnapshotEvery int
+	// Replayed is how many records recovery actually replayed (bounded by
+	// the cadence); Files the recovered file count.
+	Replayed int
+	Files    int
+	// Recovery is the wall-clock RestartMDS duration: log replay, filter
+	// rebuild, re-listen and replica rewiring.
+	Recovery time.Duration
+}
+
+// RecoveryBenchResult carries both phases.
+type RecoveryBenchResult struct {
+	Config RecoveryBenchConfig
+	// Points is the recovery-time series, in measurement order: LogLens
+	// with compaction disabled first, then the longest LogLen across
+	// SnapshotEverys.
+	Points []RecoveryPoint
+	// SteadyP50/SteadyP99 summarize lookup latency outside the restart
+	// window; RestartP99 inside it (kill → recovery complete). Lookups
+	// that failed despite retries are counted, not timed.
+	SteadyP50, SteadyP99, RestartP99 time.Duration
+	// RestartWindow is how long the daemon was down mid-run;
+	// RestartRecovery the RestartMDS portion of it.
+	RestartWindow   time.Duration
+	RestartRecovery time.Duration
+	// Lookups is the number of timed lookups; LookupErrors how many failed
+	// (crash-window casualties the retry policy could not ride out).
+	Lookups      int
+	LookupErrors int
+}
+
+// RecoveryBench measures both phases. The reproduced relationship is the
+// paper-adjacent durability story: recovery time grows with the replayed
+// log and is bounded by the snapshot cadence, while the serving cluster's
+// lookup p99 degrades only inside the restart window.
+func RecoveryBench(cfg RecoveryBenchConfig) (RecoveryBenchResult, error) {
+	if len(cfg.LogLens) == 0 || cfg.N < 2 || cfg.Lookups < 1 {
+		return RecoveryBenchResult{}, fmt.Errorf("experiments: bad recovery bench config %+v", cfg)
+	}
+	root := cfg.DataDir
+	if root == "" {
+		dir, err := os.MkdirTemp("", "ghba-recovery-*")
+		if err != nil {
+			return RecoveryBenchResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		root = dir
+	}
+	out := RecoveryBenchResult{Config: cfg}
+
+	// Phase 1: time-to-recover. One daemon pair per point (the victim plus
+	// one survivor so the cluster outlives the kill), logLen logged
+	// mutations, kill -9, timed restart.
+	longest := 0
+	for _, l := range cfg.LogLens {
+		if l > longest {
+			longest = l
+		}
+	}
+	run := func(i, logLen, snapEvery int) error {
+		p, err := recoveryPoint(fmt.Sprintf("%s/point-%d", root, i), logLen, snapEvery, cfg)
+		if err != nil {
+			return err
+		}
+		out.Points = append(out.Points, p)
+		return nil
+	}
+	i := 0
+	for _, logLen := range cfg.LogLens {
+		if err := run(i, logLen, -1); err != nil {
+			return out, err
+		}
+		i++
+	}
+	for _, snapEvery := range cfg.SnapshotEverys {
+		if snapEvery < 0 {
+			continue // the disabled cadence is the LogLens series above
+		}
+		if err := run(i, longest, snapEvery); err != nil {
+			return out, err
+		}
+		i++
+	}
+
+	// Phase 2: lookup p99 while a daemon restarts under load.
+	return out, restartLatency(&out, root+"/latency", cfg)
+}
+
+// recoveryPoint measures one timed recovery: a single daemon (so every
+// create lands in its log and the log holds exactly logLen records) is
+// loaded through the WAL-logged RPC path, crashed and timed through
+// RestartMDS.
+func recoveryPoint(dir string, logLen, snapEvery int, cfg RecoveryBenchConfig) (RecoveryPoint, error) {
+	cluster, err := proto.Start(proto.Options{
+		N:             1,
+		M:             1,
+		Mode:          proto.ModeGHBA,
+		Node:          protoNodeConfig(logLen*2+16, 1),
+		Seed:          cfg.Seed,
+		DataDir:       dir,
+		WALSync:       cfg.WALSync,
+		SnapshotEvery: snapEvery,
+	})
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	defer cluster.Close()
+	ctx := context.Background()
+	for f := 0; f < logLen; f++ {
+		if _, err := cluster.Apply(ctx, trace.Record{Op: trace.OpCreate, Path: fmt.Sprintf("/rec/f%d", f)}); err != nil {
+			return RecoveryPoint{}, err
+		}
+	}
+	victim := cluster.MDSIDs()[0]
+	if err := cluster.KillMDS(victim); err != nil {
+		return RecoveryPoint{}, err
+	}
+	start := time.Now()
+	rep, err := cluster.RestartMDS(ctx, victim)
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	return RecoveryPoint{
+		LogRecords:    logLen,
+		SnapshotEvery: snapEvery,
+		Replayed:      rep.Recovery.Replayed,
+		Files:         rep.Recovery.Files,
+		Recovery:      time.Since(start),
+	}, nil
+}
+
+// restartLatency runs the p99-during-restart phase.
+func restartLatency(out *RecoveryBenchResult, dir string, cfg RecoveryBenchConfig) error {
+	cluster, err := proto.Start(proto.Options{
+		N:       cfg.N,
+		M:       cfg.M,
+		Mode:    proto.ModeGHBA,
+		Node:    protoNodeConfig(cfg.Files*2, cfg.N),
+		Seed:    cfg.Seed,
+		DataDir: dir,
+		WALSync: cfg.WALSync,
+		Retry:   rpcnet.RetryPolicy{Attempts: 5, Backoff: 5 * time.Millisecond, MaxBackoff: 100 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	paths := make([]string, cfg.Files)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/lat/d%d/f%d", i%31, i)
+	}
+	cluster.Populate(paths)
+
+	type sample struct {
+		at      time.Duration // offset from phase start
+		latency time.Duration
+		err     bool
+	}
+	var (
+		samples    = make([][]sample, cfg.Workers)
+		dispatched atomic.Int64
+		wg         sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		n := cfg.Lookups / cfg.Workers
+		if w < cfg.Lookups%cfg.Workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := replayRNG(cfg.Seed, w)
+			for i := 0; i < n; i++ {
+				p := paths[rng.Intn(len(paths))]
+				t0 := time.Now()
+				_, err := cluster.LookupWith(context.Background(), rng, p)
+				samples[w] = append(samples[w], sample{at: t0.Sub(start), latency: time.Since(t0), err: err != nil})
+				dispatched.Add(1)
+			}
+		}(w, n)
+	}
+
+	// Mid-run, crash and restart one daemon in place. The restart window —
+	// kill through recovery complete — brackets the degraded samples.
+	var killAt, restoreAt time.Duration
+	half := int64(cfg.Lookups) / 2
+	for dispatched.Load() < half {
+		time.Sleep(time.Millisecond)
+	}
+	victim := cluster.MDSIDs()[len(cluster.MDSIDs())/2]
+	killAt = time.Since(start)
+	if err := cluster.KillMDS(victim); err != nil {
+		return err
+	}
+	r0 := time.Now()
+	if _, err := cluster.RestartMDS(context.Background(), victim); err != nil {
+		return err
+	}
+	out.RestartRecovery = time.Since(r0)
+	restoreAt = time.Since(start)
+	wg.Wait()
+
+	out.RestartWindow = restoreAt - killAt
+	var steady, window []time.Duration
+	for _, lane := range samples {
+		for _, s := range lane {
+			out.Lookups++
+			if s.err {
+				out.LookupErrors++
+				continue
+			}
+			if s.at >= killAt && s.at <= restoreAt {
+				window = append(window, s.latency)
+			} else {
+				steady = append(steady, s.latency)
+			}
+		}
+	}
+	out.SteadyP50 = percentile(steady, 0.50)
+	out.SteadyP99 = percentile(steady, 0.99)
+	out.RestartP99 = percentile(window, 0.99)
+	return nil
+}
+
+// percentile returns the q-quantile of ds (nearest-rank); zero when empty.
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// FormatRecoveryBench renders both phases.
+func FormatRecoveryBench(r RecoveryBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recovery — wal-sync=%s seed=%d\n", orDefault(r.Config.WALSync, "always"), r.Config.Seed)
+	fmt.Fprintf(&b, "  %10s  %14s  %9s  %8s  %12s\n", "log records", "snapshot every", "replayed", "files", "recovery")
+	for _, p := range r.Points {
+		cadence := "off"
+		if p.SnapshotEvery >= 0 {
+			cadence = fmt.Sprintf("%d", p.SnapshotEvery)
+		}
+		fmt.Fprintf(&b, "  %10d  %14s  %9d  %8d  %12v\n",
+			p.LogRecords, cadence, p.Replayed, p.Files, p.Recovery.Round(10*time.Microsecond))
+	}
+	fmt.Fprintf(&b, "  restart under load (N=%d, %d workers, %d lookups): window %v (recovery %v)\n",
+		r.Config.N, r.Config.Workers, r.Lookups,
+		r.RestartWindow.Round(time.Millisecond), r.RestartRecovery.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  lookup latency: steady p50 %v, steady p99 %v, restart-window p99 %v, %d errors\n",
+		r.SteadyP50.Round(10*time.Microsecond), r.SteadyP99.Round(10*time.Microsecond),
+		r.RestartP99.Round(10*time.Microsecond), r.LookupErrors)
+	return b.String()
+}

@@ -1,0 +1,229 @@
+package mds
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ghba/internal/metastore"
+	"ghba/internal/wal"
+)
+
+func testConfig() Config {
+	return Config{ExpectedFiles: 1000, BitsPerFile: 8, LRUCapacity: 64, LRUBitsPerFile: 8}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	n, err := NewNode(3, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.AddFileMeta(metastore.Metadata{Path: "/full", Size: 42, Mode: 0o755, UID: 7, GID: 8, MTime: time.Unix(100, 200)})
+	for i := 0; i < 50; i++ {
+		n.AddFile(fmt.Sprintf("/f/%d", i))
+	}
+	n.DeleteFile("/f/10")
+	n.Ship() // make lastShipped differ from a fresh filter
+
+	blob, err := n.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := NewNode(3, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.UnmarshalSnapshot(blob); err != nil {
+		t.Fatalf("UnmarshalSnapshot: %v", err)
+	}
+	if back.FileCount() != n.FileCount() {
+		t.Fatalf("file count %d, want %d", back.FileCount(), n.FileCount())
+	}
+	md, ok := back.Store().Get("/full")
+	if !ok || md.Size != 42 || md.Mode != 0o755 || md.UID != 7 || !md.MTime.Equal(time.Unix(100, 200)) {
+		t.Fatalf("metadata lost: (%+v, %v)", md, ok)
+	}
+	orig, _ := n.Store().Get("/full")
+	if md.InodeID != orig.InodeID {
+		t.Fatalf("inode changed: %d → %d", orig.InodeID, md.InodeID)
+	}
+	if back.DeletesSinceRebuild() != n.DeletesSinceRebuild() {
+		t.Fatalf("delete counter %d, want %d", back.DeletesSinceRebuild(), n.DeletesSinceRebuild())
+	}
+	// The deleted path's bits are still in the filter (no rebuild yet) but
+	// the store is authoritative either way.
+	if back.HasFile("/f/10") {
+		t.Fatal("deleted file resurrected")
+	}
+	if !back.LocalPositive("/f/11") {
+		t.Fatal("restored filter lost a live path")
+	}
+	// Drift tracking must survive: shipped == local at snapshot time.
+	if back.DeltaBits() != n.DeltaBits() {
+		t.Fatalf("delta bits %d, want %d", back.DeltaBits(), n.DeltaBits())
+	}
+	// Put after restore must extend, not reuse, the inode sequence.
+	back.AddFile("/new")
+	nmd, _ := back.Store().Get("/new")
+	if nmd.InodeID <= md.InodeID {
+		t.Fatalf("inode %d reused after restore (existing max ≥ %d)", nmd.InodeID, md.InodeID)
+	}
+}
+
+func TestSnapshotRejectsWrongID(t *testing.T) {
+	n, _ := NewNode(1, testConfig())
+	blob, err := n.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := NewNode(2, testConfig())
+	if err := other.UnmarshalSnapshot(blob); err == nil {
+		t.Fatal("snapshot for MDS 1 loaded into MDS 2")
+	}
+}
+
+func TestSnapshotRejectsDamage(t *testing.T) {
+	n, _ := NewNode(1, testConfig())
+	n.AddFile("/a")
+	blob, err := n.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *Node { m, _ := NewNode(1, testConfig()); return m }
+	for cut := 0; cut < len(blob); cut += 7 {
+		if err := fresh().UnmarshalSnapshot(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if err := fresh().UnmarshalSnapshot(append(append([]byte{}, blob...), 0xff)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestRecoverFreshDir(t *testing.T) {
+	n, l, info, err := Recover(5, testConfig(), t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if info.Files != 0 || info.Replayed != 0 || info.SnapshotSeq != 0 {
+		t.Fatalf("fresh dir recovery: %+v", info)
+	}
+	if n.ID() != 5 {
+		t.Fatalf("id = %d", n.ID())
+	}
+}
+
+func TestRecoverReplaysLogOverSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig()
+
+	// Life 1: create files, snapshot mid-stream, keep mutating, crash.
+	n, l, _, err := Recover(2, cfg, dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := func(r wal.Record) {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if r.Op == wal.OpCreate {
+			n.AddFile(r.Path)
+		} else {
+			n.DeleteFile(r.Path)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		apply(wal.Record{Op: wal.OpCreate, Path: fmt.Sprintf("/pre/%d", i)})
+	}
+	apply(wal.Record{Op: wal.OpDelete, Path: "/pre/4"})
+	blob, err := n.MarshalSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		apply(wal.Record{Op: wal.OpCreate, Path: fmt.Sprintf("/post/%d", i)})
+	}
+	apply(wal.Record{Op: wal.OpDelete, Path: "/pre/7"})
+	wantFiles := n.FileCount()
+	if err := l.Abandon(); err != nil { // crash, no clean close
+		t.Fatal(err)
+	}
+
+	// Life 2: recover and verify the merged state.
+	n2, l2, info, err := Recover(2, cfg, dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.SnapshotSeq != 1 || info.Replayed != 11 {
+		t.Fatalf("recovery info: %+v", info)
+	}
+	if info.Files != wantFiles || n2.FileCount() != wantFiles {
+		t.Fatalf("recovered %d files, want %d", n2.FileCount(), wantFiles)
+	}
+	for _, probe := range []struct {
+		path string
+		want bool
+	}{
+		{"/pre/0", true}, {"/pre/4", false}, {"/pre/7", false},
+		{"/post/9", true}, {"/never", false},
+	} {
+		if n2.HasFile(probe.path) != probe.want {
+			t.Errorf("HasFile(%s) = %v, want %v", probe.path, !probe.want, probe.want)
+		}
+	}
+	// Inode continuity across the crash: 41 creates happened in life 1.
+	n2.AddFile("/life2")
+	md, _ := n2.Store().Get("/life2")
+	if md.InodeID <= 40 {
+		t.Fatalf("inode %d regressed across recovery", md.InodeID)
+	}
+}
+
+func TestRecoverRejectsForeignSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	n, l, _, err := Recover(1, testConfig(), dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := n.MarshalSnapshot()
+	if err := l.Snapshot(blob); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, _, _, err := Recover(9, testConfig(), dir, wal.Options{}); err == nil ||
+		!strings.Contains(err.Error(), "belongs to MDS 1") {
+		t.Fatalf("foreign snapshot: err = %v", err)
+	}
+}
+
+// FuzzSnapshotUnmarshal hammers the decoder: arbitrary bytes must never
+// panic, and any blob a node accepts must re-marshal to an equal state.
+func FuzzSnapshotUnmarshal(f *testing.F) {
+	n, _ := NewNode(1, Config{ExpectedFiles: 10, BitsPerFile: 8, LRUCapacity: 8, LRUBitsPerFile: 8})
+	n.AddFile("/seed")
+	blob, _ := n.MarshalSnapshot()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add(blob[:len(blob)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, _ := NewNode(1, Config{ExpectedFiles: 10, BitsPerFile: 8, LRUCapacity: 8, LRUBitsPerFile: 8})
+		if err := m.UnmarshalSnapshot(data); err != nil {
+			return
+		}
+		again, err := m.MarshalSnapshot()
+		if err != nil {
+			t.Fatalf("accepted blob does not re-marshal: %v", err)
+		}
+		m2, _ := NewNode(1, Config{ExpectedFiles: 10, BitsPerFile: 8, LRUCapacity: 8, LRUBitsPerFile: 8})
+		if err := m2.UnmarshalSnapshot(again); err != nil {
+			t.Fatalf("re-marshalled blob rejected: %v", err)
+		}
+	})
+}

@@ -119,3 +119,42 @@ func (s *Store) Range(fn func(Metadata) bool) {
 		}
 	}
 }
+
+// Snapshot is a point-in-time copy of a store's full state, including the
+// inode counter — restoring it must never let a later Put reuse an inode
+// number an earlier life of the store already handed out.
+type Snapshot struct {
+	// NextIno is the last inode number assigned.
+	NextIno uint64
+	// Files holds every record, sorted by Path for deterministic encoding.
+	Files []Metadata
+}
+
+// Snapshot captures the store's state for durable serialization.
+func (s *Store) Snapshot() Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	files := make([]Metadata, 0, len(s.files))
+	for _, md := range s.files {
+		files = append(files, md)
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Path < files[j].Path })
+	return Snapshot{NextIno: s.nextIno, Files: files}
+}
+
+// Restore replaces the store's state with the snapshot, inode counter
+// included. The counter is additionally bumped above every restored
+// record's inode so a snapshot from a buggy or older writer still cannot
+// make Put reissue a live inode number.
+func (s *Store) Restore(snap Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files = make(map[string]Metadata, len(snap.Files))
+	s.nextIno = snap.NextIno
+	for _, md := range snap.Files {
+		s.files[md.Path] = md
+		if md.InodeID > s.nextIno {
+			s.nextIno = md.InodeID
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package metastore
 
 import (
+	"math/rand"
 	"strconv"
 	"sync"
 	"testing"
@@ -120,5 +121,102 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 	if s.Len() != 2000 {
 		t.Errorf("Len = %d, want 2000", s.Len())
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Put(Metadata{Path: "/a", Size: 1, Mode: 0o600, UID: 3, GID: 4, MTime: time.Unix(5, 6)})
+	s.Put(Metadata{Path: "/b", Size: 2})
+	s.Delete("/a") // counter stays advanced past the deleted inode
+
+	snap := s.Snapshot()
+	if snap.NextIno != 2 {
+		t.Fatalf("NextIno = %d, want 2", snap.NextIno)
+	}
+	if len(snap.Files) != 1 || snap.Files[0].Path != "/b" {
+		t.Fatalf("Files = %+v", snap.Files)
+	}
+
+	fresh := NewStore()
+	fresh.Restore(snap)
+	got, ok := fresh.Get("/b")
+	if !ok || got.Size != 2 || got.InodeID != 2 {
+		t.Fatalf("restored /b = (%+v, %v)", got, ok)
+	}
+	if fresh.Len() != 1 {
+		t.Fatalf("Len = %d", fresh.Len())
+	}
+}
+
+func TestSnapshotFilesSorted(t *testing.T) {
+	s := NewStore()
+	for _, p := range []string{"/z", "/m", "/a"} {
+		s.PutPath(p)
+	}
+	snap := s.Snapshot()
+	for i := 1; i < len(snap.Files); i++ {
+		if snap.Files[i-1].Path >= snap.Files[i].Path {
+			t.Fatalf("snapshot files not sorted: %v before %v", snap.Files[i-1].Path, snap.Files[i].Path)
+		}
+	}
+}
+
+// TestPutAfterRestoreNeverReusesInode is the property the snapshot format
+// exists to protect: across an arbitrary sequence of puts, deletes, a
+// snapshot/restore cycle, and more puts, no inode number is ever issued
+// twice. A reused inode would let a recovered daemon alias two files.
+func TestPutAfterRestoreNeverReusesInode(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		s := NewStore()
+		issued := make(map[uint64]string) // inode → path it was issued for
+		note := func(p string) {
+			md, _ := s.Get(p)
+			if prev, ok := issued[md.InodeID]; ok && prev != p {
+				t.Fatalf("trial %d: inode %d issued to %q and %q", trial, md.InodeID, prev, p)
+			}
+			issued[md.InodeID] = p
+		}
+		n := 0
+		newPath := func() string { n++; return "/t/" + strconv.Itoa(n) }
+		live := []string{}
+		for step := 0; step < 200; step++ {
+			switch {
+			case len(live) > 0 && rng.Intn(3) == 0:
+				i := rng.Intn(len(live))
+				s.Delete(live[i])
+				live = append(live[:i], live[i+1:]...)
+			default:
+				p := newPath()
+				s.PutPath(p)
+				note(p)
+				live = append(live, p)
+			}
+			if rng.Intn(20) == 0 {
+				fresh := NewStore()
+				fresh.Restore(s.Snapshot())
+				s = fresh
+			}
+		}
+		// Final burst of puts after the last restore.
+		for i := 0; i < 50; i++ {
+			p := newPath()
+			s.PutPath(p)
+			note(p)
+		}
+	}
+}
+
+// TestRestoreClampsCounter pins the defensive bump: a snapshot whose
+// counter lags its own records (hand-built or from a broken writer) must
+// not make Put reissue a live inode.
+func TestRestoreClampsCounter(t *testing.T) {
+	s := NewStore()
+	s.Restore(Snapshot{NextIno: 1, Files: []Metadata{{Path: "/big", InodeID: 90}}})
+	s.PutPath("/next")
+	md, _ := s.Get("/next")
+	if md.InodeID <= 90 {
+		t.Fatalf("inode %d not clamped above restored max 90", md.InodeID)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"ghba/internal/rpcnet"
 	"ghba/internal/shipq"
 	"ghba/internal/trace"
+	"ghba/internal/wal"
 )
 
 // Mode selects the scheme the prototype runs.
@@ -102,6 +104,29 @@ type Options struct {
 	// Transport selects the wire protocol: TransportMux (default when
 	// empty) or TransportClassic.
 	Transport string
+	// DataDir, when non-empty, makes every daemon durable: MDS i write-ahead
+	// logs its mutations under DataDir/mds-<i> and compacts the log into
+	// snapshots, so KillMDS/RestartMDS (and a standalone cmd/mdsd -data)
+	// can crash and recover it. Start refuses directories with existing
+	// state — the coordinator's ground-truth home map cannot be rebuilt from
+	// per-daemon logs, so cold recovery belongs to cmd/mdsd, and in-lifetime
+	// recovery to RestartMDS.
+	DataDir string
+	// WALSync selects the fsync policy for daemon WALs: "always" (default),
+	// "interval" or "never". See wal.ParseSyncPolicy.
+	WALSync string
+	// WALSyncInterval bounds the data-loss window under WALSync "interval".
+	// Zero selects the wal package default (100ms).
+	WALSyncInterval time.Duration
+	// SnapshotEvery is the WAL record count between snapshot compactions at
+	// each daemon. Zero selects 4096; negative disables automatic
+	// compaction.
+	SnapshotEvery int
+	// Retry bounds retry-with-backoff for idempotent RPCs (queries, probes,
+	// filter ships — never mutations). The zero policy disables retries;
+	// enable it when daemons may restart mid-run so lookups ride through
+	// the outage instead of failing on the first reset.
+	Retry rpcnet.RetryPolicy
 }
 
 func (o *Options) validate() error {
@@ -117,7 +142,22 @@ func (o *Options) validate() error {
 	if o.Transport != "" && o.Transport != TransportMux && o.Transport != TransportClassic {
 		return fmt.Errorf("proto: unknown transport %q", o.Transport)
 	}
+	if _, err := wal.ParseSyncPolicy(o.WALSync); err != nil {
+		return fmt.Errorf("proto: %w", err)
+	}
 	return nil
+}
+
+// walOptions maps the cluster's durability knobs onto one daemon's WAL.
+// Options.validate vetted WALSync, so the parse cannot fail here.
+func (o *Options) walOptions() wal.Options {
+	pol, _ := wal.ParseSyncPolicy(o.WALSync)
+	return wal.Options{Sync: pol, SyncEvery: o.WALSyncInterval}
+}
+
+// walDir is the WAL directory of one daemon under DataDir.
+func (o *Options) walDir(id int) string {
+	return filepath.Join(o.DataDir, fmt.Sprintf("mds-%d", id))
 }
 
 // Cluster is a running prototype: N daemons plus the coordinator state that
@@ -174,6 +214,9 @@ type Cluster struct {
 	// L4 scatter-gather cancels losing probes only then, because abandoning
 	// a classic pooled call poisons its connection.
 	useMux bool
+
+	// retry is the idempotent-RPC retry policy; zero disables retries.
+	retry rpcnet.RetryPolicy
 
 	tally        metrics.LevelTally
 	messages     atomic.Uint64
@@ -298,14 +341,10 @@ func Start(opts Options) (*Cluster, error) {
 		obsBatch: obsBatch,
 		nextID:   opts.N,
 		useMux:   useMux,
+		retry:    opts.Retry,
 	}
 	for i := 0; i < opts.N; i++ {
-		node, err := mds.NewNode(i, opts.Node)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("proto: node %d: %w", i, err)
-		}
-		ns, err := StartNode(node, "127.0.0.1:0", opts.nodeServerOptions())
+		ns, _, err := c.launchNode(i)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -338,6 +377,50 @@ func Start(opts Options) (*Cluster, error) {
 	c.rebuildIndexLocked()
 	c.seedReplicas()
 	return c, nil
+}
+
+// launchNode builds and launches daemon id on a fresh loopback port. With
+// DataDir set the daemon gets a write-ahead log; an id whose directory
+// already holds state is refused, because only the recovery paths
+// (RestartMDS in-lifetime, cmd/mdsd standalone) reconcile recovered files
+// with the coordinator's ground-truth home map.
+func (c *Cluster) launchNode(id int) (*NodeServer, mds.RecoveryInfo, error) {
+	if c.opts.DataDir == "" {
+		node, err := mds.NewNode(id, c.opts.Node)
+		if err != nil {
+			return nil, mds.RecoveryInfo{}, fmt.Errorf("proto: node %d: %w", id, err)
+		}
+		ns, err := StartNode(node, "127.0.0.1:0", c.opts.nodeServerOptions())
+		return ns, mds.RecoveryInfo{}, err
+	}
+	ns, info, err := c.recoverNode(id)
+	if err != nil {
+		return nil, info, err
+	}
+	if info.Files > 0 || info.Replayed > 0 || info.SnapshotSeq > 0 {
+		ns.Close()
+		return nil, info, fmt.Errorf("proto: MDS %d: %s already holds state (snapshot seq %d, %d files); recover it with RestartMDS or cmd/mdsd instead of relaunching fresh",
+			id, c.opts.walDir(id), info.SnapshotSeq, info.Files)
+	}
+	return ns, info, nil
+}
+
+// recoverNode rebuilds daemon id from its WAL directory and launches it on
+// a fresh loopback port, leaving the log open for the daemon's appends.
+func (c *Cluster) recoverNode(id int) (*NodeServer, mds.RecoveryInfo, error) {
+	node, l, info, err := mds.Recover(id, c.opts.Node, c.opts.walDir(id), c.opts.walOptions())
+	if err != nil {
+		return nil, info, err
+	}
+	nso := c.opts.nodeServerOptions()
+	nso.WAL = l
+	nso.SnapshotEvery = c.opts.SnapshotEvery
+	ns, err := StartNode(node, "127.0.0.1:0", nso)
+	if err != nil {
+		_ = l.Close()
+		return nil, info, err
+	}
+	return ns, info, nil
 }
 
 // rebuildIndexLocked recomputes the sorted-ID cache and the member → group
@@ -403,6 +486,12 @@ func (c *Cluster) snapshotIDs() []int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.ids
+}
+
+// memberOf reports whether id is in a sorted membership snapshot.
+func memberOf(ids []int, id int) bool {
+	i := sort.SearchInts(ids, id)
+	return i < len(ids) && ids[i] == id
 }
 
 // groupMembers returns a copy of the group containing id (G-HBA), or nil.
@@ -507,20 +596,73 @@ func (c *Cluster) Close() {
 // call issues one counted RPC through the daemon's connection pool. ctr,
 // when non-nil, additionally charges the message to one lookup or
 // reconfiguration, keeping per-operation counts exact even while other
-// operations are in flight.
+// operations are in flight. Idempotent message types ride the cluster's
+// retry policy (if enabled): transport failures — a daemon restarting
+// under the detector's nose — are retried with backoff, and every attempt
+// is real wire traffic, so each one is counted.
 func (c *Cluster) call(ctx context.Context, id int, msgType uint8, payload []byte, ctr *atomic.Int64) ([]byte, error) {
 	conn, err := c.conns.conn(id)
 	if err != nil {
 		return nil, err
 	}
-	c.messages.Add(1)
-	if int(msgType) < len(c.rpcByOp) {
-		c.rpcByOp[msgType].Add(1)
+	counted := countedCaller{conn: conn, c: c, msgType: msgType, ctr: ctr}
+	if c.retry.Enabled() && isIdempotent(msgType) {
+		return rpcnet.CallRetry(ctx, counted, c.retry, msgType, payload)
 	}
-	if ctr != nil {
-		ctr.Add(1)
+	return counted.CallContext(ctx, msgType, payload)
+}
+
+// countedCaller charges each attempt to the cluster's message counters
+// before handing it to the transport; retries therefore count like the
+// distinct messages they are on the wire.
+type countedCaller struct {
+	conn    caller
+	c       *Cluster
+	msgType uint8
+	ctr     *atomic.Int64
+}
+
+func (w countedCaller) CallContext(ctx context.Context, msgType uint8, payload []byte) ([]byte, error) {
+	w.c.messages.Add(1)
+	if int(w.msgType) < len(w.c.rpcByOp) {
+		w.c.rpcByOp[w.msgType].Add(1)
 	}
-	return conn.CallContext(ctx, msgType, payload)
+	if w.ctr != nil {
+		w.ctr.Add(1)
+	}
+	return w.conn.CallContext(ctx, msgType, payload)
+}
+
+// isIdempotent reports whether an RPC may be retried after a transport
+// failure: re-asking a question or re-shipping a filter snapshot is safe,
+// re-running a create/delete/install whose first response (not execution)
+// was lost is not.
+func isIdempotent(op uint8) bool {
+	switch op {
+	case opQueryEntry, opQueryMember, opVerify, opHasLocal, opShipFilter,
+		opObserve, opObserveBatch, opPing, opHeartbeat,
+		opLookupBatch, opQueryMemberBatch, opVerifyBatch, opHasLocalBatch:
+		return true
+	}
+	return false
+}
+
+// Heartbeat probes daemon id for liveness, returning its health report.
+// The failure detector drives this on a cadence; it is also a cheap way
+// for tests to ask a daemon how much un-snapshotted WAL it carries.
+func (c *Cluster) Heartbeat(ctx context.Context, id int) (HeartbeatInfo, error) {
+	resp, err := c.call(ctx, id, opHeartbeat, nil, nil)
+	if err != nil {
+		return HeartbeatInfo{}, err
+	}
+	info, err := decodeHeartbeatResp(resp)
+	if err != nil {
+		return HeartbeatInfo{}, err
+	}
+	if info.ID != id {
+		return info, fmt.Errorf("proto: heartbeat to MDS %d answered by MDS %d", id, info.ID)
+	}
+	return info, nil
 }
 
 // Populate homes paths at random daemons (direct, unmeasured) and refreshes
@@ -544,6 +686,16 @@ func (c *Cluster) Populate(paths []string) {
 	c.homesMu.Unlock()
 	c.rngMu.Unlock()
 	c.refreshReplicas()
+	// Bulk loads bypass the WAL (logging-and-fsyncing per direct write would
+	// make population crawl); one snapshot per daemon captures the whole
+	// load atomically instead.
+	if c.opts.DataDir != "" {
+		for _, ns := range c.servers {
+			if err := ns.SnapshotNow(); err != nil {
+				panic(fmt.Sprintf("proto: snapshot after populate: %v", err))
+			}
+		}
+	}
 }
 
 // refreshReplicas re-ships every filter to its current holders (direct).
@@ -743,6 +895,10 @@ func (c *Cluster) observeMany(ctx context.Context, obs []observation) error {
 }
 
 func (c *Cluster) lookup(ctx context.Context, path string, entry int, ctr *atomic.Int64) (LookupResult, error) {
+	// Failover leaves traces of a removed daemon in L1 generations and
+	// replica bits until caches age out; a verify against a dead member
+	// would fail the lookup, so hits are filtered against live membership.
+	ids := c.snapshotIDs()
 	// Entry query: L1 + L2 in one RPC.
 	resp, err := c.call(ctx, entry, opQueryEntry, []byte(path), ctr)
 	if err != nil {
@@ -757,14 +913,14 @@ func (c *Cluster) lookup(ctx context.Context, path string, entry int, ctr *atomi
 		return LookupResult{}, err
 	}
 
-	if len(l1Hits) == 1 {
+	if len(l1Hits) == 1 && memberOf(ids, l1Hits[0]) {
 		if ok, err := c.verify(ctx, l1Hits[0], path, ctr); err != nil {
 			return LookupResult{}, err
 		} else if ok {
 			return LookupResult{Home: l1Hits[0], Found: true, Level: 1}, nil
 		}
 	}
-	if len(l2Hits) == 1 {
+	if len(l2Hits) == 1 && memberOf(ids, l2Hits[0]) {
 		if ok, err := c.verify(ctx, l2Hits[0], path, ctr); err != nil {
 			return LookupResult{}, err
 		} else if ok {
@@ -787,10 +943,12 @@ func (c *Cluster) lookup(ctx context.Context, path string, entry int, ctr *atomi
 				for h := range hits {
 					home = h
 				}
-				if ok, err := c.verify(ctx, home, path, ctr); err != nil {
-					return LookupResult{}, err
-				} else if ok {
-					return LookupResult{Home: home, Found: true, Level: 3}, nil
+				if memberOf(ids, home) {
+					if ok, err := c.verify(ctx, home, path, ctr); err != nil {
+						return LookupResult{}, err
+					} else if ok {
+						return LookupResult{Home: home, Found: true, Level: 3}, nil
+					}
 				}
 			}
 		}

@@ -42,6 +42,12 @@ const (
 	opHasLocalBatch    // paths → per path: 1/0 local-filter + store check
 	opCreateBatch      // paths → 1 byte: filter crossed the ship threshold after the batch
 	opDeleteBatch      // paths → per path existed byte, then 1 rebuilt byte
+
+	// opHeartbeat is the failure detector's liveness probe. Unlike opPing
+	// (the reconfiguration protocol's IDBFA-update stand-in) the response
+	// carries a health report — id, homed files, WAL position — so a probe
+	// that reaches the wrong daemon after an address reuse is detectable.
+	opHeartbeat // (empty) → id uint32 | files uint64 | walRecords uint64
 )
 
 // opNames labels each RPC type for the per-op counters the wire bench
@@ -66,6 +72,7 @@ var opNames = [...]string{
 	opHasLocalBatch:    "has_local_batch",
 	opCreateBatch:      "create_batch",
 	opDeleteBatch:      "delete_batch",
+	opHeartbeat:        "heartbeat",
 }
 
 // opName returns the label of one RPC type.
@@ -176,6 +183,39 @@ func decodeDeleteResp(data []byte) (existed, rebuilt bool, err error) {
 		return false, false, fmt.Errorf("proto: delete response wants 2 bytes, got %d", len(data))
 	}
 	return data[0] == 1, data[1] == 1, nil
+}
+
+// HeartbeatInfo is the health report an opHeartbeat response carries.
+type HeartbeatInfo struct {
+	// ID is the responding daemon's MDS identifier, echoed so the detector
+	// can spot a probe answered by a stranger on a reused address.
+	ID int
+	// Files is the number of files homed at the daemon.
+	Files uint64
+	// WALRecords is the daemon's WAL append count since its last snapshot
+	// (zero when the daemon runs without a WAL).
+	WALRecords uint64
+}
+
+// encodeHeartbeatResp serializes a health report.
+func encodeHeartbeatResp(info HeartbeatInfo) []byte {
+	buf := make([]byte, 0, 20)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(info.ID))
+	buf = binary.BigEndian.AppendUint64(buf, info.Files)
+	buf = binary.BigEndian.AppendUint64(buf, info.WALRecords)
+	return buf
+}
+
+// decodeHeartbeatResp parses a health report.
+func decodeHeartbeatResp(data []byte) (HeartbeatInfo, error) {
+	if len(data) != 20 {
+		return HeartbeatInfo{}, fmt.Errorf("proto: heartbeat response wants 20 bytes, got %d", len(data))
+	}
+	return HeartbeatInfo{
+		ID:         int(binary.BigEndian.Uint32(data)),
+		Files:      binary.BigEndian.Uint64(data[4:]),
+		WALRecords: binary.BigEndian.Uint64(data[12:]),
+	}, nil
 }
 
 // observation is one (home, path) L1 learning record.

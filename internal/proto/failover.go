@@ -1,0 +1,347 @@
+package proto
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"ghba/internal/mds"
+	"ghba/internal/metastore"
+)
+
+// FailoverReport summarizes one daemon removal.
+type FailoverReport struct {
+	// ID is the removed daemon.
+	ID int
+	// FilesLost is how many ground-truth files were homed at the dead
+	// daemon; they are scrubbed from the namespace (and recoverable via
+	// RestartMDS when the cluster runs with a DataDir).
+	FilesLost int
+	// GroupDissolved reports the dead daemon was its group's last member,
+	// so the group itself disappeared (G-HBA only).
+	GroupDissolved bool
+	// Messages is the number of RPCs the reconfiguration cost.
+	Messages int
+}
+
+// FailMDS removes a (presumed dead) daemon from the running prototype: its
+// server and connection shut down, survivors drop or re-acquire the
+// replicas the failure invalidated, and the files it homed leave the
+// ground-truth namespace. The heartbeat detector invokes this
+// automatically on a Dead verdict; tests and operators may call it
+// directly.
+//
+// The survivor-side RPCs are best-effort: a drop or re-install that fails
+// leaves a stale or missing replica, which costs lookups a skipped hit or
+// an L4 fallback — never a wrong answer, because lookups filter hits
+// against live membership and every positive is store-verified. Removing a
+// dead daemon must not itself be blockable by another hiccup.
+//
+// Unlike the simulator's departure path there is no group merge: a group
+// shrunk below M/2 keeps operating (its multicast just fans out less), and
+// a group whose last member died dissolves outright.
+func (c *Cluster) FailMDS(ctx context.Context, id int) (FailoverReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ns, ok := c.servers[id]
+	if !ok {
+		return FailoverReport{}, fmt.Errorf("proto: unknown MDS %d", id)
+	}
+	if len(c.servers) == 1 {
+		return FailoverReport{}, fmt.Errorf("proto: refusing to fail MDS %d: it is the last daemon", id)
+	}
+	var msgs atomic.Int64
+	rep := FailoverReport{ID: id}
+
+	// Make the presumption true (Kill is idempotent on an already-dead
+	// daemon) and stop routing to it before any survivor work.
+	ns.Kill()
+	delete(c.servers, id)
+	c.conns.unregister(id)
+	c.ships.Forget(id)
+
+	switch c.opts.Mode {
+	case ModeHBA:
+		// Every survivor mirrors every daemon, so every survivor drops its
+		// replica of the dead one.
+		for _, other := range c.ids {
+			if other == id {
+				continue
+			}
+			_, _ = c.call(ctx, other, opDropReplica, encodeOriginPayload(id, nil), &msgs)
+		}
+	case ModeGHBA:
+		c.failGHBALocked(ctx, id, &msgs, &rep)
+	}
+	c.rebuildIndexLocked()
+
+	c.homesMu.Lock()
+	for p, h := range c.homes {
+		if h == id {
+			delete(c.homes, p)
+			rep.FilesLost++
+		}
+	}
+	c.homesMu.Unlock()
+	rep.Messages = int(msgs.Load())
+	return rep, nil
+}
+
+// failGHBALocked repairs G-HBA replica placement around a dead member:
+// the replicas it held for its group are re-fetched from their (live,
+// authoritative) origins onto surviving groupmates, and the replica of the
+// dead daemon held in each other group is dropped. Callers hold c.mu
+// exclusively with the daemon already out of c.servers.
+func (c *Cluster) failGHBALocked(ctx context.Context, id int, msgs *atomic.Int64, rep *FailoverReport) {
+	gi := c.groupOfLocked(id)
+	if gi >= 0 {
+		members := make([]int, 0, len(c.groups[gi])-1)
+		for _, m := range c.groups[gi] {
+			if m != id {
+				members = append(members, m)
+			}
+		}
+		if len(members) == 0 {
+			delete(c.groups, gi)
+			delete(c.holders, gi)
+			rep.GroupDissolved = true
+		} else {
+			c.groups[gi] = members
+			for _, origin := range sortedKeys(c.holders[gi]) {
+				if c.holders[gi][origin] != id {
+					continue
+				}
+				// The dead daemon held origin's replica for this group;
+				// re-fetch from the origin itself onto the lightest
+				// survivor. On failure the group loses coverage of origin
+				// (L4 still finds its files) rather than keeping a holder
+				// entry that points at nobody.
+				snap, err := c.call(ctx, origin, opShipFilter, nil, msgs)
+				if err != nil {
+					delete(c.holders[gi], origin)
+					continue
+				}
+				target := c.lightestMember(gi)
+				if _, err := c.call(ctx, target, opInstallReplica, encodeOriginPayload(origin, snap), msgs); err != nil {
+					delete(c.holders[gi], origin)
+					continue
+				}
+				c.holders[gi][origin] = target
+			}
+		}
+	}
+	gis := make([]int, 0, len(c.groups))
+	for g := range c.groups {
+		gis = append(gis, g)
+	}
+	sort.Ints(gis)
+	for _, g := range gis {
+		if g == gi {
+			continue
+		}
+		holder, ok := c.holders[g][id]
+		if !ok {
+			continue
+		}
+		delete(c.holders[g], id)
+		_, _ = c.call(ctx, holder, opDropReplica, encodeOriginPayload(id, nil), msgs)
+	}
+}
+
+// KillMDS crashes daemon id in place: its connections drop and its WAL is
+// abandoned mid-stream, but membership, groups and the home map keep
+// naming it — exactly what a kill -9 looks like to the rest of the
+// cluster. RPCs to it fail until RestartMDS recovers it or the failure
+// detector declares it dead and fails it over.
+func (c *Cluster) KillMDS(id int) error {
+	c.mu.RLock()
+	ns, ok := c.servers[id]
+	c.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("proto: unknown MDS %d", id)
+	}
+	ns.Kill()
+	return nil
+}
+
+// RestartReport summarizes one daemon recovery.
+type RestartReport struct {
+	// ID is the recovered daemon; Addr its new listen address.
+	ID   int
+	Addr string
+	// Recovery reports what the WAL reconstruction found.
+	Recovery mds.RecoveryInfo
+	// Rejoined reports the daemon had been failed over, so it re-entered
+	// membership through the join protocol rather than in place.
+	Rejoined bool
+	// FilesReclaimed counts recovered files re-claimed into the namespace
+	// (their ground truth had been scrubbed by failover).
+	FilesReclaimed int
+	// FilesDropped counts recovered files deleted again because another
+	// daemon homed the same path while this one was down.
+	FilesDropped int
+	// TailLost counts files ground truth credited to the daemon that did
+	// not survive recovery — a WAL tail lost to a weak sync policy. They
+	// are scrubbed from the namespace.
+	TailLost int
+	// Messages is the number of RPCs the recovery cost.
+	Messages int
+}
+
+// RestartMDS recovers daemon id from its WAL directory and brings it back
+// into the cluster. A daemon killed in place (KillMDS, or a real crash)
+// restarts within its existing membership slot; one that was failed over
+// rejoins through the same protocol AddMDS uses, then re-claims the files
+// its log preserved. Requires Options.DataDir. The previous instance, if
+// any, is killed first so the log directory is free to reopen.
+func (c *Cluster) RestartMDS(ctx context.Context, id int) (RestartReport, error) {
+	if c.opts.DataDir == "" {
+		return RestartReport{}, fmt.Errorf("proto: RestartMDS requires Options.DataDir")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, wasMember := c.servers[id]
+	if wasMember {
+		old.Kill()
+	}
+	rep := RestartReport{ID: id}
+	ns, info, err := c.recoverNode(id)
+	if err != nil {
+		// In the wasMember case the dead instance stays in membership —
+		// the operator can still FailMDS it.
+		return rep, err
+	}
+	rep.Recovery = info
+	rep.Addr = ns.Addr()
+	c.conns.register(id, ns.Addr())
+
+	var msgs atomic.Int64
+	if wasMember {
+		c.servers[id] = ns
+		c.rewireLocked(ctx, id, &msgs)
+	} else {
+		rep.Rejoined = true
+		groupsBak, holdersBak := copyGroups(c.groups), copyHolders(c.holders)
+		switch c.opts.Mode {
+		case ModeHBA:
+			err = c.addHBA(ctx, id, &msgs)
+		case ModeGHBA:
+			err = c.addGHBALocked(ctx, id, &msgs)
+		}
+		if err != nil {
+			c.groups, c.holders = groupsBak, holdersBak
+			ns.Close()
+			c.conns.unregister(id)
+			return rep, err
+		}
+		c.servers[id] = ns
+	}
+	c.rebuildIndexLocked()
+
+	conflicts := c.reconcileHomesLocked(id, ns, &rep)
+	for _, p := range conflicts {
+		// Another daemon homed the path while this one was down; the
+		// recovered copy loses. The delete goes through the RPC path so it
+		// is WAL-logged like any other mutation.
+		_, _ = c.call(ctx, id, opDeleteFile, []byte(p), &msgs)
+		rep.FilesDropped++
+	}
+	rep.Messages = int(msgs.Load())
+	return rep, nil
+}
+
+// rewireLocked re-establishes replica placement around a daemon restarted
+// in its existing membership slot: the replicas it is on record as holding
+// are re-fetched from their origins (the crash emptied its replica array),
+// and its own filter re-ships to its holders (their copies predate the
+// crash). Best-effort, like the failover RPCs: a miss degrades lookups to
+// L4, never corrupts them.
+func (c *Cluster) rewireLocked(ctx context.Context, id int, msgs *atomic.Int64) {
+	switch c.opts.Mode {
+	case ModeHBA:
+		for _, other := range c.ids {
+			if other == id {
+				continue
+			}
+			if snap, err := c.call(ctx, other, opShipFilter, nil, msgs); err == nil {
+				_, _ = c.call(ctx, id, opInstallReplica, encodeOriginPayload(other, snap), msgs)
+			}
+		}
+		snap, err := c.call(ctx, id, opShipFilter, nil, msgs)
+		if err != nil {
+			return
+		}
+		for _, other := range c.ids {
+			if other != id {
+				_, _ = c.call(ctx, other, opInstallReplica, encodeOriginPayload(id, snap), msgs)
+			}
+		}
+	case ModeGHBA:
+		gi := c.groupOfLocked(id)
+		if gi >= 0 {
+			for _, origin := range sortedKeys(c.holders[gi]) {
+				if c.holders[gi][origin] != id {
+					continue
+				}
+				if snap, err := c.call(ctx, origin, opShipFilter, nil, msgs); err == nil {
+					_, _ = c.call(ctx, id, opInstallReplica, encodeOriginPayload(origin, snap), msgs)
+				}
+			}
+		}
+		snap, err := c.call(ctx, id, opShipFilter, nil, msgs)
+		if err != nil {
+			return
+		}
+		gis := make([]int, 0, len(c.groups))
+		for g := range c.groups {
+			gis = append(gis, g)
+		}
+		sort.Ints(gis)
+		for _, g := range gis {
+			if g == gi {
+				continue
+			}
+			if holder, ok := c.holders[g][id]; ok {
+				_, _ = c.call(ctx, holder, opInstallReplica, encodeOriginPayload(id, snap), msgs)
+			}
+		}
+	}
+}
+
+// reconcileHomesLocked folds a recovered daemon's store back into the
+// ground-truth namespace: recovered paths nobody else claimed are
+// re-claimed for id, paths another daemon homed meanwhile are returned as
+// conflicts (sorted, for deterministic message flow), and paths ground
+// truth still credited to id that did not survive recovery are scrubbed
+// as tail loss.
+func (c *Cluster) reconcileHomesLocked(id int, ns *NodeServer, rep *RestartReport) []string {
+	recovered := make(map[string]bool)
+	ns.node.Store().Range(func(md metastore.Metadata) bool {
+		recovered[md.Path] = true
+		return true
+	})
+	var conflicts []string
+	c.homesMu.Lock()
+	for p := range recovered {
+		h, ok := c.homes[p]
+		switch {
+		case !ok:
+			c.homes[p] = id
+			rep.FilesReclaimed++
+		case h == id:
+			// Consistent: the namespace never forgot this file.
+		default:
+			conflicts = append(conflicts, p)
+		}
+	}
+	for p, h := range c.homes {
+		if h == id && !recovered[p] {
+			delete(c.homes, p)
+			rep.TailLost++
+		}
+	}
+	c.homesMu.Unlock()
+	sort.Strings(conflicts)
+	return conflicts
+}

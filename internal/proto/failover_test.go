@@ -1,0 +1,385 @@
+package proto
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ghba/internal/rpcnet"
+)
+
+// durableOptions is testOptions plus a WAL directory and a retry policy —
+// the configuration every crash/recovery test runs under.
+func durableOptions(t *testing.T, n, m int, mode Mode) Options {
+	t.Helper()
+	o := testOptions(n, m, mode)
+	o.DataDir = t.TempDir()
+	o.SnapshotEvery = 50
+	o.Retry = rpcnet.RetryPolicy{Attempts: 4, Backoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+	return o
+}
+
+// createFiles homes count files over the RPC (WAL-logged) path.
+func createFiles(t *testing.T, c *Cluster, count int) []string {
+	t.Helper()
+	paths := make([]string, count)
+	for i := range paths {
+		paths[i] = "/wal/f" + strconv.Itoa(i)
+		if _, err := c.Create(context.Background(), paths[i]); err != nil {
+			t.Fatalf("create %s: %v", paths[i], err)
+		}
+	}
+	return paths
+}
+
+// verifySweep looks up every path and fails on any wrong-home or lost-file
+// answer against the coordinator's ground truth.
+func verifySweep(t *testing.T, c *Cluster, paths []string) {
+	t.Helper()
+	for _, p := range paths {
+		want := c.HomeOf(p)
+		res, err := c.Lookup(context.Background(), p)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", p, err)
+		}
+		if want < 0 {
+			if res.Found {
+				t.Fatalf("lookup %s: found at %d, ground truth says gone", p, res.Home)
+			}
+			continue
+		}
+		if !res.Found || res.Home != want {
+			t.Fatalf("lookup %s = %+v, ground truth home %d", p, res, want)
+		}
+	}
+}
+
+func TestHeartbeat(t *testing.T) {
+	c := startPopulated(t, 4, 2, ModeGHBA, 50)
+	for _, id := range c.MDSIDs() {
+		info, err := c.Heartbeat(context.Background(), id)
+		if err != nil {
+			t.Fatalf("heartbeat %d: %v", id, err)
+		}
+		if info.ID != id {
+			t.Fatalf("heartbeat %d answered by %d", id, info.ID)
+		}
+	}
+	var total uint64
+	for _, id := range c.MDSIDs() {
+		info, _ := c.Heartbeat(context.Background(), id)
+		total += info.Files
+	}
+	if total != 50 {
+		t.Fatalf("heartbeat file counts sum to %d, want 50", total)
+	}
+	if err := c.KillMDS(1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	if _, err := c.Heartbeat(ctx, 1); err == nil {
+		t.Fatal("heartbeat to a killed daemon succeeded")
+	}
+}
+
+func TestStartRefusesDirtyDataDir(t *testing.T) {
+	opts := durableOptions(t, 3, 2, ModeGHBA)
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	createFiles(t, c, 20)
+	c.Close()
+	if _, err := Start(opts); err == nil {
+		t.Fatal("Start accepted a data dir with existing state")
+	} else if !strings.Contains(err.Error(), "already holds state") {
+		t.Fatalf("wrong refusal: %v", err)
+	}
+}
+
+func TestStartRejectsBadWALSync(t *testing.T) {
+	opts := testOptions(2, 2, ModeGHBA)
+	opts.WALSync = "sometimes"
+	if _, err := Start(opts); err == nil {
+		t.Fatal("unknown WAL sync policy accepted")
+	}
+}
+
+func TestKillRestartInPlace(t *testing.T) {
+	for _, mode := range []Mode{ModeGHBA, ModeHBA} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c, err := Start(durableOptions(t, 4, 2, mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(c.Close)
+			paths := createFiles(t, c, 120)
+
+			victim := c.MDSIDs()[1]
+			if err := c.KillMDS(victim); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := c.RestartMDS(context.Background(), victim)
+			if err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			if rep.Rejoined {
+				t.Fatal("in-place restart reported a rejoin")
+			}
+			if rep.TailLost != 0 {
+				// An in-process kill never drops the page cache, so even a
+				// weak sync policy loses nothing.
+				t.Fatalf("restart lost %d tail files", rep.TailLost)
+			}
+			if rep.Recovery.Files == 0 {
+				t.Fatal("recovery reconstructed an empty daemon")
+			}
+			if c.NumMDS() != 4 {
+				t.Fatalf("membership shrank to %d", c.NumMDS())
+			}
+			verifySweep(t, c, paths)
+		})
+	}
+}
+
+func TestFailMDSRemovesDaemon(t *testing.T) {
+	for _, mode := range []Mode{ModeGHBA, ModeHBA} {
+		t.Run(mode.String(), func(t *testing.T) {
+			c := startPopulated(t, 5, 2, mode, 200)
+			victim := c.MDSIDs()[2]
+			lostTruth := 0
+			for i := 0; i < 200; i++ {
+				if c.HomeOf("/p/f"+strconv.Itoa(i)) == victim {
+					lostTruth++
+				}
+			}
+			c.KillMDS(victim) //nolint:errcheck // victim verified present above
+			rep, err := c.FailMDS(context.Background(), victim)
+			if err != nil {
+				t.Fatalf("FailMDS: %v", err)
+			}
+			if rep.FilesLost != lostTruth {
+				t.Fatalf("FilesLost = %d, ground truth had %d at MDS %d", rep.FilesLost, lostTruth, victim)
+			}
+			if c.NumMDS() != 4 {
+				t.Fatalf("membership = %d after failover", c.NumMDS())
+			}
+			for _, id := range c.MDSIDs() {
+				if id == victim {
+					t.Fatal("failed daemon still in membership")
+				}
+			}
+			// Every surviving file resolves correctly; the dead daemon's
+			// files read as gone, never as a wrong home.
+			paths := make([]string, 200)
+			for i := range paths {
+				paths[i] = "/p/f" + strconv.Itoa(i)
+			}
+			verifySweep(t, c, paths)
+			if _, err := c.FailMDS(context.Background(), victim); err == nil {
+				t.Fatal("failing an already-removed daemon succeeded")
+			}
+		})
+	}
+}
+
+func TestFailMDSRefusesLastDaemon(t *testing.T) {
+	c, err := Start(testOptions(1, 1, ModeGHBA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if _, err := c.FailMDS(context.Background(), 0); err == nil {
+		t.Fatal("failed the last daemon")
+	}
+}
+
+func TestRestartAfterFailoverReclaimsFiles(t *testing.T) {
+	c, err := Start(durableOptions(t, 4, 2, ModeGHBA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	paths := createFiles(t, c, 150)
+
+	victim := c.MDSIDs()[0]
+	rep, err := c.FailMDS(context.Background(), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesLost == 0 {
+		t.Skip("victim homed no files under this seed; nothing to reclaim")
+	}
+	rr, err := c.RestartMDS(context.Background(), victim)
+	if err != nil {
+		t.Fatalf("restart after failover: %v", err)
+	}
+	if !rr.Rejoined {
+		t.Fatal("post-failover restart did not rejoin")
+	}
+	if rr.FilesReclaimed != rep.FilesLost {
+		t.Fatalf("reclaimed %d files, failover lost %d", rr.FilesReclaimed, rep.FilesLost)
+	}
+	if c.NumMDS() != 4 {
+		t.Fatalf("membership = %d after rejoin", c.NumMDS())
+	}
+	verifySweep(t, c, paths)
+	for _, p := range paths {
+		if c.HomeOf(p) < 0 {
+			t.Fatalf("%s still missing from ground truth after reclaim", p)
+		}
+	}
+}
+
+func TestRestartConflictsDropRecoveredCopy(t *testing.T) {
+	c, err := Start(durableOptions(t, 3, 3, ModeGHBA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	paths := createFiles(t, c, 60)
+
+	victim := c.MDSIDs()[0]
+	rep, err := c.FailMDS(context.Background(), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FilesLost == 0 {
+		t.Skip("victim homed no files under this seed")
+	}
+	// Re-create every scrubbed path at a survivor before the victim comes
+	// back: the survivor's copy must win.
+	recreated := 0
+	for _, p := range paths {
+		if c.HomeOf(p) < 0 {
+			if _, err := c.Create(context.Background(), p); err != nil {
+				t.Fatal(err)
+			}
+			recreated++
+		}
+	}
+	rr, err := c.RestartMDS(context.Background(), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.FilesDropped != recreated {
+		t.Fatalf("dropped %d recovered copies, want %d", rr.FilesDropped, recreated)
+	}
+	if rr.FilesReclaimed != 0 {
+		t.Fatalf("reclaimed %d files that a survivor already homed", rr.FilesReclaimed)
+	}
+	verifySweep(t, c, paths)
+}
+
+func TestDetectorDrivesFailover(t *testing.T) {
+	c, err := Start(durableOptions(t, 4, 2, ModeGHBA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	paths := createFiles(t, c, 80)
+
+	var mu sync.Mutex
+	var seen []transition
+	d := c.StartDetector(DetectorOptions{
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 2,
+		DeadAfter:    4,
+		OnTransition: func(id int, from, to Health) {
+			mu.Lock()
+			seen = append(seen, transition{id, from, to})
+			mu.Unlock()
+		},
+	})
+	t.Cleanup(d.Stop)
+
+	victim := c.MDSIDs()[3]
+	if err := c.KillMDS(victim); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for d.Failovers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("detector never failed MDS %d over; state=%v", victim, d.State(victim))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := d.State(victim); got != HealthDead {
+		t.Fatalf("victim state = %v, want dead", got)
+	}
+	if c.NumMDS() != 3 {
+		t.Fatalf("membership = %d after automatic failover", c.NumMDS())
+	}
+	mu.Lock()
+	var victimStates []Health
+	for _, tr := range seen {
+		if tr.id == victim {
+			victimStates = append(victimStates, tr.to)
+		}
+	}
+	mu.Unlock()
+	if len(victimStates) < 2 || victimStates[0] != HealthSuspect || victimStates[len(victimStates)-1] != HealthDead {
+		t.Fatalf("victim escalated %v, want suspect then dead", victimStates)
+	}
+	// Healthy daemons never left Alive.
+	for _, id := range c.MDSIDs() {
+		if got := d.State(id); got != HealthAlive {
+			t.Fatalf("live MDS %d reported %v", id, got)
+		}
+	}
+	verifySweep(t, c, paths)
+}
+
+func TestDetectorStopIdempotent(t *testing.T) {
+	c := startPopulated(t, 2, 2, ModeGHBA, 10)
+	d := c.StartDetector(DetectorOptions{Interval: 10 * time.Millisecond})
+	d.Stop()
+	d.Stop()
+	if d.Failovers() != 0 {
+		t.Fatal("detector failed something over in a healthy cluster")
+	}
+}
+
+func TestHealthString(t *testing.T) {
+	for h, want := range map[Health]string{HealthAlive: "alive", HealthSuspect: "suspect", HealthDead: "dead", Health(9): "unknown"} {
+		if h.String() != want {
+			t.Fatalf("Health(%d).String() = %q, want %q", int(h), h.String(), want)
+		}
+	}
+}
+
+// TestWALSnapshotCadence drives enough mutations through one daemon to
+// cross SnapshotEvery and checks the heartbeat's WAL counter resets —
+// compaction happened inside the request path.
+func TestWALSnapshotCadence(t *testing.T) {
+	opts := durableOptions(t, 1, 1, ModeGHBA)
+	opts.SnapshotEvery = 25
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	maxSeen := uint64(0)
+	for i := 0; i < 120; i++ {
+		if _, err := c.Create(context.Background(), "/cadence/"+strconv.Itoa(i)); err != nil {
+			t.Fatal(err)
+		}
+		info, err := c.Heartbeat(context.Background(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.WALRecords > maxSeen {
+			maxSeen = info.WALRecords
+		}
+		if info.WALRecords > 25 {
+			t.Fatalf("WAL grew to %d records; compaction cadence 25 never fired", info.WALRecords)
+		}
+	}
+	if maxSeen == 0 {
+		t.Fatal("heartbeat never reported WAL growth; is the WAL wired in?")
+	}
+}

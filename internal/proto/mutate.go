@@ -43,7 +43,8 @@ func (c *Cluster) Create(ctx context.Context, path string) (int, error) {
 	prev, existed := c.homes[path]
 	c.homes[path] = home
 	c.homesMu.Unlock()
-	if err := c.createAt(ctx, home, path, nil); err != nil {
+	crossed, err := c.createAt(ctx, home, path, nil)
+	if err != nil {
 		// The daemon never homed the file; withdraw the claim (restoring
 		// any re-homed predecessor) so ground truth does not drift from
 		// daemon state.
@@ -56,24 +57,27 @@ func (c *Cluster) Create(ctx context.Context, path string) (int, error) {
 		c.homesMu.Unlock()
 		return -1, err
 	}
+	if crossed {
+		// The create itself succeeded; a ship failure (say, a replica
+		// holder dying mid-failover) leaves a stale replica that lookups
+		// tolerate — it must not withdraw the claim of a homed file.
+		if err := c.shipBatch(ctx, c.ships.Note(home)); err != nil {
+			return home, err
+		}
+	}
 	return home, nil
 }
 
-// createAt sends the create RPC to the chosen home and routes the
-// threshold-crossing answer into the ship queue.
-func (c *Cluster) createAt(ctx context.Context, home int, path string, ctr *atomic.Int64) error {
+// createAt sends the create RPC to the chosen home, reporting whether the
+// home's filter crossed the XOR-delta ship threshold. Callers route a
+// crossing into the ship queue once the homes-map claim is settled: a ship
+// failure must never be mistaken for a failed create.
+func (c *Cluster) createAt(ctx context.Context, home int, path string, ctr *atomic.Int64) (bool, error) {
 	resp, err := c.call(ctx, home, opCreateFile, []byte(path), ctr)
 	if err != nil {
-		return err
+		return false, err
 	}
-	crossed, err := decodeCreateResp(resp)
-	if err != nil {
-		return err
-	}
-	if crossed {
-		return c.shipBatch(ctx, c.ships.Note(home))
-	}
-	return nil
+	return decodeCreateResp(resp)
 }
 
 // Delete removes a file from its home over RPC, reporting whether it
@@ -154,13 +158,20 @@ func (c *Cluster) applyRecord(ctx context.Context, r intner, rec trace.Record) (
 		c.homes[rec.Path] = id
 		c.homesMu.Unlock()
 		start := time.Now()
-		if err := c.createAt(ctx, id, rec.Path, nil); err != nil {
+		crossed, err := c.createAt(ctx, id, rec.Path, nil)
+		if err != nil {
 			// The daemon never homed the file; withdraw the claim so
 			// ground truth does not drift from daemon state.
 			c.homesMu.Lock()
 			delete(c.homes, rec.Path)
 			c.homesMu.Unlock()
 			return LookupResult{}, fmt.Errorf("proto: create %q at MDS %d: %w", rec.Path, id, err)
+		}
+		if crossed {
+			// The file is homed whatever the ship fans out to; see Create.
+			if err := c.shipBatch(ctx, c.ships.Note(id)); err != nil {
+				return LookupResult{}, fmt.Errorf("proto: create %q at MDS %d: %w", rec.Path, id, err)
+			}
 		}
 		return LookupResult{Home: id, Found: true, Level: 0, Latency: time.Since(start)}, nil
 	case trace.OpDelete:

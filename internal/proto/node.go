@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"ghba/internal/bloom"
 	"ghba/internal/mds"
 	"ghba/internal/rpcnet"
+	"ghba/internal/wal"
 )
 
 // NodeServer is one prototype MDS daemon: an mds.Node behind a TCP server.
@@ -37,6 +39,14 @@ type NodeServer struct {
 	// dirty for shipping, and the deletion count that triggers a rebuild.
 	updateThresholdBits    uint64
 	rebuildDeleteThreshold uint64
+
+	// wal, when non-nil, makes the daemon durable: every mutating RPC
+	// appends its records before applying them (write-ahead), and every
+	// snapshotEvery records the log compacts into a snapshot. Guarded by mu
+	// like the node itself — handle holds mu for the whole request, so the
+	// append and the apply are atomic with respect to snapshots.
+	wal           *wal.Log
+	snapshotEvery uint64
 }
 
 // NodeServerOptions configures one daemon beyond its mds.Node state.
@@ -55,6 +65,14 @@ type NodeServerOptions struct {
 	// local-filter rebuild inside opDeleteFile. Zero selects the
 	// simulator's default of 10 000.
 	RebuildDeleteThreshold uint64
+	// WAL, when non-nil, is the daemon's open write-ahead log (typically
+	// the one mds.Recover handed back). Mutating RPCs append to it before
+	// applying; Shutdown compacts and closes it.
+	WAL *wal.Log
+	// SnapshotEvery is the WAL record count between snapshot compactions.
+	// Zero selects 4096; negative disables automatic compaction (Shutdown
+	// still snapshots). Ignored without a WAL.
+	SnapshotEvery int
 }
 
 // StartNode launches a daemon for the given node on addr ("127.0.0.1:0"
@@ -66,6 +84,15 @@ func StartNode(node *mds.Node, addr string, opts NodeServerOptions) (*NodeServer
 	if opts.RebuildDeleteThreshold == 0 {
 		opts.RebuildDeleteThreshold = 10_000
 	}
+	snapEvery := uint64(0)
+	if opts.WAL != nil {
+		switch {
+		case opts.SnapshotEvery == 0:
+			snapEvery = 4096
+		case opts.SnapshotEvery > 0:
+			snapEvery = uint64(opts.SnapshotEvery)
+		}
+	}
 	ns := &NodeServer{
 		id:                     node.ID(),
 		node:                   node,
@@ -73,6 +100,8 @@ func StartNode(node *mds.Node, addr string, opts NodeServerOptions) (*NodeServer
 		diskPenalty:            opts.DiskPenalty,
 		updateThresholdBits:    opts.UpdateThresholdBits,
 		rebuildDeleteThreshold: opts.RebuildDeleteThreshold,
+		wal:                    opts.WAL,
+		snapshotEvery:          snapEvery,
 	}
 	srv, err := rpcnet.Serve(addr, ns.handle)
 	if err != nil {
@@ -88,8 +117,85 @@ func (ns *NodeServer) ID() int { return ns.id }
 // Addr returns the daemon's listen address.
 func (ns *NodeServer) Addr() string { return ns.srv.Addr() }
 
-// Close shuts the daemon down.
-func (ns *NodeServer) Close() { ns.srv.Close() }
+// Close shuts the daemon down: the server stops (in-flight handlers
+// finish) and the WAL, if any, syncs and closes. No final snapshot is
+// taken — recovery replays the log tail.
+func (ns *NodeServer) Close() {
+	ns.srv.Close()
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.wal != nil {
+		_ = ns.wal.Close()
+	}
+}
+
+// Kill crashes the daemon: connections drop immediately and the WAL is
+// abandoned without a final sync — the on-disk state a kill -9 leaves
+// behind (modulo the page cache, which an in-process crash cannot drop).
+// mds.Recover is the only way back.
+func (ns *NodeServer) Kill() {
+	ns.srv.Close()
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.wal != nil {
+		_ = ns.wal.Abandon()
+	}
+}
+
+// Shutdown drains the daemon cleanly: the listener closes, in-flight
+// requests finish (bounded by timeout), a final snapshot compacts the WAL,
+// and the log closes. On drain timeout the WAL is left as-is — a wedged
+// handler may hold the daemon mutex, and recovery replays the tail anyway.
+func (ns *NodeServer) Shutdown(timeout time.Duration) error {
+	if err := ns.srv.Drain(timeout); err != nil {
+		return err
+	}
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.wal == nil {
+		return nil
+	}
+	return errors.Join(ns.snapshotLocked(), ns.wal.Close())
+}
+
+// SnapshotNow forces a WAL compaction outside the usual cadence; bulk
+// loads use it to make direct (unlogged) writes durable. A no-op without
+// a WAL.
+func (ns *NodeServer) SnapshotNow() error {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	return ns.snapshotLocked()
+}
+
+func (ns *NodeServer) snapshotLocked() error {
+	if ns.wal == nil {
+		return nil
+	}
+	state, err := ns.node.MarshalSnapshot()
+	if err != nil {
+		return err
+	}
+	return ns.wal.Snapshot(state)
+}
+
+// logMutation appends records ahead of applying them (write-ahead: a
+// mutation whose append fails is refused wholesale). Called with mu held.
+func (ns *NodeServer) logMutation(recs ...wal.Record) error {
+	if ns.wal == nil {
+		return nil
+	}
+	return ns.wal.Append(recs...)
+}
+
+// maybeCompactLocked snapshots once the record count crosses the cadence.
+// Called with mu held, after the mutation applied, so the snapshot always
+// includes the records it retires.
+func (ns *NodeServer) maybeCompactLocked() error {
+	if ns.wal == nil || ns.snapshotEvery == 0 || ns.wal.RecordsSinceSnapshot() < ns.snapshotEvery {
+		return nil
+	}
+	return ns.snapshotLocked()
+}
 
 // ReplicaCount returns the replicas currently held (for planning joins).
 func (ns *NodeServer) ReplicaCount() int {
@@ -118,6 +224,16 @@ func (ns *NodeServer) ShipDirect() *bloom.Filter {
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	return ns.node.Ship()
+}
+
+// walRecords builds one WAL record per path with a shared op — the batch
+// RPCs append their whole vector in a single (atomic) WAL write.
+func walRecords(op uint8, paths []string) []wal.Record {
+	recs := make([]wal.Record, len(paths))
+	for i, p := range paths {
+		recs[i] = wal.Record{Op: op, Path: p}
+	}
+	return recs
 }
 
 // spilledSleep emulates disk accesses for the over-RAM replica fraction.
@@ -171,17 +287,31 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 		return boolByte(ns.node.HasFile(string(payload))), nil
 
 	case opAddFile:
+		if err := ns.logMutation(wal.Record{Op: wal.OpCreate, Path: string(payload)}); err != nil {
+			return nil, err
+		}
 		ns.node.AddFile(string(payload))
-		return nil, nil
+		return nil, ns.maybeCompactLocked()
 
 	case opCreateFile:
 		// The mutation and the threshold check happen in one request, so
 		// the coordinator learns whether to feed the ship queue without a
 		// second round trip — the networked twin of core.noteMutationLocked.
+		if err := ns.logMutation(wal.Record{Op: wal.OpCreate, Path: string(payload)}); err != nil {
+			return nil, err
+		}
 		ns.node.AddFile(string(payload))
+		if err := ns.maybeCompactLocked(); err != nil {
+			return nil, err
+		}
 		return boolByte(ns.node.NeedsShip(ns.updateThresholdBits)), nil
 
 	case opDeleteFile:
+		// Logged before the existence answer is known: replaying a delete
+		// of an absent path is a no-op, so the record is harmless either way.
+		if err := ns.logMutation(wal.Record{Op: wal.OpDelete, Path: string(payload)}); err != nil {
+			return nil, err
+		}
 		existed := ns.node.DeleteFile(string(payload))
 		rebuilt := false
 		if existed {
@@ -194,7 +324,7 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 		if rebuilt {
 			resp[1] = 1
 		}
-		return resp, nil
+		return resp, ns.maybeCompactLocked()
 
 	case opInstallReplica:
 		origin, body, err := decodeOriginPayload(payload)
@@ -311,8 +441,14 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := ns.logMutation(walRecords(wal.OpCreate, paths)...); err != nil {
+			return nil, err
+		}
 		for _, p := range paths {
 			ns.node.AddFile(p)
+		}
+		if err := ns.maybeCompactLocked(); err != nil {
+			return nil, err
 		}
 		// One threshold answer for the whole batch: the coordinator's ship
 		// queue coalesces by origin anyway, so per-path flags would collapse
@@ -322,6 +458,9 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 	case opDeleteBatch:
 		paths, err := decodePaths(payload)
 		if err != nil {
+			return nil, err
+		}
+		if err := ns.logMutation(walRecords(wal.OpDelete, paths)...); err != nil {
 			return nil, err
 		}
 		resp := make([]byte, len(paths)+1)
@@ -337,7 +476,18 @@ func (ns *NodeServer) handle(msgType uint8, payload []byte) ([]byte, error) {
 		if rebuilt {
 			resp[len(paths)] = 1
 		}
-		return resp, nil
+		return resp, ns.maybeCompactLocked()
+
+	case opHeartbeat:
+		var walRecs uint64
+		if ns.wal != nil {
+			walRecs = ns.wal.RecordsSinceSnapshot()
+		}
+		return encodeHeartbeatResp(HeartbeatInfo{
+			ID:         ns.id,
+			Files:      uint64(ns.node.FileCount()),
+			WALRecords: walRecs,
+		}), nil
 
 	default:
 		return nil, fmt.Errorf("proto: unknown message type %d", msgType)

@@ -2,11 +2,8 @@ package proto
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"sync/atomic"
-
-	"ghba/internal/mds"
 )
 
 // AddMDS brings a new daemon into the running prototype, performing the
@@ -35,11 +32,7 @@ func (c *Cluster) AddMDS(ctx context.Context) (int, int, error) {
 	c.nextID++
 	c.mu.Unlock()
 
-	node, err := mds.NewNode(id, c.opts.Node)
-	if err != nil {
-		return 0, 0, fmt.Errorf("proto: node %d: %w", id, err)
-	}
-	ns, err := StartNode(node, "127.0.0.1:0", c.opts.nodeServerOptions())
+	ns, _, err := c.launchNode(id)
 	if err != nil {
 		return 0, 0, err
 	}

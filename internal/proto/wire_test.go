@@ -191,6 +191,25 @@ func TestWireRoundTrip(t *testing.T) {
 				t.Fatal("delete batch existed/rebuilt bytes misplaced")
 			}
 		}},
+		{opHeartbeat, func(t *testing.T) {
+			// Empty request; the response is a fixed-width health report.
+			for _, info := range []HeartbeatInfo{
+				{},
+				{ID: 7, Files: 123, WALRecords: 456},
+				{ID: 1 << 30, Files: 1 << 60, WALRecords: 1},
+			} {
+				got, err := decodeHeartbeatResp(encodeHeartbeatResp(info))
+				if err != nil {
+					t.Fatalf("decodeHeartbeatResp: %v", err)
+				}
+				if got != info {
+					t.Fatalf("heartbeat %+v decoded as %+v", info, got)
+				}
+			}
+			if _, err := decodeHeartbeatResp([]byte{1, 2, 3}); err == nil {
+				t.Fatal("truncated heartbeat response accepted")
+			}
+		}},
 	}
 
 	seen := make(map[uint8]bool)

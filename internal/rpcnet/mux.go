@@ -144,28 +144,36 @@ func (s *Server) serveMuxConn(conn net.Conn, br *bufio.Reader) {
 		defer close(writerDone)
 		bw := bufio.NewWriter(conn)
 		broken := false
-		for resp := range respCh {
+		// Each response carries an active-counter reference taken when its
+		// request started; the writer releases it once the response frame is
+		// flushed (or abandoned on a broken connection), so Drain's
+		// zero-active condition means every answer actually left the buffer.
+		unflushed := int64(0)
+		write := func(r muxResponse) {
 			if broken {
-				continue // drain so handlers never block on a dead writer
+				s.active.Add(-1) // drain so handlers never block on a dead writer
+				return
 			}
-			if writeMuxFrame(bw, resp.id, resp.status, resp.payload) != nil {
+			if writeMuxFrame(bw, r.id, r.status, r.payload) != nil {
 				broken = true
 				conn.Close()
-				continue
+				s.active.Add(-1)
+				return
 			}
+			unflushed++
+		}
+		for resp := range respCh {
+			write(resp)
 			coalesce := true
 			for coalesce {
 				select {
 				case more, ok := <-respCh:
 					if !ok {
 						bw.Flush()
+						s.active.Add(-unflushed)
 						return
 					}
-					if writeMuxFrame(bw, more.id, more.status, more.payload) != nil {
-						broken = true
-						conn.Close()
-						coalesce = false
-					}
+					write(more)
 				default:
 					coalesce = false
 				}
@@ -174,6 +182,8 @@ func (s *Server) serveMuxConn(conn net.Conn, br *bufio.Reader) {
 				broken = true
 				conn.Close()
 			}
+			s.active.Add(-unflushed)
+			unflushed = 0
 		}
 	}()
 	sem := make(chan struct{}, muxServerConcurrency)
@@ -188,6 +198,9 @@ func (s *Server) serveMuxConn(conn net.Conn, br *bufio.Reader) {
 		go func(id uint64, msgType uint8, payload []byte) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// The counter reference travels with the response into respCh;
+			// the writer goroutine releases it after the flush.
+			s.active.Add(1)
 			resp, herr := s.handler(msgType, payload)
 			status := uint8(0)
 			if herr != nil {

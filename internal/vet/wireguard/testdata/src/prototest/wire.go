@@ -4,13 +4,15 @@
 package proto
 
 const (
-	opPing     uint8 = iota + 1
-	opUntested       // want `opcode opUntested has no round-trip or fuzz test referencing it`
+	opPing      uint8 = iota + 1
+	opUntested        // want `opcode opUntested has no round-trip or fuzz test referencing it`
+	opHeartbeat       // fully covered: a probe-loop opcode counts like any other
 )
 
 var opNames = [...]string{
-	opPing:     "ping",
-	opUntested: "untested",
+	opPing:      "ping",
+	opUntested:  "untested",
+	opHeartbeat: "heartbeat",
 }
 
 func dispatch(op uint8) string {
@@ -19,6 +21,8 @@ func dispatch(op uint8) string {
 		return "pong"
 	case opUntested:
 		return "untested"
+	case opHeartbeat:
+		return "alive"
 	}
 	return "unknown"
 }
@@ -28,4 +32,10 @@ func send(op uint8) {}
 func client() {
 	send(opPing)
 	send(opUntested)
+}
+
+// probe models a failure detector's heartbeat loop — a client path that is
+// not the main dispatch helper must still satisfy the sent-by-client rule.
+func probe() {
+	send(opHeartbeat)
 }

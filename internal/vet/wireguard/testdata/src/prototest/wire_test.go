@@ -8,3 +8,10 @@ func TestPingRoundTrip(t *testing.T) {
 		t.Fatal("ping did not round-trip")
 	}
 }
+
+// TestHeartbeatRoundTrip covers opHeartbeat, the detector-probe opcode.
+func TestHeartbeatRoundTrip(t *testing.T) {
+	if dispatch(opHeartbeat) != "alive" {
+		t.Fatal("heartbeat did not round-trip")
+	}
+}

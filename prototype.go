@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ghba/internal/proto"
+	"ghba/internal/rpcnet"
 	"ghba/internal/trace"
 )
 
@@ -36,6 +37,31 @@ type PrototypeConfig struct {
 	// pipelined request-ID-tagged frames — or "classic" for the original
 	// call-per-connection protocol behind per-daemon pools.
 	Transport string
+	// DataDir, when non-empty, makes every daemon durable: MDS i
+	// write-ahead logs its mutations under DataDir/mds-<i> and compacts
+	// the log into snapshots, enabling KillMDS/RestartMDS crash-recovery
+	// cycles. Empty keeps daemons memory-only, as before.
+	DataDir string
+	// WALSync selects the daemons' fsync policy: "always" (default),
+	// "interval" or "never". Only meaningful with DataDir.
+	WALSync string
+	// WALSyncInterval bounds the data-loss window under WALSync
+	// "interval". Zero selects the library default (100ms).
+	WALSyncInterval time.Duration
+	// SnapshotEvery is the WAL record count between snapshot compactions
+	// at each daemon. Zero selects 4096; negative disables automatic
+	// compaction. Only meaningful with DataDir.
+	SnapshotEvery int
+	// RetryAttempts bounds retry-with-backoff for idempotent RPCs
+	// (queries, probes, filter ships — never mutations). Zero or one
+	// disables retries; set it when daemons may crash and restart mid-run
+	// so lookups ride through the outage instead of failing on the first
+	// connection reset.
+	RetryAttempts int
+	// RetryBackoff is the first retry delay (doubling per attempt, capped
+	// at RetryMaxBackoff). Zeros select the library defaults.
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
 }
 
 // Prototype is the TCP Backend: N real MDS daemons on loopback ports (the
@@ -72,6 +98,15 @@ func StartPrototype(cfg PrototypeConfig) (*Prototype, error) {
 		ShipBatch:            cfg.ShipBatch,
 		ObserveBatch:         cfg.ObserveBatch,
 		Transport:            cfg.Transport,
+		DataDir:              cfg.DataDir,
+		WALSync:              cfg.WALSync,
+		WALSyncInterval:      cfg.WALSyncInterval,
+		SnapshotEvery:        cfg.SnapshotEvery,
+		Retry: rpcnet.RetryPolicy{
+			Attempts:   cfg.RetryAttempts,
+			Backoff:    cfg.RetryBackoff,
+			MaxBackoff: cfg.RetryMaxBackoff,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -224,5 +259,33 @@ func (p *Prototype) AddMDS(ctx context.Context) (id, replicasMigrated int, err e
 // RemoveMDS is not yet implemented by the TCP prototype.
 func (p *Prototype) RemoveMDS(context.Context, int) error { return ErrUnsupported }
 
-// FailMDS is not yet implemented by the TCP prototype.
-func (p *Prototype) FailMDS(context.Context, int) (int, error) { return 0, ErrUnsupported }
+// FailMDS removes daemon id as if it had crashed: the daemon is killed,
+// survivors repair their replica placement over real RPCs, and the files it
+// homed leave the namespace. Returns how many files were lost. The cluster's
+// heartbeat detector (StartDetector) invokes the same path automatically on
+// a Dead verdict.
+func (p *Prototype) FailMDS(ctx context.Context, id int) (int, error) {
+	rep, err := p.cluster.FailMDS(ctx, id)
+	return rep.FilesLost, err
+}
+
+// KillMDS crashes daemon id in place — connections drop, the WAL is
+// abandoned mid-stream, membership still names it — the client-visible
+// shape of a kill -9. Recover it with RestartMDS, or let a running failure
+// detector declare it dead and fail it over.
+func (p *Prototype) KillMDS(id int) error { return p.cluster.KillMDS(id) }
+
+// RestartMDS recovers daemon id from its WAL directory (requires DataDir)
+// and returns the recovery report: a daemon killed in place restarts within
+// its membership slot; one that was failed over rejoins and re-claims the
+// files its log preserved.
+func (p *Prototype) RestartMDS(ctx context.Context, id int) (proto.RestartReport, error) {
+	return p.cluster.RestartMDS(ctx, id)
+}
+
+// StartDetector launches the heartbeat failure detector against the
+// cluster: probes on a cadence, Alive→Suspect→Dead escalation, automatic
+// failover on Dead. Callers must Stop it before Close.
+func (p *Prototype) StartDetector(opts proto.DetectorOptions) *proto.Detector {
+	return p.cluster.StartDetector(opts)
+}

@@ -1,0 +1,130 @@
+package ghba
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"ghba/internal/proto"
+)
+
+// startDurablePrototype boots a small durable TCP prototype with retries on.
+func startDurablePrototype(t *testing.T, n int) *Prototype {
+	t.Helper()
+	p, err := StartPrototype(PrototypeConfig{
+		Config: Config{
+			NumMDS:              n,
+			MaxGroupSize:        2,
+			ExpectedFilesPerMDS: 1_000,
+			Seed:                7,
+		},
+		DataDir:       t.TempDir(),
+		SnapshotEvery: 64,
+		RetryAttempts: 4,
+		RetryBackoff:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestPrototypeKillRestart drives the facade's crash/recover surface: a
+// killed daemon refuses RPCs, RestartMDS recovers its files from the WAL in
+// place, and every path still resolves to its ground-truth home.
+func TestPrototypeKillRestart(t *testing.T) {
+	p := startDurablePrototype(t, 4)
+	ctx := context.Background()
+	paths := make([]string, 120)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/dur/f%d", i)
+		if _, err := p.Apply(ctx, Op{Kind: OpCreate, Path: paths[i]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := p.MDSIDs()[1]
+	if err := p.KillMDS(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.RestartMDS(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejoined {
+		t.Error("in-place restart reported a rejoin")
+	}
+	if rep.TailLost != 0 {
+		t.Errorf("in-process kill lost %d tail files; the page cache should survive", rep.TailLost)
+	}
+	for _, path := range paths {
+		res, err := p.Lookup(ctx, path)
+		if err != nil {
+			t.Fatalf("lookup %s after restart: %v", path, err)
+		}
+		if !res.Found || res.Home != p.HomeOf(path) {
+			t.Fatalf("lookup %s after restart: got (found=%v home=%d), want home %d",
+				path, res.Found, res.Home, p.HomeOf(path))
+		}
+	}
+}
+
+// TestPrototypeFailMDS pins the Reconfigurer contract the facade now
+// honours: FailMDS removes a daemon, reports the files lost, and shrinks
+// membership.
+func TestPrototypeFailMDS(t *testing.T) {
+	p := startDurablePrototype(t, 3)
+	ctx := context.Background()
+	for i := 0; i < 90; i++ {
+		if _, err := p.Apply(ctx, Op{Kind: OpCreate, Path: fmt.Sprintf("/fail/f%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := p.MDSIDs()[0]
+	homed := 0
+	for i := 0; i < 90; i++ {
+		if p.HomeOf(fmt.Sprintf("/fail/f%d", i)) == victim {
+			homed++
+		}
+	}
+	lost, err := p.FailMDS(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != homed {
+		t.Errorf("FailMDS reported %d files lost, ground truth homed %d", lost, homed)
+	}
+	if got := p.NumMDS(); got != 2 {
+		t.Errorf("NumMDS after failover = %d, want 2", got)
+	}
+	// A failed-over daemon rejoins through RestartMDS and re-claims its log.
+	rep, err := p.RestartMDS(ctx, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Rejoined {
+		t.Error("restart after failover did not rejoin")
+	}
+	if rep.FilesReclaimed != lost {
+		t.Errorf("reclaimed %d files, want the %d lost", rep.FilesReclaimed, lost)
+	}
+}
+
+// TestPrototypeDetectorSurface checks the facade detector handle: started,
+// queried, stopped — with no kills, every daemon stays alive and no
+// failover runs.
+func TestPrototypeDetectorSurface(t *testing.T) {
+	p := startDurablePrototype(t, 3)
+	det := p.StartDetector(proto.DetectorOptions{Interval: 10 * time.Millisecond})
+	time.Sleep(60 * time.Millisecond)
+	det.Stop()
+	if det.Failovers() != 0 {
+		t.Errorf("idle detector ran %d failovers", det.Failovers())
+	}
+	for _, id := range p.MDSIDs() {
+		if got := det.State(id); got.String() != "alive" {
+			t.Errorf("MDS %d state %v, want alive", id, got)
+		}
+	}
+}
