@@ -30,11 +30,26 @@ func equivalenceConfig() ghba.Config {
 }
 
 func TestCrossBackendEquivalence(t *testing.T) {
+	runCrossBackendEquivalence(t, equivalenceConfig())
+}
+
+// TestCrossBackendEquivalenceBlocked replays the same contract with
+// cache-line-blocked filters on both transports. Beyond re-proving protocol
+// agreement under the alternate probe schedule, it exercises the blocked
+// wire geometry tag end to end: every replica ship and snapshot crossing the
+// TCP boundary marshals with the blocked magic and must decode to the same
+// filter the simulation holds in memory.
+func TestCrossBackendEquivalenceBlocked(t *testing.T) {
+	cfg := equivalenceConfig()
+	cfg.BlockedFilters = true
+	runCrossBackendEquivalence(t, cfg)
+}
+
+func runCrossBackendEquivalence(t *testing.T, cfg ghba.Config) {
 	if testing.Short() {
 		t.Skip("loopback TCP replay is not short")
 	}
 	ctx := context.Background()
-	cfg := equivalenceConfig()
 
 	sim, err := ghba.New(cfg)
 	if err != nil {

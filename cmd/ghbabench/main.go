@@ -73,6 +73,7 @@ func main() {
 		walSync    = flag.String("wal-sync", "always", "WAL fsync policy for -recovery: always, interval or never")
 		rpcBatch   = flag.Int("rpcbatch", 0, "ops per batch-RPC vector for -wire's batched phase (0 = default)")
 		workers    = flag.Int("workers", 1, "worker goroutines for -throughput / -replay")
+		blocked    = flag.Bool("blocked", false, "use cache-line-blocked Bloom filters for -throughput")
 		lookups    = flag.Int("lookups", 100_000, "lookup count for -throughput")
 		files      = flag.Int("files", 20_000, "namespace size for -throughput / -replay")
 		mix        = flag.String("mix", "70:20:10", "lookup:create:delete ratio for -replay")
@@ -87,7 +88,7 @@ func main() {
 		if nn == 0 {
 			nn = 30
 		}
-		exitIf(runThroughput(nn, *files, *lookups, *workers, *seed, jsonPath(*jsonOut, "BENCH_lookup.json")))
+		exitIf(runThroughput(nn, *files, *lookups, *workers, *seed, *blocked, jsonPath(*jsonOut, "BENCH_lookup.json")))
 		return
 	}
 	if *replay {
@@ -227,6 +228,7 @@ type benchRecord struct {
 	Lookups       int     `json:"lookups"`
 	Workers       int     `json:"workers"`
 	Seed          int64   `json:"seed"`
+	Layout        string  `json:"layout"`
 	CPUs          int     `json:"cpus"`
 	LookupsPerSec float64 `json:"lookups_per_sec"`
 	NsPerOp       float64 `json:"ns_per_op"`
@@ -244,11 +246,12 @@ type benchRecord struct {
 // namespace so the L1 array sees the temporal locality the scheme exploits.
 // When jsonOut is non-empty the headline numbers are also written there as
 // the perf-trajectory record.
-func runThroughput(n, files, lookups, workers int, seed int64, jsonOut string) error {
+func runThroughput(n, files, lookups, workers int, seed int64, blocked bool, jsonOut string) error {
 	sim, err := ghba.New(ghba.Config{
 		NumMDS:              n,
 		ExpectedFilesPerMDS: uint64(files/n + 1),
 		Seed:                seed,
+		BlockedFilters:      blocked,
 	})
 	if err != nil {
 		return err
@@ -314,6 +317,7 @@ func runThroughput(n, files, lookups, workers int, seed int64, jsonOut string) e
 		Lookups:       lookups,
 		Workers:       workers,
 		Seed:          seed,
+		Layout:        layoutName(blocked),
 		CPUs:          runtime.NumCPU(),
 		LookupsPerSec: ops / elapsed.Seconds(),
 		NsPerOp:       float64(elapsed.Nanoseconds()) / ops,
@@ -340,6 +344,15 @@ func runThroughput(n, files, lookups, workers int, seed int64, jsonOut string) e
 }
 
 // jsonPath resolves the -json flag for one bench mode.
+// layoutName names the filter bit layout for the perf record, so blocked and
+// classic trajectories are never compared as like for like.
+func layoutName(blocked bool) string {
+	if blocked {
+		return "blocked"
+	}
+	return "classic"
+}
+
 func jsonPath(flagValue, modeDefault string) string {
 	switch flagValue {
 	case "auto":

@@ -1,12 +1,15 @@
 package bloom
 
+import "sync/atomic"
+
 // Digest is the hash-once currency of the query path: the two
 // Kirsch–Mitzenmacher base hashes of one key, computed a single time per
 // lookup, plus the k probe positions materialized once per filter geometry
 // and reused across every replica sharing that geometry. Because a G-HBA
-// deployment mandates one (m, k) for all its filters, a whole L1→L4 lookup
-// — dozens of replica probes — reduces to one key hash, one set of k mod
-// reductions, and k word loads per filter.
+// deployment mandates one (m, k, layout) for all its filters, a whole L1→L4
+// lookup — dozens of replica probes — reduces to one key hash, one set of k
+// position derivations, and k word loads per filter (one cache line per
+// filter under LayoutBlocked).
 //
 // A Digest is mutable scratch state (the position cache re-materializes when
 // the probed geometry changes) and must not be shared between goroutines;
@@ -17,10 +20,13 @@ type Digest struct {
 
 	// Cached probe positions for the most recently probed geometry. A
 	// single slot suffices: lookups probe same-geometry filter runs (all
-	// L1 generations, then all L2/L3 replicas), so switches are rare.
-	m   uint64
-	k   uint32
-	pos [digestMaxK]uint64
+	// L1 generations, then all L2/L3 replicas), so switches are rare. The
+	// layout participates in the cache key — classic and blocked filters
+	// of equal (m, k) map the same key to different positions.
+	m      uint64
+	k      uint32
+	layout Layout
+	pos    [digestMaxK]uint64
 }
 
 // digestMaxK bounds the cached probe positions. k = (m/n)·ln 2 stays below
@@ -42,29 +48,36 @@ func NewDigestString(key string) Digest {
 	return Digest{h1: h1, h2: h2}
 }
 
-// positions returns the k probe positions for geometry (m, k), materializing
-// and caching them on first use. Returns nil when k exceeds the cache bound;
-// callers then derive indices per probe.
-func (d *Digest) positions(m uint64, k uint32) []uint64 {
+// positions returns the k probe positions for geometry (m, k, layout),
+// materializing and caching them on first use. Returns nil when k exceeds
+// the cache bound; callers then derive indices per probe.
+func (d *Digest) positions(m uint64, k uint32, layout Layout) []uint64 {
 	if k > digestMaxK {
 		return nil
 	}
-	if d.m != m || d.k != k {
-		for i := uint32(0); i < k; i++ {
-			d.pos[i] = indexAt(d.h1, d.h2, i, m)
+	if d.m != m || d.k != k || d.layout != layout {
+		if layout == LayoutBlocked {
+			for i := uint32(0); i < k; i++ {
+				d.pos[i] = blockedIndexAt(d.h1, d.h2, i, m)
+			}
+		} else {
+			for i := uint32(0); i < k; i++ {
+				d.pos[i] = indexAt(d.h1, d.h2, i, m)
+			}
 		}
-		d.m, d.k = m, k
+		d.m, d.k, d.layout = m, k, layout
 	}
 	return d.pos[:k]
 }
 
 // ContainsDigest reports whether the digested key may be in the set. It is
 // bit-for-bit equivalent to Contains on the same key: k word loads against
-// the cached probe positions, no hashing, no allocation.
+// the cached probe positions, no hashing, no allocation. Like Contains it is
+// safe to call lock-free concurrently with a serialized writer.
 func (f *Filter) ContainsDigest(d *Digest) bool {
-	if pos := d.positions(f.m, f.k); pos != nil {
+	if pos := d.positions(f.m, f.k, f.layout); pos != nil {
 		for _, bit := range pos {
-			if f.words[bit/wordBits]&(1<<(bit%wordBits)) == 0 {
+			if atomic.LoadUint64(&f.words[bit/wordBits])&(1<<(bit%wordBits)) == 0 {
 				return false
 			}
 		}
@@ -75,11 +88,11 @@ func (f *Filter) ContainsDigest(d *Digest) bool {
 
 // AddDigest inserts the digested key, equivalent to Add on the same key.
 func (f *Filter) AddDigest(d *Digest) {
-	if pos := d.positions(f.m, f.k); pos != nil {
+	if pos := d.positions(f.m, f.k, f.layout); pos != nil {
 		for _, bit := range pos {
-			f.words[bit/wordBits] |= 1 << (bit % wordBits)
+			atomic.OrUint64(&f.words[bit/wordBits], 1<<(bit%wordBits))
 		}
-		f.n++
+		atomic.AddUint64(&f.n, 1)
 		return
 	}
 	f.addPair(d.h1, d.h2)
@@ -88,7 +101,7 @@ func (f *Filter) AddDigest(d *Digest) {
 // ContainsDigest reports whether the digested key may be in the counting
 // filter, equivalent to Contains on the same key.
 func (c *CountingFilter) ContainsDigest(d *Digest) bool {
-	if pos := d.positions(c.m, c.k); pos != nil {
+	if pos := d.positions(c.m, c.k, LayoutClassic); pos != nil {
 		for _, idx := range pos {
 			if c.counters[idx] == 0 {
 				return false
@@ -101,7 +114,7 @@ func (c *CountingFilter) ContainsDigest(d *Digest) bool {
 
 // AddDigest inserts the digested key, equivalent to Add on the same key.
 func (c *CountingFilter) AddDigest(d *Digest) {
-	if pos := d.positions(c.m, c.k); pos != nil {
+	if pos := d.positions(c.m, c.k, LayoutClassic); pos != nil {
 		for _, idx := range pos {
 			if c.counters[idx] < counterMax {
 				c.counters[idx]++
@@ -116,7 +129,7 @@ func (c *CountingFilter) AddDigest(d *Digest) {
 // RemoveDigest deletes one occurrence of the digested key, equivalent to
 // Remove on the same key (with the same corruption caveat).
 func (c *CountingFilter) RemoveDigest(d *Digest) {
-	if pos := d.positions(c.m, c.k); pos != nil {
+	if pos := d.positions(c.m, c.k, LayoutClassic); pos != nil {
 		for _, idx := range pos {
 			if c.counters[idx] > 0 && c.counters[idx] < counterMax {
 				c.counters[idx]--

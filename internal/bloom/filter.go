@@ -4,9 +4,18 @@
 // XOR), and the false-positive analysis of Equation 1.
 //
 // All filters in one deployment must be created with identical geometry
-// (m bits, k hash functions) so that their bit vectors are directly
-// comparable and replicable across metadata servers; the algebraic
+// (m bits, k hash functions, bit layout) so that their bit vectors are
+// directly comparable and replicable across metadata servers; the algebraic
 // operations enforce this and fail loudly on mismatch.
+//
+// Two bit layouts are supported. LayoutClassic spreads the k probe positions
+// across the whole vector — the textbook arrangement, and the wire/snapshot
+// format every earlier release produced. LayoutBlocked partitions the vector
+// into 512-bit (cache-line-sized) blocks: the first hash selects one block
+// and all k probes stay inside it, so a membership query costs one cache
+// line instead of k. The layout is part of a filter's geometry and of its
+// wire encoding (a distinct magic number), so mixed deployments fail loudly
+// rather than silently mis-probing each other's replicas.
 package bloom
 
 import (
@@ -14,12 +23,13 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Common errors returned by filter operations.
 var (
 	// ErrGeometryMismatch is returned when two filters with different bit
-	// lengths or hash counts are combined.
+	// lengths, hash counts or layouts are combined.
 	ErrGeometryMismatch = errors.New("bloom: filter geometry mismatch")
 	// ErrInvalidGeometry is returned when a filter is created with a
 	// non-positive size or hash count.
@@ -28,40 +38,101 @@ var (
 
 const wordBits = 64
 
-// Filter is a standard Bloom filter over byte-string keys.
-//
-// The zero value is not usable; construct filters with New or NewForCapacity.
-// Filter is not safe for concurrent mutation; wrap it in a lock at the layer
-// that owns it (the MDS layer in this repository does so).
-type Filter struct {
-	m     uint64 // number of bits
-	k     uint32 // number of hash functions
-	n     uint64 // number of Add calls since creation/clear (approximate set size)
-	words []uint64
+// Layout selects how a filter maps probe positions onto its bit vector.
+type Layout uint8
+
+const (
+	// LayoutClassic spreads the k probes over the whole vector:
+	// index_i = (h1 + i·h2) mod m.
+	LayoutClassic Layout = iota
+	// LayoutBlocked confines all k probes of a key to one 512-bit block
+	// selected by h1, so a query touches a single cache line.
+	LayoutBlocked
+)
+
+// String names the layout for diagnostics.
+func (l Layout) String() string {
+	switch l {
+	case LayoutClassic:
+		return "classic"
+	case LayoutBlocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("layout(%d)", uint8(l))
+	}
 }
 
-// New creates a filter with exactly m bits and k hash functions.
+// blockBits is the block size of LayoutBlocked: one 64-byte cache line.
+const blockBits = 512
+
+// Filter is a standard Bloom filter over byte-string keys.
+//
+// The zero value is not usable; construct filters with New, NewLayout or
+// NewForCapacity.
+//
+// Concurrency: mutation (Add, Clear, Union, CopyFrom, …) requires external
+// serialization at the layer that owns the filter — the MDS layer in this
+// repository serializes writers behind per-node locks. Membership probes
+// (Contains, ContainsDigest) are safe to run lock-free concurrently with a
+// serialized writer: probes load words atomically and writers publish them
+// atomically, so the epoch-snapshot read path never takes a lock to query a
+// live filter. A probe racing an in-flight Add may miss that key until the
+// add completes — the same transient miss the paper's asynchronous replica
+// propagation already tolerates — but never corrupts the vector.
+type Filter struct {
+	m      uint64 // number of bits
+	k      uint32 // number of hash functions
+	n      uint64 // number of Add calls since creation/clear (approximate set size); atomic
+	layout Layout
+	words  []uint64
+}
+
+// New creates a classic-layout filter with exactly m bits and k hash
+// functions.
 func New(m uint64, k uint32) (*Filter, error) {
+	return NewLayout(m, k, LayoutClassic)
+}
+
+// NewLayout creates a filter with the given geometry and bit layout. For
+// LayoutBlocked, m is rounded up to a whole number of 512-bit blocks so
+// every block is full-sized.
+func NewLayout(m uint64, k uint32, layout Layout) (*Filter, error) {
 	if m == 0 || k == 0 {
 		return nil, fmt.Errorf("%w: m=%d k=%d", ErrInvalidGeometry, m, k)
 	}
+	switch layout {
+	case LayoutClassic:
+	case LayoutBlocked:
+		if r := m % blockBits; r != 0 {
+			m += blockBits - r
+		}
+	default:
+		return nil, fmt.Errorf("%w: unknown layout %d", ErrInvalidGeometry, uint8(layout))
+	}
 	return &Filter{
-		m:     m,
-		k:     k,
-		words: make([]uint64, (m+wordBits-1)/wordBits),
+		m:      m,
+		k:      k,
+		layout: layout,
+		words:  make([]uint64, (m+wordBits-1)/wordBits),
 	}, nil
 }
 
-// NewForCapacity creates a filter sized for n items at the given bits-per-item
-// ratio (the paper's m/n), using the optimal hash count k = (m/n)·ln 2.
-// This is the constructor used throughout G-HBA, where bitsPerItem is a
-// deployment parameter (8 and 16 are the ratios evaluated in Table 5).
+// NewForCapacity creates a classic-layout filter sized for n items at the
+// given bits-per-item ratio (the paper's m/n), using the optimal hash count
+// k = (m/n)·ln 2. This is the constructor used throughout G-HBA, where
+// bitsPerItem is a deployment parameter (8 and 16 are the ratios evaluated
+// in Table 5).
 func NewForCapacity(n uint64, bitsPerItem float64) (*Filter, error) {
+	return NewForCapacityLayout(n, bitsPerItem, LayoutClassic)
+}
+
+// NewForCapacityLayout is NewForCapacity with an explicit bit layout.
+func NewForCapacityLayout(n uint64, bitsPerItem float64, layout Layout) (*Filter, error) {
 	if n == 0 || bitsPerItem <= 0 {
 		return nil, fmt.Errorf("%w: n=%d bits/item=%f", ErrInvalidGeometry, n, bitsPerItem)
 	}
 	m := uint64(math.Ceil(float64(n) * bitsPerItem))
-	return New(m, OptimalK(bitsPerItem))
+	return NewLayout(m, OptimalK(bitsPerItem), layout)
 }
 
 // OptimalK returns the hash count minimizing the false-positive rate for the
@@ -80,10 +151,22 @@ func (f *Filter) M() uint64 { return f.m }
 // K returns the number of hash functions.
 func (f *Filter) K() uint32 { return f.k }
 
+// Layout returns the filter's bit layout.
+func (f *Filter) Layout() Layout { return f.layout }
+
 // Count returns the number of insertions since creation or the last Clear.
 // It over-counts re-insertions of the same key and is used only for load
-// accounting, never for membership decisions.
-func (f *Filter) Count() uint64 { return f.n }
+// accounting, never for membership decisions. After Union or Intersect it is
+// the clamped estimate those operations document.
+func (f *Filter) Count() uint64 { return atomic.LoadUint64(&f.n) }
+
+// indexOf returns the i-th probe position under the filter's layout.
+func (f *Filter) indexOf(h1, h2 uint64, i uint32) uint64 {
+	if f.layout == LayoutBlocked {
+		return blockedIndexAt(h1, h2, i, f.m)
+	}
+	return indexAt(h1, h2, i, f.m)
+}
 
 // Add inserts key into the filter.
 func (f *Filter) Add(key []byte) {
@@ -99,10 +182,10 @@ func (f *Filter) AddString(key string) {
 
 func (f *Filter) addPair(h1, h2 uint64) {
 	for i := uint32(0); i < f.k; i++ {
-		bit := indexAt(h1, h2, i, f.m)
-		f.words[bit/wordBits] |= 1 << (bit % wordBits)
+		bit := f.indexOf(h1, h2, i)
+		atomic.OrUint64(&f.words[bit/wordBits], 1<<(bit%wordBits))
 	}
-	f.n++
+	atomic.AddUint64(&f.n, 1)
 }
 
 // Contains reports whether key may be in the set. False positives occur with
@@ -122,8 +205,8 @@ func (f *Filter) ContainsString(key string) bool {
 
 func (f *Filter) containsPair(h1, h2 uint64) bool {
 	for i := uint32(0); i < f.k; i++ {
-		bit := indexAt(h1, h2, i, f.m)
-		if f.words[bit/wordBits]&(1<<(bit%wordBits)) == 0 {
+		bit := f.indexOf(h1, h2, i)
+		if atomic.LoadUint64(&f.words[bit/wordBits])&(1<<(bit%wordBits)) == 0 {
 			return false
 		}
 	}
@@ -133,16 +216,16 @@ func (f *Filter) containsPair(h1, h2 uint64) bool {
 // Clear resets the filter to empty.
 func (f *Filter) Clear() {
 	for i := range f.words {
-		f.words[i] = 0
+		atomic.StoreUint64(&f.words[i], 0)
 	}
-	f.n = 0
+	atomic.StoreUint64(&f.n, 0)
 }
 
 // Clone returns a deep copy of the filter.
 func (f *Filter) Clone() *Filter {
 	w := make([]uint64, len(f.words))
 	copy(w, f.words)
-	return &Filter{m: f.m, k: f.k, n: f.n, words: w}
+	return &Filter{m: f.m, k: f.k, n: f.Count(), layout: f.layout, words: w}
 }
 
 // PopCount returns the number of set bits.
@@ -170,9 +253,31 @@ func (f *Filter) EstimatedFPR() float64 {
 	return math.Pow(f.FillRatio(), float64(f.k))
 }
 
+// EstimatedCount returns the Swamidass–Baldi cardinality estimate for the
+// filter's current bit vector,
+//
+//	n̂ = −(m/k) · ln(1 − X/m),
+//
+// where X is the number of set bits. Unlike Count, which tallies Add calls,
+// the estimate is derived purely from the vector, so it stays meaningful
+// after set-algebraic operations where insertion counts cannot be combined
+// exactly. A saturated filter (every bit set) carries no cardinality
+// information and estimates the maximum uint64.
+func (f *Filter) EstimatedCount() uint64 {
+	fill := f.FillRatio()
+	if fill >= 1 {
+		return math.MaxUint64
+	}
+	est := -(float64(f.m) / float64(f.k)) * math.Log(1-fill)
+	if est < 0 {
+		return 0
+	}
+	return uint64(math.Round(est))
+}
+
 // Equal reports whether two filters have identical geometry and bit vectors.
 func (f *Filter) Equal(g *Filter) bool {
-	if f.m != g.m || f.k != g.k {
+	if f.m != g.m || f.k != g.k || f.layout != g.layout {
 		return false
 	}
 	for i, w := range f.words {
@@ -185,25 +290,50 @@ func (f *Filter) Equal(g *Filter) bool {
 
 // sameGeometry verifies that g can be combined with f.
 func (f *Filter) sameGeometry(g *Filter) error {
-	if f.m != g.m || f.k != g.k {
-		return fmt.Errorf("%w: (m=%d,k=%d) vs (m=%d,k=%d)",
-			ErrGeometryMismatch, f.m, f.k, g.m, g.k)
+	if f.m != g.m || f.k != g.k || f.layout != g.layout {
+		return fmt.Errorf("%w: (m=%d,k=%d,%v) vs (m=%d,k=%d,%v)",
+			ErrGeometryMismatch, f.m, f.k, f.layout, g.m, g.k, g.layout)
 	}
 	return nil
+}
+
+// setCount overwrites the insertion counter. Writers are externally
+// serialized; the atomic store keeps lock-free Count readers race-clean.
+func (f *Filter) setCount(n uint64) { atomic.StoreUint64(&f.n, n) }
+
+// clampCount bounds an estimate into [lo, hi] (a union's true cardinality
+// lies between the larger input and the sum of the inputs; an
+// intersection's below the smaller input).
+func clampCount(est, lo, hi uint64) uint64 {
+	if est < lo {
+		return lo
+	}
+	if est > hi {
+		return hi
+	}
+	return est
 }
 
 // Union replaces f with BF(A∪B) by ORing the bit vectors (Property 1 of the
 // paper). The resulting filter represents the union exactly: it answers
 // positively for every member of either set, with a false-positive rate no
 // lower than either input's.
+//
+// The insertion counter cannot be combined exactly — summing the inputs
+// would double-count members present in both sets — so it is reset to the
+// Swamidass–Baldi estimate of the merged vector (see EstimatedCount),
+// clamped to the feasible range [max(n_A, n_B), n_A + n_B]. The counter
+// feeds load accounting and ship/rebuild heuristics only, never membership
+// answers.
 func (f *Filter) Union(g *Filter) error {
 	if err := f.sameGeometry(g); err != nil {
 		return err
 	}
+	fn, gn := f.Count(), g.Count()
 	for i, w := range g.words {
-		f.words[i] |= w
+		atomic.StoreUint64(&f.words[i], f.words[i]|w)
 	}
-	f.n += g.n
+	f.setCount(clampCount(f.EstimatedCount(), max(fn, gn), fn+gn))
 	return nil
 }
 
@@ -211,16 +341,20 @@ func (f *Filter) Union(g *Filter) error {
 // paper this is a superset approximation of BF(A∩B): every member of A∩B
 // still answers positively, but the false-positive rate exceeds that of a
 // filter built directly from A∩B.
+//
+// The insertion counter is reset to the Swamidass–Baldi estimate of the
+// intersected vector, clamped to [0, min(n_A, n_B)] — the true intersection
+// can be empty and can never exceed the smaller input. Taking min alone (the
+// previous behaviour) overstates heavily disjoint intersections.
 func (f *Filter) Intersect(g *Filter) error {
 	if err := f.sameGeometry(g); err != nil {
 		return err
 	}
+	fn, gn := f.Count(), g.Count()
 	for i, w := range g.words {
-		f.words[i] &= w
+		atomic.StoreUint64(&f.words[i], f.words[i]&w)
 	}
-	if g.n < f.n {
-		f.n = g.n
-	}
+	f.setCount(clampCount(f.EstimatedCount(), 0, min(fn, gn)))
 	return nil
 }
 
@@ -246,7 +380,7 @@ func (f *Filter) Xor(g *Filter) (*Filter, error) {
 	if err := f.sameGeometry(g); err != nil {
 		return nil, err
 	}
-	out := &Filter{m: f.m, k: f.k, words: make([]uint64, len(f.words))}
+	out := &Filter{m: f.m, k: f.k, layout: f.layout, words: make([]uint64, len(f.words))}
 	for i := range f.words {
 		out.words[i] = f.words[i] ^ g.words[i]
 	}
@@ -260,7 +394,9 @@ func (f *Filter) CopyFrom(g *Filter) error {
 	if err := f.sameGeometry(g); err != nil {
 		return err
 	}
-	copy(f.words, g.words)
-	f.n = g.n
+	for i, w := range g.words {
+		atomic.StoreUint64(&f.words[i], w)
+	}
+	f.setCount(g.Count())
 	return nil
 }

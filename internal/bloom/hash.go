@@ -62,3 +62,15 @@ func hashPairString(key string) (h1, h2 uint64) {
 func indexAt(h1, h2 uint64, i uint32, m uint64) uint64 {
 	return (h1 + uint64(i)*h2) % m
 }
+
+// blockedIndexAt returns the i-th probe position for the (h1, h2) pair in a
+// cache-line-blocked table of m bits (m a multiple of blockBits): h1 selects
+// one 512-bit block and every probe lands inside it, so a whole k-probe query
+// touches a single cache line. Within the block the probes walk the same
+// Kirsch–Mitzenmacher sequence reduced mod 512 — h2 is odd, hence coprime
+// with the block size, so the k offsets are distinct for every k ≤ 512.
+func blockedIndexAt(h1, h2 uint64, i uint32, m uint64) uint64 {
+	base := (h1 % (m / blockBits)) * blockBits
+	off := (h1 + uint64(i)*h2) & (blockBits - 1)
+	return base + off
+}

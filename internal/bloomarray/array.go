@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ghba/internal/bloom"
 )
@@ -76,59 +77,75 @@ type entry struct {
 // whose file set each filter summarizes. It is the representation of the L2
 // segment array and, in the HBA baseline, of the full global replica array.
 //
-// Storage is a slice sorted by MDS ID: queries are a cache-friendly linear
-// scan that yields hits already in ascending order (no per-query sort, no
-// map iteration), which is what lets QueryDigest run allocation-free.
+// Storage is an immutable slice sorted by MDS ID, published through an
+// atomic pointer (copy-on-write): queries load the current snapshot with no
+// lock acquisition and scan it — a cache-friendly linear pass that yields
+// hits already in ascending order (no per-query sort, no map iteration),
+// which is what lets QueryDigest run allocation- and lock-free. Writers
+// (replica refreshes from coalescing shippers, reconfiguration moves)
+// serialize on an internal mutex, build a new slice, and swap it in; a
+// reader that loaded the previous snapshot finishes against it, which is
+// indistinguishable from the reader having run just before the write.
 //
-// Array is safe for concurrent use: the sharded write path refreshes
-// replicas (Put) from coalescing shippers while lookup workers probe
-// (QueryDigest) the same array, so every method takes the internal lock.
 // Filters handed to Put are stored by reference and must not be mutated
-// afterwards; refreshes replace the pointer wholesale.
+// afterwards; refreshes replace the pointer wholesale. That immutability is
+// what makes the published snapshot safe to probe without synchronization.
 type Array struct {
-	mu      sync.RWMutex
-	entries []entry
+	mu      sync.Mutex // serializes writers; readers never take it
+	entries atomic.Pointer[[]entry]
 }
 
 // NewArray returns an empty array.
 func NewArray() *Array {
-	return &Array{}
+	a := &Array{}
+	a.entries.Store(&[]entry{})
+	return a
+}
+
+// snapshot returns the current published entry slice. The slice is immutable;
+// callers may scan it freely but must not modify it.
+func (a *Array) snapshot() []entry {
+	return *a.entries.Load()
 }
 
 // search returns the position of mdsID in the sorted entry slice and whether
-// it is present. Requires a.mu (read suffices).
-func (a *Array) search(mdsID int) (int, bool) {
-	i := sort.Search(len(a.entries), func(i int) bool {
-		return a.entries[i].id >= mdsID
+// it is present.
+func search(entries []entry, mdsID int) (int, bool) {
+	i := sort.Search(len(entries), func(i int) bool {
+		return entries[i].id >= mdsID
 	})
-	return i, i < len(a.entries) && a.entries[i].id == mdsID
+	return i, i < len(entries) && entries[i].id == mdsID
 }
 
-// putLocked installs or replaces the replica for mdsID. Requires a.mu.
-func (a *Array) putLocked(mdsID int, f *bloom.Filter) {
-	i, ok := a.search(mdsID)
+// insertEntry returns a fresh sorted slice equal to entries with the replica
+// for mdsID installed or replaced.
+func insertEntry(entries []entry, mdsID int, f *bloom.Filter) []entry {
+	i, ok := search(entries, mdsID)
 	if ok {
-		a.entries[i].f = f
-		return
+		out := make([]entry, len(entries))
+		copy(out, entries)
+		out[i].f = f
+		return out
 	}
-	a.entries = append(a.entries, entry{})
-	copy(a.entries[i+1:], a.entries[i:])
-	a.entries[i] = entry{id: mdsID, f: f}
+	out := make([]entry, 0, len(entries)+1)
+	out = append(out, entries[:i]...)
+	out = append(out, entry{id: mdsID, f: f})
+	return append(out, entries[i:]...)
 }
 
 // Put installs or replaces the replica for the given MDS ID.
 func (a *Array) Put(mdsID int, f *bloom.Filter) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.putLocked(mdsID, f)
+	next := insertEntry(a.snapshot(), mdsID, f)
+	a.entries.Store(&next)
 }
 
 // Get returns the replica for mdsID, or nil if absent.
 func (a *Array) Get(mdsID int) *bloom.Filter {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	if i, ok := a.search(mdsID); ok {
-		return a.entries[i].f
+	entries := a.snapshot()
+	if i, ok := search(entries, mdsID); ok {
+		return entries[i].f
 	}
 	return nil
 }
@@ -137,36 +154,35 @@ func (a *Array) Get(mdsID int) *bloom.Filter {
 func (a *Array) Remove(mdsID int) *bloom.Filter {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	i, ok := a.search(mdsID)
+	entries := a.snapshot()
+	i, ok := search(entries, mdsID)
 	if !ok {
 		return nil
 	}
-	f := a.entries[i].f
-	a.entries = append(a.entries[:i], a.entries[i+1:]...)
+	f := entries[i].f
+	next := make([]entry, 0, len(entries)-1)
+	next = append(next, entries[:i]...)
+	next = append(next, entries[i+1:]...)
+	a.entries.Store(&next)
 	return f
 }
 
 // Has reports whether the array holds a replica for mdsID.
 func (a *Array) Has(mdsID int) bool {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	_, ok := a.search(mdsID)
+	_, ok := search(a.snapshot(), mdsID)
 	return ok
 }
 
 // Len returns the number of replicas held.
 func (a *Array) Len() int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	return len(a.entries)
+	return len(a.snapshot())
 }
 
 // IDs returns the MDS IDs of all held replicas in ascending order.
 func (a *Array) IDs() []int {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	ids := make([]int, len(a.entries))
-	for i, e := range a.entries {
+	entries := a.snapshot()
+	ids := make([]int, len(entries))
+	for i, e := range entries {
 		ids[i] = e.id
 	}
 	return ids
@@ -184,17 +200,18 @@ func (a *Array) QueryString(key string) Result {
 	return a.QueryDigest(&d, nil)
 }
 
-// QueryDigest checks a pre-hashed key against every filter: one scan over
-// the sorted entries, k word loads per filter, hits appended into buf (which
-// may be nil). Hits come out in ascending ID order by construction. Passing
-// a reused buffer makes the query allocation-free.
+// QueryDigest checks a pre-hashed key against every filter: one atomic
+// snapshot load, then a scan over the sorted entries at k word loads per
+// filter (one cache line per filter for blocked layouts), hits appended into
+// buf (which may be nil). Hits come out in ascending ID order by
+// construction. Passing a reused buffer makes the query allocation-free; no
+// lock is taken at any point.
 func (a *Array) QueryDigest(d *bloom.Digest, buf []int) Result {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
+	entries := a.snapshot()
 	hits := buf[:0]
-	for i := range a.entries {
-		if a.entries[i].f.ContainsDigest(d) {
-			hits = append(hits, a.entries[i].id)
+	for i := range entries {
+		if entries[i].f.ContainsDigest(d) {
+			hits = append(hits, entries[i].id)
 		}
 	}
 	return Result{Hits: hits}
@@ -203,10 +220,8 @@ func (a *Array) QueryDigest(d *bloom.Digest, buf []int) Result {
 // SizeBytes returns the total in-memory footprint of all held replicas; the
 // memory model charges this against the per-MDS RAM budget.
 func (a *Array) SizeBytes() uint64 {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
 	var total uint64
-	for _, e := range a.entries {
+	for _, e := range a.snapshot() {
 		total += e.f.SizeBytes()
 	}
 	return total
@@ -214,12 +229,13 @@ func (a *Array) SizeBytes() uint64 {
 
 // Clone returns a deep copy of the array (each filter is cloned).
 func (a *Array) Clone() *Array {
-	a.mu.RLock()
-	defer a.mu.RUnlock()
-	c := &Array{entries: make([]entry, len(a.entries))}
-	for i, e := range a.entries {
-		c.entries[i] = entry{id: e.id, f: e.f.Clone()}
+	entries := a.snapshot()
+	next := make([]entry, len(entries))
+	for i, e := range entries {
+		next[i] = entry{id: e.id, f: e.f.Clone()}
 	}
+	c := &Array{}
+	c.entries.Store(&next)
 	return c
 }
 
@@ -231,17 +247,20 @@ func (a *Array) Clone() *Array {
 func (a *Array) PopRandom(count int) map[int]*bloom.Filter {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	entries := a.snapshot()
 	if count < 0 {
 		count = 0
 	}
-	if count > len(a.entries) {
-		count = len(a.entries)
+	if count > len(entries) {
+		count = len(entries)
 	}
 	out := make(map[int]*bloom.Filter, count)
-	for _, e := range a.entries[:count] {
+	for _, e := range entries[:count] {
 		out[e.id] = e.f
 	}
-	a.entries = a.entries[:copy(a.entries, a.entries[count:])]
+	next := make([]entry, len(entries)-count)
+	copy(next, entries[count:])
+	a.entries.Store(&next)
 	return out
 }
 
@@ -255,14 +274,17 @@ func (a *Array) MergeFrom(src *Array) error {
 	defer a.mu.Unlock()
 	src.mu.Lock()
 	defer src.mu.Unlock()
-	for _, e := range src.entries {
-		if _, ok := a.search(e.id); ok {
+	merged := a.snapshot()
+	srcEntries := src.snapshot()
+	for _, e := range srcEntries {
+		if _, ok := search(merged, e.id); ok {
 			return fmt.Errorf("bloomarray: duplicate replica for MDS %d during merge", e.id)
 		}
 	}
-	for _, e := range src.entries {
-		a.putLocked(e.id, e.f)
+	for _, e := range srcEntries {
+		merged = insertEntry(merged, e.id, e.f)
 	}
-	src.entries = src.entries[:0]
+	a.entries.Store(&merged)
+	src.entries.Store(&[]entry{})
 	return nil
 }

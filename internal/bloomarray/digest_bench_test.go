@@ -46,7 +46,7 @@ func BenchmarkArrayQuery(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			key := []byte(paths[i%len(paths)])
 			var hits []int
-			for _, e := range a.entries {
+			for _, e := range a.snapshot() {
 				if e.f.Contains(key) {
 					hits = append(hits, e.id)
 				}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"ghba/internal/bloom"
 )
@@ -18,45 +19,80 @@ import (
 // two capacities of the most recent insertions, which is exactly the "hot
 // data" set the paper wants L1 to capture.
 //
-// The array is safe for concurrent use: lookups from parallel workers record
-// confirmed homes (Observe) while other workers query, so every method takes
-// the internal lock. Observe mutates filter generations and therefore needs
-// the write lock even though queries dominate.
+// Concurrency follows the epoch-snapshot idiom of the rest of the read
+// path: the entry map is immutable and published through an atomic pointer.
+// Queries (and the Observe fast path for already-recorded hot keys) load the
+// snapshot and probe filters with atomic word reads — no lock, ever.
+// Structural writes — a new MDS entry, a generation rotation, Forget, Reset
+// — serialize on an internal mutex, copy the map, and swap in the new
+// version; an agingFilter value is never modified after publication, only
+// replaced. Non-structural inserts (AddDigest into a published active
+// filter) also run under the mutex and are safe against concurrent readers
+// because filter bit-sets synchronize word-wise.
 type LRUArray struct {
-	mu          sync.RWMutex
-	capacity    uint64  // insertions per generation, per MDS
-	bitsPerItem float64 // filter ratio for each generation
-	entries     map[int]*agingFilter
+	mu          sync.Mutex // serializes writers; readers never take it
+	capacity    uint64     // insertions per generation, per MDS
+	bitsPerItem float64    // filter ratio for each generation
+	layout      bloom.Layout
+	entries     atomic.Pointer[map[int]*agingFilter]
 }
 
-// agingFilter is a two-generation filter pair for one MDS.
+// agingFilter is a two-generation filter pair for one MDS. Published values
+// are immutable: rotation and entry creation replace the whole struct.
 type agingFilter struct {
 	active *bloom.Filter
 	aged   *bloom.Filter
 }
 
 // NewLRUArray creates an LRU array whose per-MDS generations hold capacity
-// recent files at the given bits-per-item ratio.
+// recent files at the given bits-per-item ratio, using the classic filter
+// layout.
 func NewLRUArray(capacity uint64, bitsPerItem float64) (*LRUArray, error) {
+	return NewLRUArrayLayout(capacity, bitsPerItem, bloom.LayoutClassic)
+}
+
+// NewLRUArrayLayout is NewLRUArray with an explicit filter layout; blocked
+// generations answer each probe from a single cache line.
+func NewLRUArrayLayout(capacity uint64, bitsPerItem float64, layout bloom.Layout) (*LRUArray, error) {
 	if capacity == 0 || bitsPerItem <= 0 {
 		return nil, fmt.Errorf("%w: capacity=%d bits/item=%f",
 			bloom.ErrInvalidGeometry, capacity, bitsPerItem)
 	}
-	return &LRUArray{
+	l := &LRUArray{
 		capacity:    capacity,
 		bitsPerItem: bitsPerItem,
-		entries:     make(map[int]*agingFilter),
-	}, nil
+		layout:      layout,
+	}
+	l.entries.Store(&map[int]*agingFilter{})
+	return l, nil
+}
+
+// snapshot returns the current published entry map. The map is immutable;
+// callers may range over it freely but must not modify it.
+func (l *LRUArray) snapshot() map[int]*agingFilter {
+	return *l.entries.Load()
 }
 
 func (l *LRUArray) newGeneration() *bloom.Filter {
-	f, err := bloom.NewForCapacity(l.capacity, l.bitsPerItem)
+	f, err := bloom.NewForCapacityLayout(l.capacity, l.bitsPerItem, l.layout)
 	if err != nil {
 		// Geometry was validated in the constructor; reaching here means
 		// internal corruption, not caller error.
 		panic(fmt.Sprintf("bloomarray: invalid LRU generation geometry: %v", err))
 	}
 	return f
+}
+
+// publishLocked copies the current map, applies mutate to the copy, and
+// swaps it in. Requires l.mu.
+func (l *LRUArray) publishLocked(mutate func(map[int]*agingFilter)) {
+	cur := l.snapshot()
+	next := make(map[int]*agingFilter, len(cur)+1)
+	for id, e := range cur {
+		next[id] = e
+	}
+	mutate(next)
+	l.entries.Store(&next)
 }
 
 // Observe records that key was confirmed to live at homeMDS, rotating that
@@ -73,39 +109,46 @@ func (l *LRUArray) ObserveString(key string, homeMDS int) {
 }
 
 // ObserveDigest records a pre-hashed confirmed (key → homeMDS) mapping. The
-// key is hashed exactly once: the read-lock fast path and the write-path
+// key is hashed exactly once: the lock-free fast path and the write-path
 // insert both consume the caller's digest.
 //
 // The hot case — re-observing a key already in the current generation — is
-// answered under the read lock so parallel lookup workers hammering the same
-// hot files do not serialize. Skipping the re-add leaves the filter bits
-// unchanged but also leaves the generation's insertion counter where it was,
-// so rotation is driven by (approximately) distinct recent files rather than
-// raw observation count: a hot set smaller than capacity stays resident
-// instead of being aged out by its own repetitions, which is the window the
-// paper wants L1 to capture. Only new keys (and rotations) take the write
-// lock.
+// answered from the published snapshot without any lock, so parallel lookup
+// workers hammering the same hot files do not serialize. Skipping the re-add
+// leaves the filter bits unchanged but also leaves the generation's
+// insertion counter where it was, so rotation is driven by (approximately)
+// distinct recent files rather than raw observation count: a hot set smaller
+// than capacity stays resident instead of being aged out by its own
+// repetitions, which is the window the paper wants L1 to capture. Only new
+// keys (and rotations) take the write lock.
 func (l *LRUArray) ObserveDigest(d *bloom.Digest, homeMDS int) {
-	l.mu.RLock()
-	if e := l.entries[homeMDS]; e != nil &&
+	if e := l.snapshot()[homeMDS]; e != nil &&
 		e.active.Count() < l.capacity && e.active.ContainsDigest(d) {
-		l.mu.RUnlock()
 		return
 	}
-	l.mu.RUnlock()
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	e := l.entries[homeMDS]
-	if e == nil {
-		e = &agingFilter{active: l.newGeneration()}
-		l.entries[homeMDS] = e
+	e := l.snapshot()[homeMDS]
+	switch {
+	case e == nil:
+		// First observation for this MDS: publish a fresh entry with the
+		// key already inserted so no reader sees an empty active filter
+		// that is about to change shape.
+		fresh := &agingFilter{active: l.newGeneration()}
+		fresh.active.AddDigest(d)
+		l.publishLocked(func(m map[int]*agingFilter) { m[homeMDS] = fresh })
+	case e.active.Count() >= l.capacity:
+		// Rotate by replacement: the published agingFilter stays intact for
+		// in-flight readers; the new version demotes the full generation.
+		rotated := &agingFilter{active: l.newGeneration(), aged: e.active}
+		rotated.active.AddDigest(d)
+		l.publishLocked(func(m map[int]*agingFilter) { m[homeMDS] = rotated })
+	default:
+		// In-place insert into the published active generation: word-wise
+		// atomic, safe against lock-free probes.
+		e.active.AddDigest(d)
 	}
-	if e.active.Count() >= l.capacity {
-		e.aged = e.active
-		e.active = l.newGeneration()
-	}
-	e.active.AddDigest(d)
 }
 
 // Query returns every MDS whose recent-file window may contain key, with the
@@ -121,15 +164,14 @@ func (l *LRUArray) QueryString(key string) Result {
 	return l.QueryDigest(&d, nil)
 }
 
-// QueryDigest checks a pre-hashed key against every entry, appending hits
-// into buf (which may be nil). Both generations of an entry share the
-// digest's cached probe positions, so each entry costs at most 2k word
-// loads; with a reused buffer the query does not allocate.
+// QueryDigest checks a pre-hashed key against every entry of the current
+// snapshot, appending hits into buf (which may be nil). Both generations of
+// an entry share the digest's cached probe positions, so each entry costs at
+// most 2k word loads; with a reused buffer the query neither allocates nor
+// locks.
 func (l *LRUArray) QueryDigest(d *bloom.Digest, buf []int) Result {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
 	hits := buf[:0]
-	for id, e := range l.entries {
+	for id, e := range l.snapshot() {
 		if e.active.ContainsDigest(d) || (e.aged != nil && e.aged.ContainsDigest(d)) {
 			hits = append(hits, id)
 		}
@@ -143,29 +185,25 @@ func (l *LRUArray) QueryDigest(d *bloom.Digest, buf []int) Result {
 func (l *LRUArray) Forget(mdsID int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	delete(l.entries, mdsID)
+	l.publishLocked(func(m map[int]*agingFilter) { delete(m, mdsID) })
 }
 
 // Reset clears every entry.
 func (l *LRUArray) Reset() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.entries = make(map[int]*agingFilter)
+	l.entries.Store(&map[int]*agingFilter{})
 }
 
 // Entries returns the number of MDSs currently tracked.
 func (l *LRUArray) Entries() int {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return len(l.entries)
+	return len(l.snapshot())
 }
 
 // SizeBytes returns the memory footprint of all generations.
 func (l *LRUArray) SizeBytes() uint64 {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
 	var total uint64
-	for _, e := range l.entries {
+	for _, e := range l.snapshot() {
 		total += e.active.SizeBytes()
 		if e.aged != nil {
 			total += e.aged.SizeBytes()

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ghba/internal/bloomarray"
@@ -18,18 +19,27 @@ import (
 
 // Cluster is a simulated G-HBA deployment.
 //
-// Concurrency model: c.mu is the topology lock. Anything that leaves the
-// server population and group structure unchanged — lookups (Lookup,
-// LookupWith, LookupAt), mutations (Create, Delete, Apply, ApplyWith),
-// replica shipping (PushUpdate, Flush) — holds mu as a reader and may run
-// from any number of goroutines concurrently. Those paths synchronize among
-// themselves through finer-grained structures: the sharded homes map (one
-// lock per path shard), the per-node lock inside mds.Node, the self-locking
-// replica arrays, the ship queue, and the queue-model mutex. Only
-// reconfiguration — Populate, SyncAllReplicas, AddMDS, RemoveMDS, FailMDS —
-// takes mu exclusively, because it rewrites the node/group maps every other
-// path navigates by. Observability (tallies, latency stats, the L1 LRU
-// array, message counts) carries its own synchronization throughout.
+// Concurrency model: the read path is lock-free, the write path is locked.
+//
+// Lookups (Lookup, LookupWith, LookupAt) acquire no locks at all: they load
+// the current epoch — an immutable topology snapshot published through an
+// atomic pointer — and walk the four-level hierarchy against it. Filter
+// probes along the way are word-wise atomic, and the replica/LRU arrays
+// publish copy-on-write snapshots of their own, so a lookup races nothing.
+// The only shared mutable state a lookup touches is internally synchronized
+// observability (tallies, latency stats, message counts, the L1 learning
+// write) and, in queued mode, the queue-model map under queueMu.
+//
+// Writers keep the existing mutex discipline among themselves: c.mu is the
+// topology lock. Mutations (Create, Delete, Apply, ApplyWith) and replica
+// shipping (PushUpdate, Flush) hold mu as readers and synchronize through
+// finer-grained structures — the sharded homes map, per-node locks, ship
+// stripes. Reconfiguration — Populate, SyncAllReplicas, AddMDS, RemoveMDS,
+// FailMDS — takes mu exclusively because it rewrites the node/group maps the
+// writer paths navigate by, and republishes the epoch before releasing it. A
+// lookup that loaded the previous epoch completes against that consistent
+// older topology, which is indistinguishable from it having run just before
+// the reconfiguration committed.
 //
 // Creates and deletes on different MDSes therefore proceed in parallel;
 // operations on the same node serialize only on that node's lock, and
@@ -52,6 +62,12 @@ type Cluster struct {
 	// sort the slice on every random entry draw. Maintained on every
 	// membership change; treat as immutable between changes.
 	ids []int
+
+	// epoch is the published topology snapshot the lock-free read path
+	// navigates by. Reconfiguration rebuilds it under the write lock
+	// (publishEpochLocked) and swaps it in as its last visible act; the
+	// snapshot itself is immutable forever after.
+	epoch atomic.Pointer[epoch]
 
 	// homes is the ground truth mapping of file → home MDS, used for
 	// placement and final verification (what the disks would answer).
@@ -114,7 +130,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	lru, err := bloomarray.NewLRUArray(cfg.Node.LRUCapacity, cfg.Node.LRUBitsPerFile)
+	lru, err := bloomarray.NewLRUArrayLayout(cfg.Node.LRUCapacity, cfg.Node.LRUBitsPerFile, cfg.Node.Layout)
 	if err != nil {
 		return nil, fmt.Errorf("core: sizing LRU array: %w", err)
 	}
@@ -184,6 +200,7 @@ func New(cfg Config) (*Cluster, error) {
 			}
 		}
 	}
+	c.publishEpochLocked()
 	return c, nil
 }
 
@@ -212,6 +229,51 @@ func (c *Cluster) refreshIDsLocked() {
 	}
 	sort.Ints(ids)
 	c.ids = ids
+}
+
+// epoch is one immutable topology snapshot: everything a lookup needs to
+// navigate the hierarchy, frozen at a reconfiguration boundary. Nothing in
+// an epoch is ever mutated after publication — reconfiguration builds a new
+// one and swaps the cluster's pointer — so readers traverse it without
+// synchronization. The node pointers it holds refer to live servers whose
+// filter state keeps evolving; probing those is separately safe (word-wise
+// atomic filters, copy-on-write arrays).
+type epoch struct {
+	// ids is the sorted MDS population; L4 walks it in this order so
+	// queued-mode replay stays deterministic.
+	ids []int
+	// nodes maps MDS ID → server for every member of this epoch.
+	nodes map[int]*mds.Node
+	// members maps each MDS ID to the sorted member IDs of its group —
+	// the L3 multicast targets as seen from that entry. Member slices are
+	// shared between co-grouped entries and immutable.
+	members map[int][]int
+}
+
+// currentEpoch returns the published topology snapshot.
+func (c *Cluster) currentEpoch() *epoch {
+	return c.epoch.Load()
+}
+
+// publishEpochLocked freezes the current topology into a fresh epoch and
+// publishes it. Requires the write lock; every reconfiguration calls it
+// after the node/group maps reach their new consistent state.
+func (c *Cluster) publishEpochLocked() {
+	e := &epoch{
+		ids:     append([]int(nil), c.ids...),
+		nodes:   make(map[int]*mds.Node, len(c.nodes)),
+		members: make(map[int][]int, len(c.nodes)),
+	}
+	for id, n := range c.nodes {
+		e.nodes[id] = n
+	}
+	for _, g := range c.sortedGroupsLocked() {
+		ms := g.Members()
+		for _, id := range ms {
+			e.members[id] = ms
+		}
+	}
+	c.epoch.Store(e)
 }
 
 // sortedGroupsLocked returns groups in ascending ID order for determinism.
@@ -339,6 +401,16 @@ func (c *Cluster) RandomMDS() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.randomMDSLocked()
+}
+
+// randomMDSIn draws a uniform MDS ID from the epoch's population using the
+// cluster RNG (under rngMu). The lock-free entry-fallback path uses it so a
+// stale entry ID never aborts a lookup.
+func (c *Cluster) randomMDSIn(e *epoch) int {
+	c.rngMu.Lock()
+	i := c.rng.Intn(len(e.ids))
+	c.rngMu.Unlock()
+	return e.ids[i]
 }
 
 // Populate homes every path yielded by the iterator at a uniformly random

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// TestEpochSnapshotConsistentUnderChurn hammers the lock-free epoch load
+// from reader goroutines while membership churns through AddMDS, RemoveMDS
+// and FailMDS. Every epoch a reader observes must be internally consistent —
+// each listed ID resolves to a node and to a group roster containing it —
+// because an epoch is built and published atomically under the topology
+// lock; readers must never see a half-built view. Run under -race this is
+// the memory-model contract of the snapshot-swap read path.
+func TestEpochSnapshotConsistentUnderChurn(t *testing.T) {
+	const files = 200
+	c := newPopulated(t, 12, 4, files)
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id, _, err := c.AddMDS()
+			if err != nil {
+				t.Errorf("AddMDS: %v", err)
+				return
+			}
+			// Alternate graceful removal with crash failover so epochs are
+			// republished from every reconfiguration entry point.
+			if i%2 == 0 {
+				if _, err := c.RemoveMDS(id); err != nil {
+					t.Errorf("RemoveMDS(%d): %v", id, err)
+					return
+				}
+			} else {
+				if _, err := c.FailMDS(id); err != nil {
+					t.Errorf("FailMDS(%d): %v", id, err)
+					return
+				}
+			}
+		}
+	}()
+
+	const readers = 4
+	const loads = 3000
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(300 + r)))
+			for i := 0; i < loads; i++ {
+				e := c.currentEpoch()
+				if len(e.ids) == 0 {
+					t.Errorf("reader %d: empty epoch", r)
+					return
+				}
+				for _, id := range e.ids {
+					if e.nodes[id] == nil {
+						t.Errorf("reader %d: epoch lists MDS %d without a node", r, id)
+						return
+					}
+					members, ok := e.members[id]
+					if !ok {
+						t.Errorf("reader %d: epoch lists MDS %d without a group", r, id)
+						return
+					}
+					found := false
+					for _, m := range members {
+						if m == id {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Errorf("reader %d: MDS %d missing from its own roster %v", r, id, members)
+						return
+					}
+				}
+				// Interleave real lookups so the epoch is consumed the way
+				// the read path consumes it, not just inspected.
+				if i%16 == 0 {
+					res := c.LookupWith(rng, "/f"+strconv.Itoa(rng.Intn(files)), -1)
+					if res.Level < 1 || res.Level > 4 {
+						t.Errorf("reader %d: level %d out of range", r, res.Level)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(stop)
+	writer.Wait()
+
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after churn: %v", err)
+	}
+	// The published epoch and the locked topology agree once quiescent.
+	e := c.currentEpoch()
+	ids := c.MDSIDs()
+	if len(e.ids) != len(ids) {
+		t.Fatalf("quiescent epoch has %d ids, topology has %d", len(e.ids), len(ids))
+	}
+	for i, id := range ids {
+		if e.ids[i] != id {
+			t.Fatalf("quiescent epoch ids %v != topology ids %v", e.ids, ids)
+		}
+	}
+}

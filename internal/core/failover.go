@@ -29,6 +29,7 @@ type FailoverReport struct {
 func (c *Cluster) FailMDS(id int) (FailoverReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.publishEpochLocked()
 	var rep FailoverReport
 	node, ok := c.nodes[id]
 	if !ok {

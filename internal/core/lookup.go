@@ -31,6 +31,17 @@ var scratchPool = sync.Pool{
 	},
 }
 
+// putScratch returns scratch to the pool with the digest zeroed: pooled
+// objects live indefinitely, and a populated digest would carry the last
+// lookup's hash state (and retain whatever its cache references grow to hold)
+// across unrelated requests. The hit buffers keep their capacity — that reuse
+// is the point of the pool — but the digest is per-path state, not scratch
+// capacity.
+func putScratch(s *lookupScratch) {
+	s.digest = bloom.Digest{}
+	scratchPool.Put(s)
+}
+
 // replicaBytes returns the accounted memory footprint of one replica for
 // pressure purposes (virtual paper-scale size when configured, otherwise the
 // node's actual filter size).
@@ -41,11 +52,11 @@ func (c *Cluster) replicaBytes(actual uint64) uint64 {
 	return actual
 }
 
-// segmentProbeCostLocked returns the service time of probing an MDS's
-// segment array (its replicas plus its own filter), charging disk penalties
-// for the spilled fraction under the memory budget. Requires c.mu.
-func (c *Cluster) segmentProbeCostLocked(id int) time.Duration {
-	node := c.nodes[id]
+// segmentProbeCost returns the service time of probing an MDS's segment
+// array (its replicas plus its own filter), charging disk penalties for the
+// spilled fraction under the memory budget.
+func (c *Cluster) segmentProbeCost(e *epoch, id int) time.Duration {
+	node := e.nodes[id]
 	total := node.ReplicaCount() + 1 // replicas + own filter
 	perReplica := c.replicaBytes(node.LocalFilter().SizeBytes())
 	totalBytes := uint64(total) * perReplica
@@ -63,29 +74,32 @@ func (c *Cluster) l1ProbeCost() time.Duration {
 	return time.Duration(entries) * c.cfg.Cost.MemProbe
 }
 
-// verifyLocked charges the forward-and-check of a candidate home: one
-// unicast RTT plus a memory probe at the target; the target consults its
-// authoritative store (memory-resident index in both the simulator and the
-// prototype). Requires c.mu.
-func (c *Cluster) verifyLocked(candidate int, path string) (bool, time.Duration) {
+// verify charges the forward-and-check of a candidate home: one unicast RTT
+// plus a memory probe at the target; the target consults its authoritative
+// store (memory-resident index in both the simulator and the prototype).
+//
+// A candidate absent from the epoch — an MDS that failed or left, whose ID a
+// stale filter still answers for — is rejected free of charge: no server
+// exists to receive the unicast, so counting a MsgQueryUnicast and an RTT
+// would book traffic to a dead daemon (the accounting bug this replaces).
+func (c *Cluster) verify(e *epoch, candidate int, path string) (bool, time.Duration) {
+	node := e.nodes[candidate]
+	if node == nil {
+		return false, 0
+	}
 	c.msgs.Add(simnet.MsgQueryUnicast, 1)
 	cost := c.cfg.Cost.UnicastRTT + c.cfg.Cost.MemProbe
-	node := c.nodes[candidate]
-	if node == nil {
-		return false, cost
-	}
 	return node.HasFile(path), cost
 }
 
-// remoteWorkLocked charges work units to a remote MDS. In queued mode the
-// work lands on the server's queue and the caller observes that server's
-// response time (wait + service); otherwise only the service time is
-// returned. This is how group and global multicasts consume capacity across
-// the system — the effect that makes very large groups counterproductive.
-// Queue state carries its own mutex, so queued mode runs under the topology
-// read lock like everything else; each read-modify-write of a server's
-// next-free time is atomic under queueMu.
-func (c *Cluster) remoteWorkLocked(id int, arrival, work time.Duration, queued bool) time.Duration {
+// remoteWork charges work units to a remote MDS. In queued mode the work
+// lands on the server's queue and the caller observes that server's response
+// time (wait + service); otherwise only the service time is returned. This
+// is how group and global multicasts consume capacity across the system —
+// the effect that makes very large groups counterproductive. Queue state
+// carries its own mutex; each read-modify-write of a server's next-free time
+// is atomic under queueMu.
+func (c *Cluster) remoteWork(id int, arrival, work time.Duration, queued bool) time.Duration {
 	if !queued {
 		return work
 	}
@@ -104,18 +118,18 @@ func (c *Cluster) remoteWorkLocked(id int, arrival, work time.Duration, queued b
 // (pure service latency). It updates the per-level tallies, latency
 // statistics, and the entry node's L1 array.
 //
-// Lookup is the read path: any number of goroutines may call it
-// concurrently, also concurrently with reconfiguration (which serializes
-// against it). An unknown entry falls back to a random MDS drawn from the
-// cluster's internal RNG; hot parallel loops should prefer LookupWith to
-// keep RNG state worker-local.
+// Lookup is the lock-free read path: it loads the current epoch and acquires
+// no locks, so any number of goroutines may call it concurrently, also
+// concurrently with reconfiguration (which publishes a new epoch; in-flight
+// lookups finish against the one they loaded). An unknown entry falls back
+// to a random MDS drawn from the cluster's internal RNG; hot parallel loops
+// should prefer LookupWith to keep RNG state worker-local.
 func (c *Cluster) Lookup(path string, entry int) LookupResult {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.nodes[entry] == nil {
-		entry = c.randomMDSLocked()
+	e := c.currentEpoch()
+	if e.nodes[entry] == nil {
+		entry = c.randomMDSIn(e)
 	}
-	return c.lookupLocked(path, entry, 0, false)
+	return c.lookupEpoch(e, path, entry, 0, false)
 }
 
 // LookupWith is Lookup with a caller-supplied RNG: a negative or unknown
@@ -124,42 +138,39 @@ func (c *Cluster) Lookup(path string, entry int) LookupResult {
 // synchronized observability structures, and a single-worker run is
 // bit-for-bit reproducible.
 func (c *Cluster) LookupWith(rng *rand.Rand, path string, entry int) LookupResult {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if entry < 0 || c.nodes[entry] == nil {
-		entry = c.ids[rng.Intn(len(c.ids))]
+	e := c.currentEpoch()
+	if entry < 0 || e.nodes[entry] == nil {
+		entry = e.ids[rng.Intn(len(e.ids))]
 	}
-	return c.lookupLocked(path, entry, 0, false)
+	return c.lookupEpoch(e, path, entry, 0, false)
 }
 
 // LookupAt replays a lookup arriving at the given offset through the
 // open-loop queuing model: the request waits for the entry MDS to drain its
 // queue, multicast probes occupy the members they land on, and the returned
 // latency includes all queueing delays. Queue state synchronizes on its own
-// mutex, so queued lookups run under the topology read lock concurrently
-// with other workers.
+// mutex, so queued lookups run concurrently with other workers.
 func (c *Cluster) LookupAt(path string, entry int, arrival time.Duration) LookupResult {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.nodes[entry] == nil {
-		entry = c.randomMDSLocked()
+	e := c.currentEpoch()
+	if e.nodes[entry] == nil {
+		entry = c.randomMDSIn(e)
 	}
-	return c.lookupLocked(path, entry, arrival, true)
+	return c.lookupEpoch(e, path, entry, arrival, true)
 }
 
-// lookupLocked walks the four-level hierarchy. The caller must hold c.mu
-// (read suffices): the hot path mutates nothing except internally
-// synchronized state — the observability structures, the per-node and
-// per-shard locks consulted along the way, and (in queued mode) the
-// queue-model map under queueMu.
-func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, queued bool) LookupResult {
-	node := c.nodes[entry]
+// lookupEpoch walks the four-level hierarchy against one topology snapshot,
+// with zero lock acquisitions on the critical path. The hot path mutates
+// nothing except internally synchronized state — the observability
+// structures, the word-wise-atomic filters probed along the way, and (in
+// queued mode) the queue-model map under queueMu. The entry must exist in e.
+func (c *Cluster) lookupEpoch(e *epoch, path string, entry int, arrival time.Duration, queued bool) LookupResult {
+	node := e.nodes[entry]
 
 	// Hash once: every filter probe below — L1 generations, segment
 	// replicas, group members' arrays, the L1 learning write — replays
 	// this digest instead of re-hashing the path.
 	s := scratchPool.Get().(*lookupScratch)
-	defer scratchPool.Put(s)
+	defer putScratch(s)
 	s.digest = bloom.NewDigestString(path)
 	d := &s.digest
 
@@ -202,7 +213,7 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 		r := c.lru.QueryDigest(d, s.hits)
 		s.hits = r.Hits
 		if home, ok := r.Unique(); ok {
-			ok2, cost := c.verifyLocked(home, path)
+			ok2, cost := c.verify(e, home, path)
 			latency += cost
 			if ok2 {
 				return finish(LookupResult{Home: home, Found: true, Level: 1})
@@ -213,7 +224,7 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 	}
 
 	// L2: the local segment Bloom filter array.
-	l2Cost := c.segmentProbeCostLocked(entry)
+	l2Cost := c.segmentProbeCost(e, entry)
 	latency += l2Cost
 	server += l2Cost
 	r2 := node.QueryL2Digest(d, s.hits)
@@ -226,7 +237,7 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 				return finish(LookupResult{Home: entry, Found: true, Level: 2})
 			}
 		} else {
-			ok2, cost := c.verifyLocked(home, path)
+			ok2, cost := c.verify(e, home, path)
 			latency += cost
 			if ok2 {
 				return finish(LookupResult{Home: home, Found: true, Level: 2})
@@ -239,8 +250,7 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 	// array in parallel, so the client waits for the multicast plus the
 	// slowest member's response (including that member's queue when the
 	// system is loaded).
-	g := c.groupOfLocked(entry)
-	members := g.Members()
+	members := e.members[entry]
 	c.msgs.Add(simnet.MsgQueryMulticast, uint64(len(members)-1))
 	latency += c.cfg.Cost.Multicast(len(members) - 1)
 	// The entry spends CPU sending the multicast and folding the answers.
@@ -254,11 +264,11 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 			// Entry already probed its own array at L2.
 			continue
 		}
-		resp := c.remoteWorkLocked(id, arrival, c.cfg.Cost.MsgProc+c.segmentProbeCostLocked(id), queued)
+		resp := c.remoteWork(id, arrival, c.cfg.Cost.MsgProc+c.segmentProbeCost(e, id), queued)
 		if resp > slowest {
 			slowest = resp
 		}
-		rm := c.nodes[id].QueryL2Digest(d, s.mhits)
+		rm := e.nodes[id].QueryL2Digest(d, s.mhits)
 		s.mhits = rm.Hits
 		for _, h := range rm.Hits {
 			// The L3 union is a handful of MDS IDs: a sorted slice
@@ -270,7 +280,7 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 	latency += slowest
 	if len(set) == 1 {
 		home := set[0]
-		ok2, cost := c.verifyLocked(home, path)
+		ok2, cost := c.verify(e, home, path)
 		latency += cost
 		if ok2 {
 			return finish(LookupResult{Home: home, Found: true, Level: 3})
@@ -279,18 +289,18 @@ func (c *Cluster) lookupLocked(path string, entry int, arrival time.Duration, qu
 
 	// L4: global multicast; every MDS checks its local filter at memory
 	// speed and positives verify on disk. The true home always answers.
-	others := len(c.nodes) - 1
+	others := len(e.ids) - 1
 	c.msgs.Add(simnet.MsgQueryMulticast, uint64(others))
 	latency += c.cfg.Cost.Multicast(others)
 	l4CPU := time.Duration(others) * c.cfg.Cost.MsgProc
 	latency += l4CPU
 	server += l4CPU
 	var slowestL4 time.Duration
-	for id := range c.nodes {
+	for _, id := range e.ids {
 		if id == entry {
 			continue
 		}
-		resp := c.remoteWorkLocked(id, arrival, c.cfg.Cost.MsgProc+c.cfg.Cost.MemProbe, queued)
+		resp := c.remoteWork(id, arrival, c.cfg.Cost.MsgProc+c.cfg.Cost.MemProbe, queued)
 		if resp > slowestL4 {
 			slowestL4 = resp
 		}

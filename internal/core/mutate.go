@@ -228,7 +228,9 @@ func (c *Cluster) applyRecord(r intner, rec trace.Record) LookupResult {
 		id := c.ids[r.Intn(len(c.ids))]
 		node := c.nodes[id]
 		if _, inserted := c.homes.putIfAbsentThen(rec.Path, id, func() { node.AddFile(rec.Path) }); !inserted {
-			return c.lookupLocked(rec.Path, id, rec.At, true)
+			// The read lock held above excludes reconfiguration, so the
+			// current epoch matches c.ids/c.nodes exactly.
+			return c.lookupEpoch(c.currentEpoch(), rec.Path, id, rec.At, true)
 		}
 		c.noteMutationLocked(id)
 		return LookupResult{Path: rec.Path, Home: id, Found: true, Level: 0}
@@ -236,6 +238,6 @@ func (c *Cluster) applyRecord(r intner, rec trace.Record) LookupResult {
 		home, existed := c.deleteInnerLocked(rec.Path)
 		return LookupResult{Path: rec.Path, Home: home, Found: existed, Level: 0}
 	default:
-		return c.lookupLocked(rec.Path, c.ids[r.Intn(len(c.ids))], rec.At, true)
+		return c.lookupEpoch(c.currentEpoch(), rec.Path, c.ids[r.Intn(len(c.ids))], rec.At, true)
 	}
 }

@@ -17,6 +17,11 @@ import (
 func (c *Cluster) AddMDS() (int, group.Report, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Republish the epoch before the lock is released (LIFO defer order) so
+	// the lock-free read path sees whatever topology this operation leaves
+	// behind — including on error paths, which may have partially joined
+	// groups exactly as the locked reader path used to observe them.
+	defer c.publishEpochLocked()
 	var rep group.Report
 	id := c.nextMDSID
 	node, err := mds.NewNode(id, c.cfg.Node)
@@ -103,6 +108,7 @@ func (c *Cluster) pickJoinGroupLocked() *group.Group {
 func (c *Cluster) RemoveMDS(id int) (group.Report, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	defer c.publishEpochLocked()
 	var rep group.Report
 	node, ok := c.nodes[id]
 	if !ok {

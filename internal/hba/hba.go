@@ -73,7 +73,7 @@ func New(cfg core.Config) (*Cluster, error) {
 	if err := cfg.Cost.Validate(); err != nil {
 		return nil, err
 	}
-	lru, err := bloomarray.NewLRUArray(cfg.Node.LRUCapacity, cfg.Node.LRUBitsPerFile)
+	lru, err := bloomarray.NewLRUArrayLayout(cfg.Node.LRUCapacity, cfg.Node.LRUBitsPerFile, cfg.Node.Layout)
 	if err != nil {
 		return nil, fmt.Errorf("hba: sizing LRU array: %w", err)
 	}

@@ -12,6 +12,7 @@ package mds
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ghba/internal/bloom"
 	"ghba/internal/bloomarray"
@@ -30,6 +31,12 @@ type Config struct {
 	LRUCapacity uint64
 	// LRUBitsPerFile is the filter ratio of L1 generations.
 	LRUBitsPerFile float64
+	// Layout selects the bit layout for every filter the node creates (the
+	// local filter and L1 generations — and, transitively, every replica
+	// shipped from it). The zero value is the classic layout, which keeps
+	// existing snapshots, wire traffic, and fixed-seed runs byte-identical;
+	// LayoutBlocked answers each filter probe from one cache line.
+	Layout bloom.Layout
 }
 
 // DefaultConfig returns the sizing used throughout the experiments.
@@ -58,11 +65,16 @@ func (c Config) validate() error {
 //
 // Concurrency model: the sharded cluster write path mutates different nodes
 // from different goroutines while lookup workers probe them, so each node
-// carries its own lock. mu guards the local filter, the last-shipped
-// snapshot, and the deletion counter — the state the create/delete/ship
-// protocol reads and writes. The store, the LRU array and the replica array
-// synchronize internally; the IDBFA is only mutated during reconfiguration,
-// which the cluster layer serializes exclusively against all node traffic.
+// carries its own lock — but only for writers. The query path is lock-free:
+// the local filter is published through an atomic pointer (Rebuild swaps in
+// a freshly built filter rather than clearing in place, so readers never
+// observe a half-rebuilt filter), in-place inserts synchronize word-wise
+// inside bloom.Filter, and the LRU and replica arrays publish copy-on-write
+// snapshots. mu serializes the mutators of the local filter and guards the
+// last-shipped snapshot and the deletion counter — the state the
+// create/delete/ship protocol reads and writes. The store synchronizes
+// internally; the IDBFA is only mutated during reconfiguration, which the
+// cluster layer serializes exclusively against all node traffic.
 type Node struct {
 	id  int
 	cfg Config
@@ -70,7 +82,7 @@ type Node struct {
 	mu sync.RWMutex
 
 	store *metastore.Store
-	local *bloom.Filter
+	local atomic.Pointer[bloom.Filter]
 
 	lru      *bloomarray.LRUArray
 	replicas *bloomarray.Array
@@ -91,24 +103,25 @@ func NewNode(id int, cfg Config) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	local, err := bloom.NewForCapacity(cfg.ExpectedFiles, cfg.BitsPerFile)
+	local, err := bloom.NewForCapacityLayout(cfg.ExpectedFiles, cfg.BitsPerFile, cfg.Layout)
 	if err != nil {
 		return nil, fmt.Errorf("mds: sizing local filter: %w", err)
 	}
-	lru, err := bloomarray.NewLRUArray(cfg.LRUCapacity, cfg.LRUBitsPerFile)
+	lru, err := bloomarray.NewLRUArrayLayout(cfg.LRUCapacity, cfg.LRUBitsPerFile, cfg.Layout)
 	if err != nil {
 		return nil, fmt.Errorf("mds: sizing LRU array: %w", err)
 	}
-	return &Node{
+	n := &Node{
 		id:          id,
 		cfg:         cfg,
 		store:       metastore.NewStore(),
-		local:       local,
 		lru:         lru,
 		replicas:    bloomarray.NewArray(),
 		idbfa:       bloomarray.NewDefaultIDBFA(),
 		lastShipped: local.Clone(),
-	}, nil
+	}
+	n.local.Store(local)
+	return n, nil
 }
 
 // ID returns the node's MDS identifier.
@@ -126,12 +139,12 @@ func (n *Node) Replicas() *bloomarray.Array { return n.replicas }
 // IDBFA exposes the replica-location array.
 func (n *Node) IDBFA() *bloomarray.IDBFA { return n.idbfa }
 
-// LocalFilter returns the filter over locally homed files. Callers must not
-// mutate it; use AddFile/DeleteFile. Probing it is only safe while the node
-// is quiescent (the query paths go through LocalPositiveDigest/QueryL2Digest,
-// which take the node lock); reading immutable geometry (SizeBytes, M, K) is
-// always safe.
-func (n *Node) LocalFilter() *bloom.Filter { return n.local }
+// LocalFilter returns the currently published filter over locally homed
+// files. Callers must not mutate it; use AddFile/DeleteFile. Probing it is
+// safe at any time (filter reads are word-wise atomic), but the pointer is a
+// snapshot: a concurrent Rebuild publishes a replacement, after which the
+// returned filter no longer receives inserts.
+func (n *Node) LocalFilter() *bloom.Filter { return n.local.Load() }
 
 // FileCount returns the number of files homed here.
 func (n *Node) FileCount() int { return n.store.Len() }
@@ -141,7 +154,7 @@ func (n *Node) FileCount() int { return n.store.Len() }
 func (n *Node) AddFile(path string) {
 	n.store.PutPath(path)
 	n.mu.Lock()
-	n.local.AddString(path)
+	n.local.Load().AddString(path)
 	n.mu.Unlock()
 }
 
@@ -149,7 +162,7 @@ func (n *Node) AddFile(path string) {
 func (n *Node) AddFileMeta(md metastore.Metadata) {
 	n.store.Put(md)
 	n.mu.Lock()
-	n.local.AddString(md.Path)
+	n.local.Load().AddString(md.Path)
 	n.mu.Unlock()
 }
 
@@ -172,18 +185,15 @@ func (n *Node) HasFile(path string) bool { return n.store.Has(path) }
 
 // LocalPositive reports whether the local filter answers positively — the
 // memory-speed part of an L4 check. A negative is definitive (no false
-// negatives for undeleted files); a positive requires verification.
+// negatives for undeleted files); a positive requires verification. Lock-free.
 func (n *Node) LocalPositive(path string) bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.local.ContainsString(path)
+	return n.local.Load().ContainsString(path)
 }
 
-// LocalPositiveDigest is LocalPositive for a pre-hashed path.
+// LocalPositiveDigest is LocalPositive for a pre-hashed path: k word loads
+// against the published filter, no lock, no hashing.
 func (n *Node) LocalPositiveDigest(d *bloom.Digest) bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return n.local.ContainsDigest(d)
+	return n.local.Load().ContainsDigest(d)
 }
 
 // DeletesSinceRebuild returns how many deletions the local filter has not
@@ -202,12 +212,23 @@ func (n *Node) Rebuild() {
 	n.rebuildLocked()
 }
 
+// rebuildLocked builds a fresh filter from the store and publishes it with a
+// pointer swap. Building aside (rather than Clear + re-add in place) keeps
+// the rebuild invisible to lock-free readers: they probe either the old
+// filter (stale bits and all) or the complete new one, never a transiently
+// empty vector that would produce false negatives. Requires n.mu.
 func (n *Node) rebuildLocked() {
-	n.local.Clear()
+	fresh, err := bloom.NewForCapacityLayout(n.cfg.ExpectedFiles, n.cfg.BitsPerFile, n.cfg.Layout)
+	if err != nil {
+		// Geometry was validated in NewNode; reaching here means internal
+		// corruption, not caller error.
+		panic(fmt.Sprintf("mds: invalid rebuild geometry: %v", err))
+	}
 	n.store.Range(func(md metastore.Metadata) bool {
-		n.local.AddString(md.Path)
+		fresh.AddString(md.Path)
 		return true
 	})
+	n.local.Store(fresh)
 	n.deletesSinceRebuild = 0
 }
 
@@ -236,7 +257,7 @@ func (n *Node) DeltaBits() uint64 {
 }
 
 func (n *Node) deltaBitsLocked() uint64 {
-	d, err := n.local.XorBits(n.lastShipped)
+	d, err := n.local.Load().XorBits(n.lastShipped)
 	if err != nil {
 		// local and lastShipped are created from the same geometry and
 		// only ever replaced together; a mismatch is internal corruption.
@@ -260,7 +281,7 @@ func (n *Node) NeedsShip(thresholdBits uint64) bool {
 func (n *Node) Ship() *bloom.Filter {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	snap := n.local.Clone()
+	snap := n.local.Load().Clone()
 	n.lastShipped = snap
 	return snap
 }
@@ -300,7 +321,8 @@ func (n *Node) QueryL2(path string) bloomarray.Result {
 // QueryL2Digest is QueryL2 for a pre-hashed path: the path is hashed zero
 // times here — the segment array probe and the own-filter probe both replay
 // the digest's cached bit positions. Hits are appended into buf (which may
-// be nil) and returned in ascending order.
+// be nil) and returned in ascending order. The whole check is lock-free:
+// one COW-snapshot scan plus one published-pointer probe.
 func (n *Node) QueryL2Digest(d *bloom.Digest, buf []int) bloomarray.Result {
 	r := n.replicas.QueryDigest(d, buf)
 	if n.LocalPositiveDigest(d) {

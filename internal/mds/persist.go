@@ -44,7 +44,7 @@ var ErrBadSnapshot = errors.New("mds: bad snapshot")
 // snapshots under its per-daemon request mutex).
 func (n *Node) MarshalSnapshot() ([]byte, error) {
 	n.mu.RLock()
-	localBytes, err := n.local.MarshalBinary()
+	localBytes, err := n.local.Load().MarshalBinary()
 	if err != nil {
 		n.mu.RUnlock()
 		return nil, fmt.Errorf("mds: marshal local filter: %w", err)
@@ -142,7 +142,7 @@ func (n *Node) UnmarshalSnapshot(data []byte) error {
 
 	n.store.Restore(metastore.Snapshot{NextIno: nextIno, Files: files})
 	n.mu.Lock()
-	n.local = &local
+	n.local.Store(&local)
 	n.lastShipped = &shipped
 	n.deletesSinceRebuild = deletes
 	n.mu.Unlock()

@@ -183,6 +183,13 @@ type Cluster struct {
 	groupIdx map[int]int         // member ID → group index; rebuilt with ids
 	nextID   int
 
+	// index is the published immutable membership snapshot the query path
+	// navigates by without touching mu: rebuildIndexLocked swaps it in as
+	// the final step of every membership mutation, so a lookup either sees
+	// the old consistent topology or the new one, never a half-rebuilt
+	// index.
+	index atomic.Pointer[topo]
+
 	// homes is the coordinator's ground-truth path → home map, the
 	// linearization point of create and delete (claim-then-RPC, exactly as
 	// core's sharded homes map commits the claim with the node update).
@@ -423,10 +430,21 @@ func (c *Cluster) recoverNode(id int) (*NodeServer, mds.RecoveryInfo, error) {
 	return ns, info, nil
 }
 
+// topo is one immutable membership snapshot: sorted daemon IDs plus each
+// member's group, frozen at a reconfiguration boundary. Nothing in a topo is
+// mutated after publication — rebuildIndexLocked builds a replacement and
+// swaps the cluster's pointer — so the query path reads it lock-free.
+type topo struct {
+	ids     []int
+	members map[int][]int // member ID → sorted member IDs of its group
+}
+
 // rebuildIndexLocked recomputes the sorted-ID cache and the member → group
-// index. Callers must hold c.mu exclusively (or be pre-concurrency in
-// Start). Both structures are allocated fresh so snapshots handed to
-// readers stay valid after the next rebuild.
+// index, then publishes the new membership snapshot for the lock-free query
+// path. Callers must hold c.mu exclusively (or be pre-concurrency in
+// Start). Every structure is allocated fresh so snapshots handed to readers
+// stay valid after the next rebuild — including the per-group member slices,
+// which joinGroup appends to in place under the write lock.
 func (c *Cluster) rebuildIndexLocked() {
 	ids := make([]int, 0, len(c.servers))
 	for id := range c.servers {
@@ -435,12 +453,17 @@ func (c *Cluster) rebuildIndexLocked() {
 	sort.Ints(ids)
 	c.ids = ids
 	idx := make(map[int]int, len(c.servers))
+	t := &topo{ids: ids, members: make(map[int][]int, len(c.servers))}
 	for gi, members := range c.groups {
+		frozen := append([]int(nil), members...)
+		sort.Ints(frozen)
 		for _, m := range members {
 			idx[m] = gi
+			t.members[m] = frozen
 		}
 	}
 	c.groupIdx = idx
+	c.index.Store(t)
 }
 
 // seedReplicas distributes initial (empty) replicas directly, before any
@@ -479,13 +502,11 @@ func (c *Cluster) seedReplicas() {
 	}
 }
 
-// snapshotIDs returns the current sorted member IDs. The slice is rebuilt
-// (never mutated) on membership change, so it is safe to use after the
-// lock is released.
+// snapshotIDs returns the current sorted member IDs from the published
+// membership snapshot — no lock. The slice is immutable (rebuilt, never
+// mutated, on membership change), so it stays valid indefinitely.
 func (c *Cluster) snapshotIDs() []int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.ids
+	return c.index.Load().ids
 }
 
 // memberOf reports whether id is in a sorted membership snapshot.
@@ -494,15 +515,11 @@ func memberOf(ids []int, id int) bool {
 	return i < len(ids) && ids[i] == id
 }
 
-// groupMembers returns a copy of the group containing id (G-HBA), or nil.
+// groupMembers returns the sorted members of the group containing id
+// (G-HBA), or nil — read lock-free from the published membership snapshot.
+// The slice is immutable and shared; callers must not modify it.
 func (c *Cluster) groupMembers(id int) []int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	gi, ok := c.groupIdx[id]
-	if !ok {
-		return nil
-	}
-	return append([]int(nil), c.groups[gi]...)
+	return c.index.Load().members[id]
 }
 
 // NumMDS returns the daemon count.

@@ -22,6 +22,13 @@
 //  4. Two acquires of the same mutex in one block with no release between
 //     them are flagged; a second RLock on the same RWMutex can deadlock
 //     against a writer queued between the two.
+//  5. The epoch-snapshot idiom: x.field.Store(...) on a sync/atomic.Pointer
+//     field is snapshot publication, a writer-side act. It must happen
+//     inside a *Locked method on the same receiver, under a lexically held
+//     exclusive x.mu.Lock (an RLock is not enough — concurrent readers may
+//     publish conflicting snapshots), or on an object the function itself
+//     just constructed. Loads are unrestricted: reading the current
+//     snapshot lock-free is the idiom's entire point.
 //
 // The checks are lexical within one function body (no interprocedural
 // path analysis), which keeps them fast and predictable; suppress a false
@@ -31,6 +38,7 @@ package lockcheck
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 
@@ -121,6 +129,58 @@ func checkFunc(pass *analysis.Pass, rep *vetutil.Reporter, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+
+	// Rule 5: x.field.Store(...) on an atomic.Pointer publishes a snapshot
+	// and must run writer-side — within a *Locked method on x, under a
+	// lexically held exclusive x.mu.Lock, or on a freshly built object.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, isCall := n.(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		sel, isSel := call.Fun.(*ast.SelectorExpr)
+		if !isSel || sel.Sel.Name != "Store" {
+			return true
+		}
+		if !isAtomicPointer(pass.TypesInfo.TypeOf(sel.X)) {
+			return true
+		}
+		field := vetutil.RecvBase(sel.X)
+		i := strings.LastIndex(field, ".")
+		if i < 0 {
+			// A bare local atomic.Pointer is unpublished state; stores to
+			// it race nothing.
+			return true
+		}
+		base := field[:i]
+		if isLockedFn && base == recvName {
+			return true
+		}
+		if fresh[base] {
+			return true
+		}
+		if !heldExclusiveAt(events, base+".mu", call.Pos()) {
+			rep.Reportf(call.Pos(), "%s.Store publishes a snapshot without %s.mu held exclusively (atomic.Pointer swaps are writer-side: hold Lock, be a *Locked method, or act on a fresh object)", field, base)
+		}
+		return true
+	})
+}
+
+// isAtomicPointer reports whether t is sync/atomic.Pointer[T] (possibly
+// behind a pointer).
+func isAtomicPointer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && obj.Name() == "Pointer"
 }
 
 // receiverName returns the receiver identifier of a method, or "".
@@ -206,6 +266,19 @@ func heldAt(events []mutexEvent, mutex string, pos token.Pos) bool {
 			continue
 		}
 		held = e.acquire()
+	}
+	return held
+}
+
+// heldExclusiveAt is heldAt restricted to the write lock: only a plain Lock
+// counts, an RLock does not.
+func heldExclusiveAt(events []mutexEvent, mutex string, pos token.Pos) bool {
+	held := false
+	for _, e := range events {
+		if e.pos >= pos || e.mutex != mutex || e.deferred {
+			continue
+		}
+		held = e.method == "Lock"
 	}
 	return held
 }

@@ -2,7 +2,10 @@
 // conventions: mu is the topology lock, rngMu a finer internal lock.
 package a
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type Cluster struct {
 	mu    sync.RWMutex
@@ -104,4 +107,54 @@ func (c *Cluster) Relock() int {
 func (c *Cluster) Suppressed() int {
 	//ghbavet:ignore exercised single-threaded in the fixture
 	return c.sizeLocked()
+}
+
+// Rule 5: atomic.Pointer.Store publishes a snapshot and must run
+// writer-side.
+
+type Snap struct {
+	ids []int
+}
+
+type Topo struct {
+	mu   sync.RWMutex
+	snap atomic.Pointer[Snap]
+}
+
+// A *Locked method may publish: the caller holds t.mu exclusively.
+func (t *Topo) publishLocked() {
+	t.snap.Store(&Snap{})
+}
+
+// Publishing under an exclusive Lock in the same function is fine.
+func (t *Topo) Publish() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.snap.Store(&Snap{})
+}
+
+// Publishing with no lock held races concurrent writers.
+func (t *Topo) PublishRacy() {
+	t.snap.Store(&Snap{}) // want `t\.snap\.Store publishes a snapshot without t\.mu held exclusively`
+}
+
+// RLock is shared: two readers could both Store and lose an update.
+func (t *Topo) PublishUnderRead() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.snap.Store(&Snap{}) // want `t\.snap\.Store publishes a snapshot without t\.mu held exclusively`
+}
+
+// A fresh object is unpublished; its fields may be stored freely.
+func NewTopo() *Topo {
+	t := &Topo{}
+	t.snap.Store(&Snap{})
+	return t
+}
+
+// A bare local atomic.Pointer is unpublished too.
+func localPointer() *Snap {
+	var p atomic.Pointer[Snap]
+	p.Store(&Snap{})
+	return p.Load()
 }
