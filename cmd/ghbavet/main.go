@@ -1,5 +1,6 @@
 // Command ghbavet runs the repo's custom static-analysis suite (see
-// internal/vet): lockcheck, detrand, ctxflow, and wireguard.
+// internal/vet): lockcheck, detrand, ctxflow, wireguard, lockorder,
+// snapcheck, and hotalloc.
 //
 // Two modes share one binary:
 //
@@ -9,6 +10,13 @@
 //     `go vet -vettool=<self>` on the given patterns, so the two modes
 //     cannot drift apart.
 //
+// Driver subcommands (must come first):
+//
+//	ghbavet -list                 print the analyzer roster
+//	ghbavet -checks a,b [pkgs]    run only the named analyzers
+//	ghbavet -lockgraph            print the repo lock graph as DOT and
+//	                              fail if it has a cycle
+//
 // Exit status is non-zero when any analyzer reports a finding.
 package main
 
@@ -17,30 +25,74 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"sort"
 	"strings"
 
-	"ghba/internal/vet"
 	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"ghba/internal/vet"
+	"ghba/internal/vet/lockorder"
+	"ghba/internal/vet/srcload"
 )
 
 func main() {
+	args := os.Args[1:]
+
+	// Driver subcommands are recognized only in the leading position:
+	// go vet never puts them there, so the unitchecker dispatch below
+	// stays unambiguous.
+	if len(args) > 0 {
+		switch {
+		case args[0] == "-list":
+			for _, a := range vet.Analyzers {
+				fmt.Printf("%-10s %s\n", a.Name, firstLine(a.Doc))
+			}
+			return
+		case args[0] == "-lockgraph":
+			os.Exit(runLockGraph())
+		case args[0] == "-checks" || strings.HasPrefix(args[0], "-checks="):
+			var val string
+			rest := args[1:]
+			if v, ok := strings.CutPrefix(args[0], "-checks="); ok {
+				val = v
+			} else {
+				if len(rest) == 0 {
+					fmt.Fprintln(os.Stderr, "ghbavet: -checks needs a comma-separated analyzer list")
+					os.Exit(2)
+				}
+				val, rest = rest[0], rest[1:]
+			}
+			os.Setenv(vet.ChecksEnv, val)
+			if _, unknown := vet.Selected(); len(unknown) > 0 {
+				fmt.Fprintf(os.Stderr, "ghbavet: unknown analyzers %s (see ghbavet -list)\n", strings.Join(unknown, ", "))
+				os.Exit(2)
+			}
+			runGoVet(rest) // env carries the subset into the vettool child
+			return
+		}
+	}
+
 	// go vet drives the tool with flags only: `-V=full` for the version
 	// fingerprint, `-flags` to enumerate analyzer flags, then
 	// `-flag... <unit>.cfg` per package. A human passes package patterns.
 	// Anything flag-shaped therefore belongs to unitchecker — routing it
 	// to the re-exec path instead would recurse through go vet forever.
-	for _, arg := range os.Args[1:] {
+	for _, arg := range args {
 		if strings.HasPrefix(arg, "-") || strings.HasSuffix(arg, ".cfg") {
-			unitchecker.Main(vet.Analyzers...) // exits
+			selected, _ := vet.Selected() // parent validated any subset
+			unitchecker.Main(selected...) // exits
 		}
 	}
+	runGoVet(args)
+}
 
+func runGoVet(args []string) {
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ghbavet: locating own binary: %v\n", err)
 		os.Exit(2)
 	}
-	args := os.Args[1:]
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -56,4 +108,217 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ghbavet: running go vet: %v\n", err)
 		os.Exit(2)
 	}
+	os.Exit(0)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// runLockGraph loads the engine packages in one process, runs lockorder
+// over them with a shared fact store, merges the per-package graphs, and
+// prints the result as DOT. Exit status 1 means the graph has a cycle.
+func runLockGraph() int {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghbavet: %v\n", err)
+		return 2
+	}
+	resolve := srcload.ModuleResolver("ghba", root)
+	loader := srcload.NewLoader(func(path string) (string, bool) {
+		if dir, ok := resolve(path); ok {
+			return dir, true
+		}
+		dir := filepath.Join(root, "vendor", filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+	runner := srcload.NewRunner(loader.Fset)
+
+	pkgs, err := enginePackages(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ghbavet: %v\n", err)
+		return 2
+	}
+	var edges []lockorder.Edge
+	for _, path := range pkgs {
+		p, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghbavet: %v\n", err)
+			return 2
+		}
+		_, res, err := runner.Run(lockorder.Analyzer, p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ghbavet: %v\n", err)
+			return 2
+		}
+		if g, ok := res.(*lockorder.Graph); ok && g != nil {
+			edges = append(edges, g.Edges...)
+		}
+	}
+
+	edges = dedupEdges(edges)
+	fmt.Println("digraph lockorder {")
+	fmt.Println("\trankdir=LR;")
+	fmt.Println("\tnode [shape=box, fontname=\"monospace\"];")
+	for _, e := range edges {
+		fmt.Printf("\t%q -> %q [label=%q];\n", e.From, e.To, e.Pos)
+	}
+	fmt.Println("}")
+
+	nodes := make(map[string]bool)
+	graph := make(map[string][]string)
+	for _, e := range edges {
+		nodes[e.From], nodes[e.To] = true, true
+		graph[e.From] = append(graph[e.From], e.To)
+	}
+	if cyc := findCycle(graph); cyc != nil {
+		fmt.Fprintf(os.Stderr, "ghbavet: lock graph has a cycle: %s\n", strings.Join(cyc, " -> "))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "ghbavet: lock graph: %d classes, %d edges, acyclic\n", len(nodes), len(edges))
+	return 0
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// enginePackages lists the root package and everything under internal/
+// except internal/vet itself (the analysis layer holds no engine locks
+// and would drag the vendored analysis framework into the load).
+func enginePackages(root string) ([]string, error) {
+	var pkgs []string
+	if hasGoFiles(root) {
+		pkgs = append(pkgs, "ghba")
+	}
+	base := filepath.Join(root, "internal")
+	err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") {
+			return filepath.SkipDir
+		}
+		if path == filepath.Join(base, "vet") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			pkgs = append(pkgs, "ghba/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(pkgs)
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupEdges(edges []lockorder.Edge) []lockorder.Edge {
+	seen := make(map[[2]string]bool)
+	var out []lockorder.Edge
+	for _, e := range edges {
+		key := [2]string{e.From, e.To}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// findCycle returns one cycle as a node path, or nil.
+func findCycle(graph map[string][]string) []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []string
+	var cycle []string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		stack = append(stack, n)
+		next := append([]string(nil), graph[n]...)
+		sort.Strings(next)
+		for _, m := range next {
+			switch color[m] {
+			case white:
+				if visit(m) {
+					return true
+				}
+			case gray:
+				for i, s := range stack {
+					if s == m {
+						cycle = append(append([]string(nil), stack[i:]...), m)
+						return true
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[n] = black
+		return false
+	}
+	var nodes []string
+	for n := range graph {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if color[n] == white && visit(n) {
+			return cycle
+		}
+	}
+	return nil
 }

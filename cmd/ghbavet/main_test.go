@@ -1,0 +1,95 @@
+package main_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The dispatch rule in main is load-bearing: anything flag-shaped must route
+// to unitchecker (go vet's protocol), while leading driver subcommands are
+// intercepted first. Getting it wrong either breaks `go vet -vettool=` or
+// makes the binary fork go vet forever. These tests pin the routing by
+// exercising the built binary the way each caller does.
+
+var toolBinary string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "ghbavet-test-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	toolBinary = filepath.Join(dir, "ghbavet")
+	if out, err := exec.Command("go", "build", "-o", toolBinary, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building ghbavet: %v\n%s", err, out)
+		os.RemoveAll(dir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// TestListShowsRoster checks that -list names every analyzer in the suite.
+func TestListShowsRoster(t *testing.T) {
+	out, err := exec.Command(toolBinary, "-list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-list failed: %v\n%s", err, out)
+	}
+	for _, name := range []string{
+		"lockcheck", "detrand", "ctxflow", "wireguard",
+		"lockorder", "snapcheck", "hotalloc",
+	} {
+		if !strings.Contains(string(out), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestChecksRejectsUnknown checks that a typo in -checks fails fast with a
+// diagnostic instead of silently running nothing (or everything).
+func TestChecksRejectsUnknown(t *testing.T) {
+	cmd := exec.Command(toolBinary, "-checks", "bogus,lockcheck", "./...")
+	out, err := cmd.CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("-checks bogus: want nonzero exit, got err=%v\n%s", err, out)
+	}
+	if exit.ExitCode() != 2 {
+		t.Errorf("-checks bogus: exit code = %d, want 2\n%s", exit.ExitCode(), out)
+	}
+	if !strings.Contains(string(out), "unknown analyzers bogus") {
+		t.Errorf("-checks bogus: missing diagnostic in output:\n%s", out)
+	}
+}
+
+// TestVersionRoutesToUnitchecker checks that go vet's first probe, -V=full,
+// reaches unitchecker's flag handling (which prints a version fingerprint
+// and exits 0) rather than the re-exec path — re-execing on a flag-shaped
+// argument would recurse through go vet without terminating.
+func TestVersionRoutesToUnitchecker(t *testing.T) {
+	out, err := exec.Command(toolBinary, "-V=full").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-V=full failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "version") {
+		t.Errorf("-V=full: want a version fingerprint, got:\n%s", out)
+	}
+}
+
+// TestFlagsRoutesToUnitchecker checks the second probe of the vet protocol:
+// -flags must yield unitchecker's JSON flag description.
+func TestFlagsRoutesToUnitchecker(t *testing.T) {
+	out, err := exec.Command(toolBinary, "-flags").CombinedOutput()
+	if err != nil {
+		t.Fatalf("-flags failed: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(out)), "[") {
+		t.Errorf("-flags: want JSON flag array, got:\n%s", out)
+	}
+}

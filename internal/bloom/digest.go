@@ -51,6 +51,8 @@ func NewDigestString(key string) Digest {
 // positions returns the k probe positions for geometry (m, k, layout),
 // materializing and caching them on first use. Returns nil when k exceeds
 // the cache bound; callers then derive indices per probe.
+//
+//ghbavet:hotpath
 func (d *Digest) positions(m uint64, k uint32, layout Layout) []uint64 {
 	if k > digestMaxK {
 		return nil
@@ -74,6 +76,8 @@ func (d *Digest) positions(m uint64, k uint32, layout Layout) []uint64 {
 // bit-for-bit equivalent to Contains on the same key: k word loads against
 // the cached probe positions, no hashing, no allocation. Like Contains it is
 // safe to call lock-free concurrently with a serialized writer.
+//
+//ghbavet:hotpath
 func (f *Filter) ContainsDigest(d *Digest) bool {
 	if pos := d.positions(f.m, f.k, f.layout); pos != nil {
 		for _, bit := range pos {
@@ -87,6 +91,8 @@ func (f *Filter) ContainsDigest(d *Digest) bool {
 }
 
 // AddDigest inserts the digested key, equivalent to Add on the same key.
+//
+//ghbavet:hotpath
 func (f *Filter) AddDigest(d *Digest) {
 	if pos := d.positions(f.m, f.k, f.layout); pos != nil {
 		for _, bit := range pos {

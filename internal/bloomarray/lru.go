@@ -169,6 +169,8 @@ func (l *LRUArray) QueryString(key string) Result {
 // an entry share the digest's cached probe positions, so each entry costs at
 // most 2k word loads; with a reused buffer the query neither allocates nor
 // locks.
+//
+//ghbavet:hotpath
 func (l *LRUArray) QueryDigest(d *bloom.Digest, buf []int) Result {
 	hits := buf[:0]
 	for id, e := range l.snapshot() {

@@ -163,6 +163,8 @@ func (c *Cluster) LookupAt(path string, entry int, arrival time.Duration) Lookup
 // nothing except internally synchronized state — the observability
 // structures, the word-wise-atomic filters probed along the way, and (in
 // queued mode) the queue-model map under queueMu. The entry must exist in e.
+//
+//ghbavet:hotpath
 func (c *Cluster) lookupEpoch(e *epoch, path string, entry int, arrival time.Duration, queued bool) LookupResult {
 	node := e.nodes[entry]
 
@@ -199,7 +201,11 @@ func (c *Cluster) lookupEpoch(e *epoch, path string, entry int, arrival time.Dur
 		if res.Found {
 			// The home MDS records the access in its LRU filter, whose
 			// replica every server consults at L1. The digest carries the
-			// hash into the learning write too.
+			// hash into the learning write too. The steady-state re-observe
+			// path inside is lock- and allocation-free; only a first
+			// observation or a generation rotation allocates, which the
+			// flow-insensitive hot-path check cannot distinguish.
+			//ghbavet:ignore L1 learning allocates only on new-entry/rotation, amortized away in steady state
 			c.lru.ObserveDigest(d, res.Home)
 		}
 		return res

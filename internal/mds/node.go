@@ -192,6 +192,8 @@ func (n *Node) LocalPositive(path string) bool {
 
 // LocalPositiveDigest is LocalPositive for a pre-hashed path: k word loads
 // against the published filter, no lock, no hashing.
+//
+//ghbavet:hotpath
 func (n *Node) LocalPositiveDigest(d *bloom.Digest) bool {
 	return n.local.Load().ContainsDigest(d)
 }
@@ -323,6 +325,8 @@ func (n *Node) QueryL2(path string) bloomarray.Result {
 // the digest's cached bit positions. Hits are appended into buf (which may
 // be nil) and returned in ascending order. The whole check is lock-free:
 // one COW-snapshot scan plus one published-pointer probe.
+//
+//ghbavet:hotpath
 func (n *Node) QueryL2Digest(d *bloom.Digest, buf []int) bloomarray.Result {
 	r := n.replicas.QueryDigest(d, buf)
 	if n.LocalPositiveDigest(d) {

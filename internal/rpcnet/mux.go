@@ -66,10 +66,22 @@ func (e *errCallTimeout) Error() string {
 func (e *errCallTimeout) Timeout() bool   { return true }
 func (e *errCallTimeout) Temporary() bool { return true }
 
+// errPayloadTooBig reports an oversized outbound mux payload. A value-typed
+// error keeps the size check on the frame-write hot path free of fmt calls:
+// the message is formatted only if a caller reads it, and the interface
+// boxing happens on the failure return, never on the success path.
+type errPayloadTooBig int
+
+func (e errPayloadTooBig) Error() string {
+	return fmt.Sprintf("rpcnet: payload %d bytes exceeds limit", int(e))
+}
+
 // writeMuxFrame appends one mux frame to w.
+//
+//ghbavet:hotpath
 func writeMuxFrame(w io.Writer, id uint64, lead uint8, payload []byte) error {
 	if len(payload)+muxFrameOverhead > MaxMessageBytes {
-		return fmt.Errorf("rpcnet: payload %d bytes exceeds limit", len(payload))
+		return errPayloadTooBig(len(payload))
 	}
 	var hdr [4 + muxFrameOverhead]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+muxFrameOverhead))

@@ -1,0 +1,24 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"ghba/internal/vet/hotalloc"
+	"ghba/internal/vet/vettest"
+)
+
+func TestHotalloc(t *testing.T) {
+	vettest.Run(t, "testdata", hotalloc.Analyzer, "hotalloc1")
+}
+
+// TestHotallocCrossPackage checks that allocation facts reach tagged
+// callers across the package boundary.
+func TestHotallocCrossPackage(t *testing.T) {
+	vettest.RunMulti(t, "testdata", hotalloc.Analyzer, "hota", "hotb")
+}
+
+// TestHotallocRegress pins the real engine findings (rpcnet mux frame
+// error, core L1 learning write) alongside their fixes.
+func TestHotallocRegress(t *testing.T) {
+	vettest.Run(t, "testdata", hotalloc.Analyzer, "regress")
+}

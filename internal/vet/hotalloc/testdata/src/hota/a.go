@@ -1,0 +1,12 @@
+// Package hota is the upstream half of the cross-package hotalloc
+// fixtures: one clean helper, one allocating one whose AllocFact must
+// reach tagged callers in hotb.
+package hota
+
+// Sum is pure arithmetic: no fact.
+func Sum(a, b int) int { return a + b }
+
+// Grow allocates (make): exports an AllocFact.
+func Grow(s []int) []int {
+	return append(s, make([]int, 4)...)
+}

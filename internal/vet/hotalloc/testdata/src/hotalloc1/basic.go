@@ -1,0 +1,126 @@
+// Package hotalloc1 seeds every allocating construct hotalloc knows
+// about inside tagged functions, next to the sanctioned zero-alloc
+// idioms (param-backed append, scratch fields, local closures) that must
+// stay clean.
+package hotalloc1
+
+import "fmt"
+
+type T struct{ a, b int }
+
+//ghbavet:hotpath
+func Escaping() *T {
+	return &T{a: 1} // want `composite literal escapes`
+}
+
+//ghbavet:hotpath
+func SliceLit() []int {
+	return []int{1, 2} // want `slice/map literal`
+}
+
+//ghbavet:hotpath
+func MakeIt() []int {
+	return make([]int, 4) // want `make allocates`
+}
+
+//ghbavet:hotpath
+func AppendNoEvidence() {
+	var s []int
+	s = append(s, 1) // want `append without capacity evidence`
+	_ = s
+}
+
+// AppendParam reuses the caller's backing array: the QueryDigest idiom.
+//
+//ghbavet:hotpath
+func AppendParam(buf []int, v int) []int {
+	buf = append(buf[:0], v)
+	return buf
+}
+
+type scratch struct{ set []int }
+
+// AppendField appends into a pooled scratch struct's field.
+//
+//ghbavet:hotpath
+func (s *scratch) AppendField(v int) {
+	set := s.set[:0]
+	set = append(set, v)
+	s.set = set
+}
+
+//ghbavet:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//ghbavet:hotpath
+func ConstConcat() string {
+	return "a" + "b" // constant-folded: clean
+}
+
+//ghbavet:hotpath
+func Convert(b []byte) string {
+	return string(b) // want `conversion to string`
+}
+
+func sink(v any) { _ = v }
+
+//ghbavet:hotpath
+func Box(v int) {
+	sink(v) // want `interface boxing`
+}
+
+// BoxPtr passes a pointer: fits the interface word, no allocation.
+//
+//ghbavet:hotpath
+func BoxPtr(v *T) {
+	sink(v)
+}
+
+//ghbavet:hotpath
+func Spawn() { // The go statement is flagged at the statement position.
+	go func() {}() // want `go statement`
+}
+
+func runFn(fn func()) { fn() }
+
+//ghbavet:hotpath
+func PassClosure(v int) {
+	runFn(func() { _ = v }) // want `closure passed as argument`
+}
+
+// LocalClosure binds a literal to a local and calls it inline: stack
+// allocated, clean — the lookupEpoch finish-closure idiom.
+//
+//ghbavet:hotpath
+func LocalClosure(v int) int {
+	add := func(x int) int { return x + v }
+	return add(2)
+}
+
+// helper is untagged, so its allocation is not reported here...
+func helper() *T {
+	return &T{}
+}
+
+// ...but bubbles up to the tagged caller through the summary.
+//
+//ghbavet:hotpath
+func CallsHelper() *T {
+	return helper() // want `call to hotalloc1\.helper allocates`
+}
+
+//ghbavet:hotpath
+func Format(n int) string {
+	return fmt.Sprintf("%d", n) // want `interface boxing` `call to fmt\.Sprintf allocates`
+}
+
+// Ignored demonstrates the escape hatch for deliberate amortized
+// allocations.
+//
+//ghbavet:hotpath
+func Ignored() *T {
+	//ghbavet:ignore amortized one-time allocation
+	return &T{}
+}

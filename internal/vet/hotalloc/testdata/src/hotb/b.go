@@ -1,0 +1,15 @@
+// Package hotb tags hot functions that call into hota: the allocation
+// verdicts arrive purely through facts.
+package hotb
+
+import "hota"
+
+//ghbavet:hotpath
+func UsesSum(a, b int) int {
+	return hota.Sum(a, b)
+}
+
+//ghbavet:hotpath
+func UsesGrow(s []int) []int {
+	return hota.Grow(s) // want `call to hota\.Grow allocates`
+}

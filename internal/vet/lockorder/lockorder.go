@@ -1,0 +1,918 @@
+// Package lockorder defines a cross-package lock-acquisition-order
+// analyzer.
+//
+// Each package is summarized into facts: for every function, the set of
+// lock classes it may (transitively) acquire, and the lock classes it
+// holds when it invokes one of its func-typed parameters (the callback
+// pattern used by core's sharded homes map). A lock class names the
+// static identity of a mutex — `pkg.Type.field` for a struct field,
+// `pkg.Type.field[]` for an element of a mutex array (stripes), and
+// `pkg.var` for a package-level mutex. Local mutexes have no class and
+// are ignored: they cannot participate in a cross-function ordering.
+//
+// While walking a function body the analyzer tracks the lexically held
+// set: direct Lock/RLock and Unlock/RUnlock calls push and pop classes,
+// a method whose name ends in Locked starts with its receiver's mu held
+// (the repo-wide *Locked contract that lockcheck enforces), and deferred
+// calls are processed with the held set at the defer statement. Every
+// acquisition observed while other classes are held contributes a
+// directed edge held→acquired. Calls into other functions contribute
+// edges to everything the callee may transitively acquire, using the
+// exported facts for out-of-package callees; function-literal arguments
+// are walked with the callee's published callback-held set added, so an
+// edge like homeShard.mu→Node.mu materializes at the putThen call site.
+//
+// Edges are exported both as object facts on the type that owns the
+// source lock (those re-export transitively) and as a package fact
+// (visible to direct importers). Each package then checks the merged
+// graph and reports any cycle that one of its own edges closes, with the
+// reverse witness path spelled out position by position. Cycles whose
+// edges all live in sibling packages that never see each other's facts
+// are caught by `ghbavet -lockgraph`, which loads the whole repo in one
+// process and asserts global acyclicity.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"ghba/internal/vet/vetutil"
+)
+
+// Edge is one observed lock-order constraint: To was (possibly
+// transitively) acquired while From was held.
+type Edge struct {
+	From string // lock class held
+	To   string // lock class acquired under it
+	In   string // function in which the acquisition was observed
+	Pos  string // short position (base.go:line) of the acquiring site
+}
+
+// ParamCall records that a function invokes its Index-th parameter while
+// holding the given lock classes.
+type ParamCall struct {
+	Index int
+	Held  []string
+}
+
+// FnLocks is the per-function fact: the transitive set of lock classes
+// the function may acquire, and the callbacks it runs under locks.
+type FnLocks struct {
+	Acquires   []string
+	ParamCalls []ParamCall
+}
+
+// AFact marks FnLocks as a serializable analysis fact.
+func (*FnLocks) AFact() {}
+
+func (f *FnLocks) String() string {
+	return fmt.Sprintf("acquires(%s)", strings.Join(f.Acquires, ","))
+}
+
+// TypeLocks attaches the edges rooted at a type's locks to the type
+// itself, so they re-export transitively with the type.
+type TypeLocks struct {
+	Edges []Edge
+}
+
+// AFact marks TypeLocks as a serializable analysis fact.
+func (*TypeLocks) AFact() {}
+
+func (f *TypeLocks) String() string { return fmt.Sprintf("lockedges(%d)", len(f.Edges)) }
+
+// PkgLocks carries every edge observed in a package, including edges
+// rooted at another package's locks (callback inversions).
+type PkgLocks struct {
+	Edges []Edge
+}
+
+// AFact marks PkgLocks as a serializable analysis fact.
+func (*PkgLocks) AFact() {}
+
+func (f *PkgLocks) String() string { return fmt.Sprintf("lockedges(%d)", len(f.Edges)) }
+
+// Graph is the analyzer's per-package result: the edges observed in that
+// package, for the -lockgraph driver to merge.
+type Graph struct {
+	Edges []Edge
+}
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "detect lock-acquisition-order cycles across packages via exported lock facts",
+	Run:        run,
+	FactTypes:  []analysis.Fact{(*FnLocks)(nil), (*TypeLocks)(nil), (*PkgLocks)(nil)},
+	ResultType: reflect.TypeOf((*Graph)(nil)),
+}
+
+// acqEvent is a direct mutex acquisition observed under a held set.
+type acqEvent struct {
+	held  []string
+	class string
+	pos   token.Pos
+}
+
+// callEvent is a static call observed under a held set.
+type callEvent struct {
+	held   []string
+	callee *types.Func
+	pos    token.Pos
+}
+
+// funcInfo accumulates one function's walk results.
+type funcInfo struct {
+	fn         *types.Func
+	decl       *ast.FuncDecl
+	entry      []string
+	acquires   []acqEvent
+	calls      []callEvent
+	paramCalls []ParamCall
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	rep    *vetutil.Reporter
+	funcs  map[*types.Func]*funcInfo
+	order  []*funcInfo
+	owners map[string]types.Object
+	memo   map[*types.Func][]string
+	busy   map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:   pass,
+		rep:    vetutil.NewReporter(pass),
+		funcs:  make(map[*types.Func]*funcInfo),
+		owners: make(map[string]types.Object),
+		memo:   make(map[*types.Func][]string),
+		busy:   make(map[*types.Func]bool),
+	}
+	c.collect()
+	// Round 1 fills ParamCalls so that round 2 can walk function-literal
+	// arguments of in-package callees under the right held set.
+	for _, fi := range c.order {
+		c.walk(fi, false)
+	}
+	for _, fi := range c.order {
+		fi.acquires, fi.calls = nil, nil
+		c.walk(fi, true)
+	}
+	c.exportFnFacts()
+	local := c.localEdges()
+	c.exportEdgeFacts(local)
+	c.checkCycles(local)
+
+	g := &Graph{Edges: make([]Edge, len(local))}
+	for i, e := range local {
+		g.Edges[i] = e.Edge
+	}
+	return g, nil
+}
+
+// collect finds every function declaration with a body, outside test
+// files, and seeds the *Locked entry-held contract.
+func (c *checker) collect() {
+	for _, f := range c.pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if vetutil.IsTestFile(c.pass.Fset, fd.Pos()) {
+				continue
+			}
+			fn, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{fn: fn, decl: fd}
+			if strings.HasSuffix(fd.Name.Name, "Locked") && fd.Recv != nil {
+				if cls, owner := receiverMuClass(fn); cls != "" {
+					fi.entry = []string{cls}
+					c.noteOwner(cls, owner)
+				}
+			}
+			c.funcs[fn] = fi
+			c.order = append(c.order, fi)
+		}
+	}
+}
+
+// receiverMuClass returns the lock class of the receiver type's `mu`
+// field, the mutex the *Locked naming contract refers to.
+func receiverMuClass(fn *types.Func) (string, types.Object) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", nil
+	}
+	named, ok := deref(sig.Recv().Type()).(*types.Named)
+	if !ok {
+		return "", nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if fld.Name() == "mu" && isMutex(fld.Type()) {
+			tn := named.Obj()
+			return tn.Pkg().Path() + "." + tn.Name() + ".mu", tn
+		}
+	}
+	return "", nil
+}
+
+func (c *checker) noteOwner(class string, owner types.Object) {
+	if owner != nil && owner.Pkg() == c.pass.Pkg {
+		c.owners[class] = owner
+	}
+}
+
+// ---- body walking ----
+
+type localClass struct {
+	class string
+	owner types.Object
+}
+
+type walker struct {
+	c        *checker
+	fi       *funcInfo
+	held     []string
+	locals   map[types.Object]localClass
+	params   map[types.Object]int
+	useFacts bool
+}
+
+func (c *checker) walk(fi *funcInfo, useFacts bool) {
+	w := &walker{
+		c:        c,
+		fi:       fi,
+		held:     append([]string(nil), fi.entry...),
+		locals:   make(map[types.Object]localClass),
+		params:   make(map[types.Object]int),
+		useFacts: useFacts,
+	}
+	if p := fi.decl.Type.Params; p != nil {
+		i := 0
+		for _, fld := range p.List {
+			for _, name := range fld.Names {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+					if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+						w.params[obj] = i
+					}
+				}
+				i++
+			}
+			if len(fld.Names) == 0 {
+				i++
+			}
+		}
+	}
+	w.stmts(fi.decl.Body.List)
+}
+
+func (w *walker) info() *types.Info { return w.c.pass.TypesInfo }
+
+func (w *walker) snapshot() []string { return append([]string(nil), w.held...) }
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		saved := w.snapshot()
+		w.stmt(s.Body)
+		w.held = append([]string(nil), saved...)
+		if s.Else != nil {
+			w.stmt(s.Else)
+			w.held = saved
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		saved := w.snapshot()
+		w.stmt(s.Body)
+		w.stmt(s.Post)
+		w.held = saved
+	case *ast.RangeStmt:
+		w.expr(s.X)
+		saved := w.snapshot()
+		w.stmt(s.Body)
+		w.held = saved
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		w.caseBodies(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.caseBodies(s.Body)
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			saved := w.snapshot()
+			w.stmt(cc.Comm)
+			w.stmts(cc.Body)
+			w.held = saved
+		}
+	case *ast.DeferStmt:
+		// Deferred unlocks keep the lock held for the rest of the body
+		// (the lexical model lockcheck also uses); anything else deferred
+		// runs with at most the locks held here.
+		if _, _, method, ok := vetutil.MutexMethod(w.info(), s.Call); ok {
+			if method == "Lock" || method == "RLock" {
+				w.handleCall(s.Call, false)
+			}
+			return
+		}
+		w.handleCall(s.Call, false)
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the caller's held set.
+		w.handleGo(s.Call)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			w.expr(rhs)
+		}
+		w.trackAliases(s)
+		for _, lhs := range s.Lhs {
+			if _, ok := lhs.(*ast.Ident); !ok {
+				w.expr(lhs)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				w.expr(v)
+			}
+			if len(vs.Names) == len(vs.Values) {
+				for i, name := range vs.Names {
+					w.trackAlias(name, vs.Values[i])
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.expr(r)
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	}
+}
+
+func (w *walker) caseBodies(body *ast.BlockStmt) {
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.expr(e)
+		}
+		saved := w.snapshot()
+		w.stmts(cc.Body)
+		w.held = saved
+	}
+}
+
+// trackAliases records local variables that alias a classed mutex, so
+// `stripe := &c.shipStripes[i]; stripe.Lock()` resolves to the stripes
+// class.
+func (w *walker) trackAliases(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		w.trackAlias(id, s.Rhs[i])
+	}
+}
+
+func (w *walker) trackAlias(id *ast.Ident, rhs ast.Expr) {
+	obj := w.info().ObjectOf(id)
+	if obj == nil || !isMutex(obj.Type()) {
+		return
+	}
+	if cls, owner := w.classOf(rhs); cls != "" {
+		w.locals[obj] = localClass{class: cls, owner: owner}
+	}
+}
+
+func (w *walker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			w.handleCall(n, false)
+			return false
+		case *ast.FuncLit:
+			w.funcLit(n, w.held)
+			return false
+		}
+		return true
+	})
+}
+
+// funcLit walks a function literal's body under the given held set.
+// Locals and params of the enclosing function stay visible (closures
+// capture them), but held-set changes do not leak back out.
+func (w *walker) funcLit(lit *ast.FuncLit, held []string) {
+	saved := w.held
+	w.held = append([]string(nil), held...)
+	w.stmts(lit.Body.List)
+	w.held = saved
+}
+
+// handleGo processes a go statement: argument expressions evaluate now,
+// but the spawned call runs without the caller's locks.
+func (w *walker) handleGo(call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			w.funcLit(lit, nil)
+		} else {
+			w.expr(arg)
+		}
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		w.funcLit(lit, nil)
+	}
+}
+
+func (w *walker) handleCall(call *ast.CallExpr, _ bool) {
+	// Direct mutex operation?
+	if _, _, method, ok := vetutil.MutexMethod(w.info(), call); ok {
+		sel := call.Fun.(*ast.SelectorExpr)
+		cls, owner := w.classOf(sel.X)
+		if cls == "" {
+			return // local mutex: no cross-function identity
+		}
+		switch method {
+		case "Lock", "RLock":
+			w.c.noteOwner(cls, owner)
+			w.fi.acquires = append(w.fi.acquires, acqEvent{held: w.snapshot(), class: cls, pos: call.Lparen})
+			w.held = append(w.held, cls)
+		case "Unlock", "RUnlock":
+			for i := len(w.held) - 1; i >= 0; i-- {
+				if w.held[i] == cls {
+					w.held = append(w.held[:i:i], w.held[i+1:]...)
+					break
+				}
+			}
+		}
+		return
+	}
+
+	// Receiver/base expression of the call may itself contain calls.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		w.expr(sel.X)
+	} else if _, ok := call.Fun.(*ast.Ident); !ok {
+		w.expr(call.Fun)
+	}
+
+	callee := typeutil.StaticCallee(w.info(), call)
+	if callee != nil {
+		callee = origin(callee)
+	}
+
+	var pcs []ParamCall
+	if callee != nil && w.useFacts {
+		pcs = w.c.paramCallsOf(callee)
+	}
+	heldFor := func(argIdx int) []string {
+		held := w.held
+		for _, pc := range pcs {
+			if pc.Index == argIdx {
+				merged := append([]string(nil), held...)
+				merged = append(merged, pc.Held...)
+				return merged
+			}
+		}
+		return held
+	}
+
+	for i, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			w.funcLit(lit, heldFor(i))
+			continue
+		}
+		w.expr(arg)
+		// A named function passed as a callback: treat it as called under
+		// the callee's published callback-held set.
+		if w.useFacts {
+			if g := funcValue(w.info(), arg); g != nil {
+				for _, pc := range pcs {
+					if pc.Index == i {
+						merged := append(w.snapshot(), pc.Held...)
+						w.fi.calls = append(w.fi.calls, callEvent{held: merged, callee: origin(g), pos: arg.Pos()})
+					}
+				}
+			}
+		}
+	}
+
+	if callee != nil {
+		w.fi.calls = append(w.fi.calls, callEvent{held: w.snapshot(), callee: callee, pos: call.Lparen})
+		return
+	}
+
+	// Dynamic call: is it one of the enclosing function's parameters?
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if obj := w.info().ObjectOf(id); obj != nil {
+			if idx, ok := w.params[obj]; ok && len(w.held) > 0 {
+				w.fi.paramCalls = append(w.fi.paramCalls, ParamCall{Index: idx, Held: w.snapshot()})
+			}
+		}
+	}
+}
+
+// classOf resolves the lock class of a mutex-valued expression. The
+// second result is the owning object (a TypeName for struct fields, a
+// package-level Var), nil when unknown or foreign.
+func (w *walker) classOf(e ast.Expr) (string, types.Object) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return w.classOf(e.X)
+	case *ast.StarExpr:
+		return w.classOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return w.classOf(e.X)
+		}
+	case *ast.IndexExpr:
+		cls, owner := w.classOf(e.X)
+		if cls == "" {
+			return "", nil
+		}
+		return cls + "[]", owner
+	case *ast.Ident:
+		obj := w.info().ObjectOf(e)
+		if obj == nil {
+			return "", nil
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name(), v
+			}
+			if lc, ok := w.locals[obj]; ok {
+				return lc.class, lc.owner
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := w.info().Selections[e]; ok && sel.Kind() == types.FieldVal {
+			named, ok := deref(w.info().TypeOf(e.X)).(*types.Named)
+			if !ok {
+				return "", nil
+			}
+			tn := named.Obj()
+			if tn.Pkg() == nil {
+				return "", nil
+			}
+			return tn.Pkg().Path() + "." + tn.Name() + "." + e.Sel.Name, tn
+		}
+		if obj := w.info().ObjectOf(e.Sel); obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name(), v
+			}
+		}
+	}
+	return "", nil
+}
+
+// ---- summaries and facts ----
+
+// acquiresOf returns the transitive set of lock classes fn may acquire,
+// from the local walk for in-package functions and from imported facts
+// otherwise. Mutual recursion degrades to an under-approximation at the
+// cycle's back edge.
+func (c *checker) acquiresOf(fn *types.Func) []string {
+	if v, ok := c.memo[fn]; ok {
+		return v
+	}
+	if c.busy[fn] {
+		return nil
+	}
+	fi := c.funcs[fn]
+	if fi == nil {
+		var fact FnLocks
+		var out []string
+		if c.pass.ImportObjectFact(fn, &fact) {
+			out = fact.Acquires
+		}
+		c.memo[fn] = out
+		return out
+	}
+	c.busy[fn] = true
+	set := make(map[string]bool)
+	for _, a := range fi.acquires {
+		set[a.class] = true
+	}
+	for _, ce := range fi.calls {
+		for _, cls := range c.acquiresOf(ce.callee) {
+			set[cls] = true
+		}
+	}
+	c.busy[fn] = false
+	out := sortedKeys(set)
+	c.memo[fn] = out
+	return out
+}
+
+func (c *checker) paramCallsOf(fn *types.Func) []ParamCall {
+	if fi := c.funcs[fn]; fi != nil {
+		return fi.paramCalls
+	}
+	var fact FnLocks
+	if c.pass.ImportObjectFact(fn, &fact) {
+		return fact.ParamCalls
+	}
+	return nil
+}
+
+func (c *checker) exportFnFacts() {
+	for _, fi := range c.order {
+		acq := c.acquiresOf(fi.fn)
+		if len(acq) == 0 && len(fi.paramCalls) == 0 {
+			continue
+		}
+		c.pass.ExportObjectFact(fi.fn, &FnLocks{Acquires: acq, ParamCalls: fi.paramCalls})
+	}
+}
+
+// localEdge pairs an Edge with the token position it was observed at.
+type localEdge struct {
+	Edge
+	pos token.Pos
+}
+
+// localEdges derives this package's lock-order edges from the walk
+// events, deduplicated by (From, To) keeping the first site.
+func (c *checker) localEdges() []localEdge {
+	seen := make(map[[2]string]bool)
+	var out []localEdge
+	add := func(from, to string, pos token.Pos) {
+		if from == to {
+			return
+		}
+		key := [2]string{from, to}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, localEdge{
+			Edge: Edge{From: from, To: to, In: "", Pos: c.shortPos(pos)},
+			pos:  pos,
+		})
+	}
+	for _, fi := range c.order {
+		for _, a := range fi.acquires {
+			for _, h := range a.held {
+				add(h, a.class, a.pos)
+			}
+		}
+		for _, ce := range fi.calls {
+			acq := c.acquiresOf(ce.callee)
+			for _, h := range ce.held {
+				for _, to := range acq {
+					add(h, to, ce.pos)
+				}
+			}
+		}
+	}
+	// Stamp the observing function name and sort for determinism.
+	for i := range out {
+		out[i].In = c.enclosingFunc(out[i].pos)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+func (c *checker) enclosingFunc(pos token.Pos) string {
+	for _, fi := range c.order {
+		if fi.decl.Pos() <= pos && pos <= fi.decl.End() {
+			return fi.fn.FullName()
+		}
+	}
+	return c.pass.Pkg.Path()
+}
+
+func (c *checker) shortPos(pos token.Pos) string {
+	p := c.pass.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// exportEdgeFacts publishes edges as a TypeLocks fact per owning local
+// type (transitive visibility) and one PkgLocks package fact.
+func (c *checker) exportEdgeFacts(local []localEdge) {
+	if len(local) == 0 {
+		return
+	}
+	byOwner := make(map[types.Object][]Edge)
+	var all []Edge
+	for _, e := range local {
+		all = append(all, e.Edge)
+		if owner, ok := c.owners[baseClass(e.From)]; ok {
+			byOwner[owner] = append(byOwner[owner], e.Edge)
+		}
+	}
+	var owners []types.Object
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i].Name() < owners[j].Name() })
+	for _, o := range owners {
+		c.pass.ExportObjectFact(o, &TypeLocks{Edges: byOwner[o]})
+	}
+	c.pass.ExportPackageFact(&PkgLocks{Edges: all})
+}
+
+// baseClass strips the array-element suffix so stripe classes share their
+// owner with the field class.
+func baseClass(cls string) string { return strings.TrimSuffix(cls, "[]") }
+
+// checkCycles merges local edges with every imported edge fact and
+// reports each local edge that closes a cycle, with the reverse path.
+func (c *checker) checkCycles(local []localEdge) {
+	graph := make(map[string]map[string]Edge)
+	add := func(e Edge) {
+		m := graph[e.From]
+		if m == nil {
+			m = make(map[string]Edge)
+			graph[e.From] = m
+		}
+		if _, ok := m[e.To]; !ok {
+			m[e.To] = e
+		}
+	}
+	for _, e := range local {
+		add(e.Edge)
+	}
+	for _, of := range c.pass.AllObjectFacts() {
+		if tl, ok := of.Fact.(*TypeLocks); ok {
+			for _, e := range tl.Edges {
+				add(e)
+			}
+		}
+	}
+	for _, pf := range c.pass.AllPackageFacts() {
+		if pl, ok := pf.Fact.(*PkgLocks); ok {
+			for _, e := range pl.Edges {
+				add(e)
+			}
+		}
+	}
+
+	for _, e := range local {
+		path := findPath(graph, e.To, e.From)
+		if path == nil {
+			continue
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "lock order cycle: %s acquired while %s held, but reverse path exists: %s", e.To, e.From, e.To)
+		for _, hop := range path {
+			fmt.Fprintf(&b, " -> %s (%s, %s)", hop.To, hop.In, hop.Pos)
+		}
+		c.rep.Reportf(e.pos, "%s", b.String())
+	}
+}
+
+// findPath returns the edges of a shortest path from src to dst, or nil.
+func findPath(graph map[string]map[string]Edge, src, dst string) []Edge {
+	type hop struct {
+		node string
+		via  []Edge
+	}
+	visited := map[string]bool{src: true}
+	queue := []hop{{node: src}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		next := graph[h.node]
+		var tos []string
+		for to := range next {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if visited[to] {
+				continue
+			}
+			via := append(append([]Edge(nil), h.via...), next[to])
+			if to == dst {
+				return via
+			}
+			visited[to] = true
+			queue = append(queue, hop{node: to, via: via})
+		}
+	}
+	return nil
+}
+
+// ---- small helpers ----
+
+func deref(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	return t
+}
+
+// isMutex reports whether t is sync.Mutex, sync.RWMutex, or a pointer to
+// one.
+func isMutex(t types.Type) bool {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+func origin(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// funcValue resolves an expression used as a function value to its static
+// *types.Func, for named functions and method values.
+func funcValue(info *types.Info, e ast.Expr) *types.Func {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return funcValue(info, e.X)
+	case *ast.Ident:
+		if fn, ok := info.ObjectOf(e).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.ObjectOf(e.Sel).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,18 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"ghba/internal/vet/lockorder"
+	"ghba/internal/vet/vettest"
+)
+
+func TestLockorder(t *testing.T) {
+	vettest.Run(t, "testdata", lockorder.Analyzer, "lockorder1")
+}
+
+// TestLockorderCrossPackage runs both halves of a two-package cycle in
+// one fact session: locka exports its summaries, lockb closes the cycle.
+func TestLockorderCrossPackage(t *testing.T) {
+	vettest.RunMulti(t, "testdata", lockorder.Analyzer, "locka", "lockb")
+}

@@ -1,0 +1,105 @@
+// Package lockorder1 seeds in-package lock-order inversions plus the
+// shapes that must NOT be flagged: striped same-class locks, goroutines,
+// and sequential (released) acquisitions.
+package lockorder1
+
+import "sync"
+
+type S struct {
+	mu    sync.Mutex
+	inner sync.Mutex
+}
+
+// AB establishes S.mu -> S.inner.
+func (s *S) AB() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner.Lock() // want `lock order cycle: lockorder1\.S\.inner acquired while lockorder1\.S\.mu held`
+	s.inner.Unlock()
+}
+
+// BA reverses it: the cycle is reported at both witness sites.
+func (s *S) BA() {
+	s.inner.Lock()
+	s.mu.Lock() // want `lock order cycle: lockorder1\.S\.mu acquired while lockorder1\.S\.inner held`
+	s.mu.Unlock()
+	s.inner.Unlock()
+}
+
+type T struct {
+	mu   sync.Mutex
+	leaf sync.Mutex
+}
+
+// flushLocked holds T.mu on entry by the *Locked contract; its direct
+// acquisition of T.leaf is an edge even with no Lock call in sight.
+func (t *T) flushLocked() {
+	t.leaf.Lock() // want `lock order cycle: lockorder1\.T\.leaf acquired while lockorder1\.T\.mu held`
+	t.leaf.Unlock()
+}
+
+func (t *T) Reverse() {
+	t.leaf.Lock()
+	t.mu.Lock() // want `lock order cycle: lockorder1\.T\.mu acquired while lockorder1\.T\.leaf held`
+	t.mu.Unlock()
+	t.leaf.Unlock()
+}
+
+type U struct{ mu sync.Mutex }
+
+type V struct{ mu sync.Mutex }
+
+func (v *V) Poke() {
+	v.mu.Lock()
+	v.mu.Unlock()
+}
+
+// CallsV acquires V.mu transitively through Poke's summary.
+func (u *U) CallsV(v *V) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	v.Poke() // want `lock order cycle: lockorder1\.V\.mu acquired while lockorder1\.U\.mu held`
+}
+
+func (v *V) CallsU(u *U) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	u.mu.Lock() // want `lock order cycle: lockorder1\.U\.mu acquired while lockorder1\.V\.mu held`
+	u.mu.Unlock()
+}
+
+type W struct{ stripes [4]sync.Mutex }
+
+// MergeFrom locks two stripes of the same class: same-class nesting is a
+// self-edge and never reported (the real code orders stripes by index).
+func (w *W) MergeFrom(src *W) {
+	w.stripes[0].Lock()
+	src.stripes[1].Lock()
+	src.stripes[1].Unlock()
+	w.stripes[0].Unlock()
+}
+
+// Spawn runs Poke on a fresh goroutine: the goroutine does not inherit
+// the caller's held set, so no U.mu -> V.mu edge may appear here.
+func (u *U) Spawn(v *V) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	go v.Poke()
+}
+
+// SeqOK releases before calling: empty held set, no edge.
+func (u *U) SeqOK(v *V) {
+	u.mu.Lock()
+	u.mu.Unlock()
+	v.Poke()
+}
+
+// Aliased resolves a stripe pointer through a local alias; the class
+// carries the []-suffix so it still self-edges against other stripes.
+func (w *W) Aliased(i int) {
+	stripe := &w.stripes[i%4]
+	stripe.Lock()
+	w.stripes[0].Lock()
+	w.stripes[0].Unlock()
+	stripe.Unlock()
+}

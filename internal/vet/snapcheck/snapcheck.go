@@ -1,0 +1,689 @@
+// Package snapcheck defines an analyzer enforcing the epoch/COW
+// discipline introduced with the lock-free read path: memory published
+// through an atomic pointer is immutable, and readers holding a loaded
+// snapshot may not write through it.
+//
+// The analyzer runs a forward pass over each function tracking two
+// taints. A variable becomes *published* when its address flows into
+// `atomic.Pointer.Store` (also Swap/CompareAndSwap, and functions
+// fact-marked as publishing); writes through it after that point are
+// errors — the copy-on-write idiom builds and fills the value first and
+// publishes last. A variable becomes *snapshot-tainted* when it is bound
+// to the result of an atomic `Load`, to a call into a fact-marked
+// snapshot accessor, or to a reference-typed projection (field, element,
+// deref, range) of either; writes, in-place appends, and calls into
+// fact-marked mutators through tainted values are errors at any point.
+//
+// Three facts carry the discipline across package boundaries:
+//
+//   - SnapFact marks functions whose results alias published memory
+//     (bloomarray's snapshot helpers);
+//   - MutateFact records which parameters (receiver = -1) a function
+//     writes through non-atomically;
+//   - PublishFact records which parameters a function publishes.
+//
+// Mutations through sync/atomic calls are exempt by construction — they
+// are calls, not assignments — which is exactly the sanctioned word-wise
+// idiom bloom.Filter uses for concurrent bit setting.
+package snapcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"ghba/internal/vet/vetutil"
+)
+
+// SnapFact marks a function whose result aliases published snapshot
+// memory.
+type SnapFact struct{}
+
+// AFact marks SnapFact as a serializable analysis fact.
+func (*SnapFact) AFact() {}
+
+func (*SnapFact) String() string { return "returns snapshot memory" }
+
+// MutateFact records which parameters a function writes through
+// non-atomically; the receiver is index -1.
+type MutateFact struct {
+	Params []int
+}
+
+// AFact marks MutateFact as a serializable analysis fact.
+func (*MutateFact) AFact() {}
+
+func (f *MutateFact) String() string { return fmt.Sprintf("mutates params %v", f.Params) }
+
+// PublishFact records which parameters a function publishes through an
+// atomic pointer; the receiver is index -1.
+type PublishFact struct {
+	Params []int
+}
+
+// AFact marks PublishFact as a serializable analysis fact.
+func (*PublishFact) AFact() {}
+
+func (f *PublishFact) String() string { return fmt.Sprintf("publishes params %v", f.Params) }
+
+// Analyzer is the snapcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:      "snapcheck",
+	Doc:       "forbid writes to memory reachable from snapshots published via atomic.Pointer",
+	Run:       run,
+	FactTypes: []analysis.Fact{(*SnapFact)(nil), (*MutateFact)(nil), (*PublishFact)(nil)},
+}
+
+// fnSummary is the in-package accumulation of a function's facts across
+// fixpoint rounds.
+type fnSummary struct {
+	mutates   map[int]bool
+	publishes map[int]bool
+	snap      bool
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	rep       *vetutil.Reporter
+	summaries map[*types.Func]*fnSummary
+	decls     []*ast.FuncDecl
+	objs      []*types.Func
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:      pass,
+		rep:       vetutil.NewReporter(pass),
+		summaries: make(map[*types.Func]*fnSummary),
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if vetutil.IsTestFile(pass.Fset, fd.Pos()) {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.summaries[fn] = &fnSummary{mutates: make(map[int]bool), publishes: make(map[int]bool)}
+			c.decls = append(c.decls, fd)
+			c.objs = append(c.objs, fn)
+		}
+	}
+	// Fixpoint over in-package summaries: mutate/publish/snap properties
+	// flow through local call chains (a *Locked helper that stomps its
+	// parameter makes its callers' call sites dangerous).
+	for round := 0; round < 5; round++ {
+		changed := false
+		for i, fd := range c.decls {
+			if c.analyze(fd, c.objs[i], nil) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Diagnostics round.
+	for i, fd := range c.decls {
+		c.analyze(fd, c.objs[i], c.rep)
+	}
+	// Export.
+	for _, fn := range c.objs {
+		s := c.summaries[fn]
+		if s.snap {
+			c.pass.ExportObjectFact(fn, &SnapFact{})
+		}
+		if len(s.mutates) > 0 {
+			c.pass.ExportObjectFact(fn, &MutateFact{Params: sortedInts(s.mutates)})
+		}
+		if len(s.publishes) > 0 {
+			c.pass.ExportObjectFact(fn, &PublishFact{Params: sortedInts(s.publishes)})
+		}
+	}
+	return nil, nil
+}
+
+// varState tracks one local variable's relation to published memory.
+type varState struct {
+	tainted   bool
+	published bool
+}
+
+// funcChecker is the per-function forward pass.
+type funcChecker struct {
+	c       *checker
+	fn      *types.Func
+	sum     *fnSummary
+	rep     *vetutil.Reporter // nil during fact rounds
+	state   map[types.Object]*varState
+	params  map[types.Object]int // receiver = -1
+	changed bool
+}
+
+// analyze walks one function; it reports diagnostics when rep is non-nil
+// and returns whether the function's summary changed.
+func (c *checker) analyze(fd *ast.FuncDecl, fn *types.Func, rep *vetutil.Reporter) bool {
+	fc := &funcChecker{
+		c:      c,
+		fn:     fn,
+		sum:    c.summaries[fn],
+		rep:    rep,
+		state:  make(map[types.Object]*varState),
+		params: make(map[types.Object]int),
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if obj := c.pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			fc.params[obj] = -1
+		}
+	}
+	i := 0
+	for _, fld := range fd.Type.Params.List {
+		for _, name := range fld.Names {
+			if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+				fc.params[obj] = i
+			}
+			i++
+		}
+		if len(fld.Names) == 0 {
+			i++
+		}
+	}
+	fc.block(fd.Body)
+	return fc.changed
+}
+
+func (fc *funcChecker) info() *types.Info { return fc.c.pass.TypesInfo }
+
+func (fc *funcChecker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		fc.stmt(s)
+	}
+}
+
+func (fc *funcChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		fc.block(s)
+	case *ast.ExprStmt:
+		fc.expr(s.X)
+	case *ast.AssignStmt:
+		fc.assign(s)
+	case *ast.IncDecStmt:
+		fc.expr(s.X)
+		fc.writeThrough(s.X, s.Pos())
+	case *ast.IfStmt:
+		fc.stmt(s.Init)
+		fc.expr(s.Cond)
+		fc.stmt(s.Body)
+		fc.stmt(s.Else)
+	case *ast.ForStmt:
+		fc.stmt(s.Init)
+		fc.expr(s.Cond)
+		fc.stmt(s.Body)
+		fc.stmt(s.Post)
+	case *ast.RangeStmt:
+		fc.expr(s.X)
+		if fc.taintOf(s.X) {
+			fc.bindRangeVar(s.Key)
+			fc.bindRangeVar(s.Value)
+		}
+		fc.stmt(s.Body)
+	case *ast.SwitchStmt:
+		fc.stmt(s.Init)
+		fc.expr(s.Tag)
+		fc.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		fc.stmt(s.Init)
+		fc.stmt(s.Assign)
+		fc.stmt(s.Body)
+	case *ast.SelectStmt:
+		fc.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			fc.expr(e)
+		}
+		for _, st := range s.Body {
+			fc.stmt(st)
+		}
+	case *ast.CommClause:
+		fc.stmt(s.Comm)
+		for _, st := range s.Body {
+			fc.stmt(st)
+		}
+	case *ast.DeferStmt:
+		fc.expr(s.Call)
+	case *ast.GoStmt:
+		fc.expr(s.Call)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			fc.expr(r)
+			if fc.taintOf(r) && !fc.sum.snap {
+				fc.sum.snap = true
+				fc.changed = true
+			}
+		}
+	case *ast.SendStmt:
+		fc.expr(s.Chan)
+		fc.expr(s.Value)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				fc.expr(v)
+			}
+			if len(vs.Names) == len(vs.Values) {
+				for i, name := range vs.Names {
+					fc.bindIdent(name, fc.taintOf(vs.Values[i]), false)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		fc.stmt(s.Stmt)
+	}
+}
+
+func (fc *funcChecker) bindRangeVar(e ast.Expr) {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := fc.info().ObjectOf(id)
+	if obj == nil || !refTyped(obj.Type()) {
+		return
+	}
+	fc.state[obj] = &varState{tainted: true}
+}
+
+func (fc *funcChecker) bindIdent(id *ast.Ident, tainted, published bool) {
+	if id.Name == "_" {
+		return
+	}
+	obj := fc.info().ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if tainted || published {
+		fc.state[obj] = &varState{tainted: tainted, published: published}
+	} else {
+		delete(fc.state, obj)
+	}
+}
+
+func (fc *funcChecker) assign(s *ast.AssignStmt) {
+	for _, rhs := range s.Rhs {
+		fc.expr(rhs)
+	}
+	paired := len(s.Lhs) == len(s.Rhs)
+	for i, lhs := range s.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if s.Tok == token.DEFINE || s.Tok == token.ASSIGN {
+				if paired {
+					// Copies propagate both taints; anything else resets.
+					t, p := fc.taintOf(s.Rhs[i]), false
+					if rid, ok := unparen(s.Rhs[i]).(*ast.Ident); ok {
+						if st := fc.lookup(rid); st != nil {
+							t, p = st.tainted, st.published
+						}
+					}
+					fc.bindIdent(id, t, p)
+				} else if len(s.Rhs) == 1 {
+					// Multi-assign from one call: taint all ref-typed LHS
+					// if the call is a snapshot source.
+					fc.bindIdent(id, fc.taintOf(s.Rhs[0]), false)
+				}
+			}
+			continue
+		}
+		fc.expr(lhs)
+		fc.writeThrough(lhs, lhs.Pos())
+	}
+}
+
+func (fc *funcChecker) lookup(id *ast.Ident) *varState {
+	obj := fc.info().ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	return fc.state[obj]
+}
+
+// writeThrough handles a store whose destination is a projection (field,
+// element, deref) of some base variable.
+func (fc *funcChecker) writeThrough(lhs ast.Expr, pos token.Pos) {
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := fc.info().ObjectOf(root)
+	if obj == nil {
+		return
+	}
+	if st := fc.state[obj]; st != nil {
+		if fc.rep != nil {
+			if st.published {
+				fc.rep.Reportf(pos, "write to %s after publish: snapshot memory is immutable (copy-on-write)", render(lhs))
+			} else {
+				fc.rep.Reportf(pos, "write to %s: memory reachable from a published snapshot (copy-on-write)", render(lhs))
+			}
+		}
+		return
+	}
+	if idx, ok := fc.params[obj]; ok && pointerish(obj.Type()) {
+		if !fc.sum.mutates[idx] {
+			fc.sum.mutates[idx] = true
+			fc.changed = true
+		}
+	}
+}
+
+// expr walks an expression tree, handling every call found inside it.
+func (fc *funcChecker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fc.call(n)
+		case *ast.FuncLit:
+			fc.block(n.Body)
+			return false
+		}
+		return true
+	})
+}
+
+func (fc *funcChecker) call(call *ast.CallExpr) {
+	// Built-in append: appending to snapshot memory writes in place.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if b, ok := fc.info().Types[call.Fun]; ok && b.IsBuiltin() && len(call.Args) > 0 {
+			if fc.taintOf(call.Args[0]) && fc.rep != nil {
+				fc.rep.Reportf(call.Pos(), "in-place append to %s: memory reachable from a published snapshot (copy to a fresh slice)", render(call.Args[0]))
+			}
+		}
+		return
+	}
+
+	// atomic.Pointer Store/Swap/CompareAndSwap publish their value
+	// argument.
+	if idx, ok := atomicPublishArg(fc.info(), call); ok {
+		if idx < len(call.Args) {
+			fc.markPublished(call.Args[idx])
+		}
+		return
+	}
+
+	callee := typeutil.StaticCallee(fc.info(), call)
+	if callee == nil {
+		return
+	}
+	callee = callee.Origin()
+	mut, pub := fc.factsFor(callee)
+	if len(mut) == 0 && len(pub) == 0 {
+		return
+	}
+	argAt := func(idx int) ast.Expr {
+		if idx == -1 {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+		if idx < len(call.Args) {
+			return call.Args[idx]
+		}
+		return nil
+	}
+	for _, idx := range mut {
+		arg := argAt(idx)
+		if arg == nil {
+			continue
+		}
+		if fc.taintOf(arg) {
+			if fc.rep != nil {
+				fc.rep.Reportf(call.Pos(), "call mutates %s: memory reachable from a published snapshot (copy-on-write)", render(arg))
+			}
+			continue
+		}
+		// Mutation of our own parameter through a helper propagates the
+		// mutate fact upward.
+		if root := rootIdent(arg); root != nil {
+			if obj := fc.info().ObjectOf(root); obj != nil {
+				if pidx, ok := fc.params[obj]; ok && pointerish(obj.Type()) && !fc.sum.mutates[pidx] {
+					fc.sum.mutates[pidx] = true
+					fc.changed = true
+				}
+			}
+		}
+	}
+	for _, idx := range pub {
+		if arg := argAt(idx); arg != nil {
+			fc.markPublished(arg)
+		}
+	}
+}
+
+// markPublished flags the base variable of a published expression; later
+// writes through it are reported. Publishing one of our own parameters
+// exports a PublishFact.
+func (fc *funcChecker) markPublished(arg ast.Expr) {
+	root := rootIdent(arg)
+	if root == nil {
+		return
+	}
+	obj := fc.info().ObjectOf(root)
+	if obj == nil {
+		return
+	}
+	if idx, ok := fc.params[obj]; ok {
+		if !fc.sum.publishes[idx] {
+			fc.sum.publishes[idx] = true
+			fc.changed = true
+		}
+	}
+	st := fc.state[obj]
+	if st == nil {
+		st = &varState{}
+		fc.state[obj] = st
+	}
+	st.published = true
+}
+
+// factsFor merges in-package summaries with imported facts.
+func (fc *funcChecker) factsFor(fn *types.Func) (mutates, publishes []int) {
+	if s, ok := fc.c.summaries[fn]; ok {
+		return sortedInts(s.mutates), sortedInts(s.publishes)
+	}
+	var mf MutateFact
+	if fc.c.pass.ImportObjectFact(fn, &mf) {
+		mutates = mf.Params
+	}
+	var pf PublishFact
+	if fc.c.pass.ImportObjectFact(fn, &pf) {
+		publishes = pf.Params
+	}
+	return mutates, publishes
+}
+
+// taintOf reports whether e evaluates to memory reachable from a
+// published snapshot.
+func (fc *funcChecker) taintOf(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		st := fc.lookup(e)
+		return st != nil && (st.tainted || st.published)
+	case *ast.ParenExpr:
+		return fc.taintOf(e.X)
+	case *ast.StarExpr:
+		return refTyped(fc.info().TypeOf(e)) && fc.taintOf(e.X)
+	case *ast.SelectorExpr:
+		if sel, ok := fc.info().Selections[e]; !ok || sel.Kind() != types.FieldVal {
+			return false
+		}
+		return refTyped(fc.info().TypeOf(e)) && fc.taintOf(e.X)
+	case *ast.IndexExpr:
+		return refTyped(fc.info().TypeOf(e)) && fc.taintOf(e.X)
+	case *ast.SliceExpr:
+		return fc.taintOf(e.X)
+	case *ast.TypeAssertExpr:
+		return fc.taintOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return fc.taintOf(e.X)
+		}
+	case *ast.CallExpr:
+		if isAtomicLoad(fc.info(), e) {
+			return true
+		}
+		if callee := typeutil.StaticCallee(fc.info(), e); callee != nil {
+			callee = callee.Origin()
+			if s, ok := fc.c.summaries[callee]; ok {
+				return s.snap
+			}
+			var sf SnapFact
+			return fc.c.pass.ImportObjectFact(callee, &sf)
+		}
+	}
+	return false
+}
+
+// ---- helpers ----
+
+// atomicNamed reports whether t is a named type in sync/atomic.
+func atomicNamed(t types.Type) (string, bool) {
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+// isAtomicLoad reports whether call is a Load on an atomic box type.
+func isAtomicLoad(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	_, ok = atomicNamed(info.TypeOf(sel.X))
+	return ok
+}
+
+// atomicPublishArg returns the index of the value argument when call is
+// a Store/Swap/CompareAndSwap on an atomic box type.
+func atomicPublishArg(info *types.Info, call *ast.CallExpr) (int, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return 0, false
+	}
+	var idx int
+	switch sel.Sel.Name {
+	case "Store", "Swap":
+		idx = 0
+	case "CompareAndSwap":
+		idx = 1
+	default:
+		return 0, false
+	}
+	if _, ok := atomicNamed(info.TypeOf(sel.X)); !ok {
+		return 0, false
+	}
+	return idx, true
+}
+
+// rootIdent returns the identifier at the base of a projection chain
+// (selectors, indexes, derefs, slices); nil when the chain crosses a
+// call or anything else.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// refTyped reports whether t is a reference type through which snapshot
+// memory stays reachable.
+func refTyped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch types.Unalias(t).Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// pointerish reports whether mutations through a value of type t are
+// visible to the caller.
+func pointerish(t types.Type) bool { return refTyped(t) }
+
+func render(e ast.Expr) string {
+	if s := vetutil.RecvBase(e); s != "" {
+		return s
+	}
+	return "expression"
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func sortedInts(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

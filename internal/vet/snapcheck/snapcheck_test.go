@@ -1,0 +1,18 @@
+package snapcheck_test
+
+import (
+	"testing"
+
+	"ghba/internal/vet/snapcheck"
+	"ghba/internal/vet/vettest"
+)
+
+func TestSnapcheck(t *testing.T) {
+	vettest.Run(t, "testdata", snapcheck.Analyzer, "snapcheck1")
+}
+
+// TestSnapcheckCrossPackage checks that snapshot, mutate, and publish
+// facts cross the package boundary.
+func TestSnapcheckCrossPackage(t *testing.T) {
+	vettest.RunMulti(t, "testdata", snapcheck.Analyzer, "snapa", "snapb")
+}

@@ -1,0 +1,27 @@
+// Package snapa is the upstream half of the cross-package snapcheck
+// fixtures: it owns the atomic pointer and exports a snapshot accessor,
+// a publisher, and a mutator, each carrying its fact.
+package snapa
+
+import "sync/atomic"
+
+type Node struct{ Val int }
+
+type Box struct {
+	head atomic.Pointer[Node]
+}
+
+// Snapshot returns published memory: SnapFact.
+func (b *Box) Snapshot() *Node {
+	return b.head.Load()
+}
+
+// Publish stores its argument: PublishFact on param 0.
+func (b *Box) Publish(n *Node) {
+	b.head.Store(n)
+}
+
+// Stomp writes through its argument: MutateFact on param 0.
+func Stomp(n *Node) {
+	n.Val = 1
+}

@@ -1,0 +1,25 @@
+// Package snapb consumes snapa purely through its exported facts: the
+// taint, publish, and mutate information all crosses the package
+// boundary.
+package snapb
+
+import "snapa"
+
+func Bad(b *snapa.Box) {
+	n := b.Snapshot()
+	n.Val = 2      // want `reachable from a published snapshot`
+	snapa.Stomp(n) // want `call mutates`
+}
+
+func BadPublish(b *snapa.Box) {
+	n := &snapa.Node{}
+	n.Val = 1 // pre-publish initialization is fine
+	b.Publish(n)
+	n.Val = 3 // want `after publish`
+}
+
+func Good(b *snapa.Box) {
+	old := b.Snapshot()
+	fresh := &snapa.Node{Val: old.Val + 1}
+	b.Publish(fresh)
+}

@@ -1,0 +1,134 @@
+// Package snapcheck1 seeds violations of the epoch/COW discipline along
+// with every sanctioned idiom that must stay clean: copy-on-write
+// rebuilds, atomic word-wise mutation, and pre-publish initialization.
+package snapcheck1
+
+import "sync/atomic"
+
+type node struct {
+	val  int
+	next *node
+}
+
+type box struct {
+	head atomic.Pointer[node]
+}
+
+// PublishThenWrite initializes before Store (fine) and stomps after
+// (the bug class PR 9's epochs introduced).
+func (b *box) PublishThenWrite() {
+	n := &node{val: 1}
+	n.val = 2
+	b.head.Store(n)
+	n.val = 3 // want `after publish`
+}
+
+// MutateLoaded writes through a loaded snapshot.
+func (b *box) MutateLoaded() {
+	n := b.head.Load()
+	n.val = 4 // want `reachable from a published snapshot`
+}
+
+// CopyOnWrite is the sanctioned rebuild: read old, build fresh, publish.
+func (b *box) CopyOnWrite() {
+	old := b.head.Load()
+	fresh := &node{val: old.val + 1}
+	b.head.Store(fresh)
+}
+
+type table struct {
+	m atomic.Pointer[map[string]int]
+}
+
+// StompMap writes into a map reached through a published pointer.
+func (t *table) StompMap() {
+	m := *t.m.Load()
+	m["k"] = 1 // want `reachable from a published snapshot`
+}
+
+// CowMap clones before writing, the COW idiom.
+func (t *table) CowMap() {
+	old := *t.m.Load()
+	fresh := make(map[string]int, len(old)+1)
+	for k, v := range old {
+		fresh[k] = v
+	}
+	fresh["k"] = 1
+	t.m.Store(&fresh)
+}
+
+type list struct {
+	s atomic.Pointer[[]int]
+}
+
+// AppendInPlace may write into the published backing array.
+func (l *list) AppendInPlace() {
+	s := *l.s.Load()
+	s = append(s, 1) // want `in-place append`
+	_ = s
+}
+
+type holder struct {
+	items atomic.Pointer[[]*node]
+}
+
+// RangeMutate writes through elements ranged out of a snapshot.
+func (h *holder) RangeMutate() {
+	for _, n := range *h.items.Load() {
+		n.val = 9 // want `reachable from a published snapshot`
+	}
+}
+
+// stomp is an in-package mutating helper; its MutateFact makes the call
+// below an error.
+func stomp(n *node) {
+	n.val = 7
+}
+
+func (b *box) ViaHelper() {
+	n := b.head.Load()
+	stomp(n) // want `call mutates`
+}
+
+// snap is an in-package snapshot accessor; its SnapFact taints callers.
+func (b *box) snap() *node {
+	return b.head.Load()
+}
+
+func (b *box) ViaSnap() {
+	n := b.snap()
+	n.val = 8 // want `reachable from a published snapshot`
+}
+
+type counter struct{ n int }
+
+// bump mutates its receiver; calling it on snapshot memory is an error.
+func (c *counter) bump() {
+	c.n++
+}
+
+type ctable struct {
+	cur atomic.Pointer[counter]
+}
+
+func (t *ctable) BadBump() {
+	c := t.cur.Load()
+	c.bump() // want `call mutates`
+}
+
+type words struct{ w [8]uint64 }
+
+// set mutates only through sync/atomic — the sanctioned word-wise idiom;
+// no MutateFact, so Ok below stays clean.
+func (x *words) set(i int) {
+	atomic.OrUint64(&x.w[i], 1)
+}
+
+type wtable struct {
+	cur atomic.Pointer[words]
+}
+
+func (t *wtable) Ok() {
+	w := t.cur.Load()
+	w.set(3)
+}

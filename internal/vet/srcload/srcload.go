@@ -1,0 +1,414 @@
+// Package srcload loads and typechecks a closed set of local Go packages
+// without go/packages, `go list`, or network access, and runs go/analysis
+// analyzers over them in dependency order with a shared in-memory fact
+// store.
+//
+// Two consumers drive it:
+//
+//   - vettest: multi-package analyzer fixtures under testdata/src, laid out
+//     GOPATH-style (import path "a" lives in testdata/src/a), where facts
+//     exported by one fixture package must be importable by another.
+//   - cmd/ghbavet -lockgraph: whole-repo loading, where import path
+//     "ghba/internal/core" resolves against the module root, so the
+//     lock-order graph can be assembled in one process.
+//
+// Local imports resolve through a caller-supplied directory mapping;
+// everything else (the standard library) resolves through the source
+// importer, keeping the whole pipeline hermetic inside `go test ./...`.
+package srcload
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	// PkgPath is the import path the package was loaded under.
+	PkgPath string
+	// Dir is the directory its sources were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// Imports lists the locally loaded dependencies (not stdlib).
+	Imports []*Package
+}
+
+// Loader loads local packages by import path.
+type Loader struct {
+	// Fset is shared by every package the loader touches.
+	Fset *token.FileSet
+	// Resolve maps an import path to the directory holding its sources.
+	// Returning ok=false delegates the path to the source importer
+	// (standard library).
+	Resolve func(path string) (dir string, ok bool)
+	// IncludeTests, when set, parses _test.go files of loaded packages
+	// that belong to the package itself (in-package test files); fixtures
+	// use them to model the [test] compilation-unit variant.
+	IncludeTests bool
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.Importer
+}
+
+// NewLoader returns a loader with a fresh FileSet.
+func NewLoader(resolve func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		Resolve: resolve,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// ModuleResolver maps import paths under modulePath to directories under
+// root, the way a go.mod at root would.
+func ModuleResolver(modulePath, root string) func(string) (string, bool) {
+	return func(path string) (string, bool) {
+		if path == modulePath {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(path, modulePath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+}
+
+// DirResolver maps every import path to root/<path> when that directory
+// exists — the GOPATH-style testdata/src convention of analysistest.
+func DirResolver(root string) func(string) (string, bool) {
+	return func(path string) (string, bool) {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+}
+
+// Load returns the package at the given import path, loading it and its
+// local dependencies on first use. Cycles among local packages are
+// reported as errors (the go compiler would reject them anyway).
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("srcload: import cycle through %q", path)
+	}
+	dir, ok := l.Resolve(path)
+	if !ok {
+		return nil, fmt.Errorf("srcload: cannot resolve %q to a local directory", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("srcload: parsing %s: %w", dir, err)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("srcload: no Go files in %s", dir)
+	}
+
+	// Load local dependencies first so their types.Package values are
+	// ready when the checker resolves this package's imports.
+	var deps []*Package
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ipath := strings.Trim(imp.Path.Value, `"`)
+			if seen[ipath] {
+				continue
+			}
+			seen[ipath] = true
+			if _, local := l.Resolve(ipath); !local {
+				continue
+			}
+			dep, err := l.Load(ipath)
+			if err != nil {
+				return nil, err
+			}
+			deps = append(deps, dep)
+		}
+	}
+	sort.Slice(deps, func(i, j int) bool { return deps[i].PkgPath < deps[j].PkgPath })
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			if p, ok := l.pkgs[ipath]; ok {
+				return p.Types, nil
+			}
+			if _, local := l.Resolve(ipath); local {
+				// Should have been preloaded above; a miss means an
+				// import only visible after build-tag filtering.
+				p, err := l.Load(ipath)
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			}
+			return l.std.Import(ipath)
+		}),
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("srcload: typechecking %s: %w", path, err)
+	}
+	p := &Package{
+		PkgPath: path,
+		Dir:     dir,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: deps,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// parseDir parses the package's .go files in dir, skipping _test.go files
+// unless IncludeTests is set, and skipping external (_test-suffixed
+// package) test files always: they form a second compilation unit the
+// single-package checker cannot host.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" && !strings.HasSuffix(f.Name.Name, "_test") {
+			pkgName = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	// Drop external-test-package files (package foo_test).
+	kept := files[:0]
+	for _, f := range files {
+		if strings.HasSuffix(f.Name.Name, "_test") && f.Name.Name != pkgName {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// Diagnostic pairs one reported diagnostic with the package it was
+// reported in.
+type Diagnostic struct {
+	Pkg *Package
+	analysis.Diagnostic
+}
+
+// Runner executes analyzers over loaded packages with a shared in-memory
+// fact store, mimicking the unitchecker's fact flow: facts exported while
+// analyzing a dependency are importable while analyzing its dependents.
+// Unlike the serialized flow it does not prune facts by export reach —
+// every fact is visible downstream — which is the permissive superset the
+// fixtures and the in-process lock-graph driver want.
+type Runner struct {
+	Fset *token.FileSet
+
+	objFacts map[types.Object][]analysis.Fact
+	pkgFacts map[*types.Package][]analysis.Fact
+	results  map[resultKey]any
+	ran      map[resultKey]bool
+}
+
+type resultKey struct {
+	a   *analysis.Analyzer
+	pkg *Package
+}
+
+// NewRunner returns a runner sharing the loader's FileSet.
+func NewRunner(fset *token.FileSet) *Runner {
+	return &Runner{
+		Fset:     fset,
+		objFacts: make(map[types.Object][]analysis.Fact),
+		pkgFacts: make(map[*types.Package][]analysis.Fact),
+		results:  make(map[resultKey]any),
+		ran:      make(map[resultKey]bool),
+	}
+}
+
+// Run executes a (and its Requires closure) over pkg and every local
+// dependency first, returning the diagnostics reported for pkg itself and
+// a's result for pkg. Facts accumulate in the runner across calls, so
+// analyzing several roots shares work and fact state.
+func (r *Runner) Run(a *analysis.Analyzer, pkg *Package) ([]analysis.Diagnostic, any, error) {
+	// Dependencies first: their facts must exist before dependents run.
+	for _, dep := range pkg.Imports {
+		if _, _, err := r.Run(a, dep); err != nil {
+			return nil, nil, err
+		}
+	}
+	key := resultKey{a, pkg}
+	if r.ran[key] {
+		return nil, r.results[key], nil
+	}
+	var diags []analysis.Diagnostic
+	if err := r.exec(a, pkg, &diags); err != nil {
+		return nil, nil, err
+	}
+	return diags, r.results[key], nil
+}
+
+func (r *Runner) exec(a *analysis.Analyzer, pkg *Package, diags *[]analysis.Diagnostic) error {
+	key := resultKey{a, pkg}
+	if r.ran[key] {
+		return nil
+	}
+	r.ran[key] = true
+	for _, req := range a.Requires {
+		if err := r.exec(req, pkg, nil); err != nil {
+			return err
+		}
+	}
+	// The inspect pass only builds an inspector; do it directly.
+	if a == inspect.Analyzer {
+		r.results[key] = inspector.New(pkg.Files)
+		return nil
+	}
+
+	factTypes := make(map[reflect.Type]bool)
+	for _, f := range a.FactTypes {
+		factTypes[reflect.TypeOf(f)] = true
+	}
+	resultOf := make(map[*analysis.Analyzer]any)
+	for _, req := range a.Requires {
+		resultOf[req] = r.results[resultKey{req, pkg}]
+	}
+
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       r.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   resultOf,
+		Report: func(d analysis.Diagnostic) {
+			if diags != nil {
+				*diags = append(*diags, d)
+			}
+		},
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return copyFact(r.objFacts[obj], fact)
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			r.objFacts[obj] = setFact(r.objFacts[obj], fact)
+		},
+		ImportPackageFact: func(p *types.Package, fact analysis.Fact) bool {
+			return copyFact(r.pkgFacts[p], fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			r.pkgFacts[pkg.Types] = setFact(r.pkgFacts[pkg.Types], fact)
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for obj, facts := range r.objFacts {
+				for _, f := range facts {
+					if factTypes[reflect.TypeOf(f)] {
+						out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+					}
+				}
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for p, facts := range r.pkgFacts {
+				for _, f := range facts {
+					if factTypes[reflect.TypeOf(f)] {
+						out = append(out, analysis.PackageFact{Package: p, Fact: f})
+					}
+				}
+			}
+			return out
+		},
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	r.results[key] = res
+	if a.ResultType != nil && res != nil {
+		if got := reflect.TypeOf(res); got != a.ResultType {
+			return fmt.Errorf("analyzer %s on %s returned %v, want %v", a.Name, pkg.PkgPath, got, a.ResultType)
+		}
+	}
+	return nil
+}
+
+// copyFact copies the stored fact matching ptr's concrete type into *ptr.
+func copyFact(facts []analysis.Fact, ptr analysis.Fact) bool {
+	t := reflect.TypeOf(ptr)
+	for _, f := range facts {
+		if reflect.TypeOf(f) == t {
+			reflect.ValueOf(ptr).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// setFact stores fact, replacing any previous fact of the same type.
+func setFact(facts []analysis.Fact, fact analysis.Fact) []analysis.Fact {
+	t := reflect.TypeOf(fact)
+	for i, f := range facts {
+		if reflect.TypeOf(f) == t {
+			facts[i] = fact
+			return facts
+		}
+	}
+	return append(facts, fact)
+}

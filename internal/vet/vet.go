@@ -1,7 +1,7 @@
 // Package vet assembles ghbavet — the repo's custom go/analysis suite.
 //
-// Four analyzers mechanically enforce the conventions the concurrency,
-// determinism, and RPC work rests on:
+// Four syntactic analyzers mechanically enforce per-package conventions
+// the concurrency, determinism, and RPC work rests on:
 //
 //   - lockcheck: the *Locked suffix contract (callers hold mu; helpers
 //     never re-acquire it; defer pairing; no double-RLock)
@@ -12,16 +12,34 @@
 //   - wireguard: every proto opcode is fully wired — names table,
 //     dispatch case, sender, round-trip test
 //
+// Three fact-based analyzers see across package boundaries:
+//
+//   - lockorder: assembles the global lock-acquisition graph from
+//     per-package facts and reports cycles (potential deadlocks) with
+//     both witness paths; `ghbavet -lockgraph` dumps it as DOT
+//   - snapcheck: enforces the epoch/COW discipline — memory published
+//     through an atomic.Pointer is immutable, readers never write
+//     through a loaded snapshot
+//   - hotalloc: functions tagged //ghbavet:hotpath must be transitively
+//     allocation-free; allocation evidence propagates through facts
+//
 // Run them via cmd/ghbavet: `go run ./cmd/ghbavet ./...` or
 // `go vet -vettool=$(which ghbavet) ./...`.
 package vet
 
 import (
+	"os"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
 	"ghba/internal/vet/ctxflow"
 	"ghba/internal/vet/detrand"
+	"ghba/internal/vet/hotalloc"
 	"ghba/internal/vet/lockcheck"
+	"ghba/internal/vet/lockorder"
+	"ghba/internal/vet/snapcheck"
 	"ghba/internal/vet/wireguard"
-	"golang.org/x/tools/go/analysis"
 )
 
 // Analyzers is the full ghbavet suite, in the order findings print.
@@ -30,4 +48,41 @@ var Analyzers = []*analysis.Analyzer{
 	detrand.Analyzer,
 	ctxflow.Analyzer,
 	wireguard.Analyzer,
+	lockorder.Analyzer,
+	snapcheck.Analyzer,
+	hotalloc.Analyzer,
+}
+
+// ChecksEnv names the environment variable through which `ghbavet
+// -checks a,b` narrows the roster: the standalone driver sets it before
+// re-executing go vet, and the unitchecker child reads it back, so both
+// sides of the re-exec agree on the subset.
+const ChecksEnv = "GHBAVET_CHECKS"
+
+// Selected returns the roster filtered by ChecksEnv; an empty or unset
+// variable selects everything. Unknown names are reported in the second
+// return so the caller can reject typos before go vet fans out.
+func Selected() ([]*analysis.Analyzer, []string) {
+	val := strings.TrimSpace(os.Getenv(ChecksEnv))
+	if val == "" {
+		return Analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(Analyzers))
+	for _, a := range Analyzers {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	var unknown []string
+	for _, name := range strings.Split(val, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if a, ok := byName[name]; ok {
+			picked = append(picked, a)
+		} else {
+			unknown = append(unknown, name)
+		}
+	}
+	return picked, unknown
 }

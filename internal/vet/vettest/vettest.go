@@ -1,31 +1,28 @@
 // Package vettest is a self-contained analysistest: it runs one analyzer
-// over a fixture package under testdata/src/<pkg> and checks its
-// diagnostics against // want "regexp" comments, the same convention
+// over fixture packages under testdata/src/<pkg> and checks diagnostics
+// against // want "regexp" comments, the same convention
 // golang.org/x/tools/go/analysis/analysistest uses.
 //
 // The real analysistest depends on go/packages and an external go list
-// invocation; this harness parses and typechecks the fixtures directly
+// invocation; this harness loads the fixtures through internal/vet/srcload
 // (stdlib imports resolve through the source importer), so the analyzer
-// suites run hermetically inside a plain `go test ./...`.
+// suites run hermetically inside a plain `go test ./...`. Fixture packages
+// may import each other GOPATH-style — package "b/inner" lives in
+// testdata/src/b/inner — and facts exported while analyzing a dependency
+// are visible while analyzing its dependents, which is what the
+// cross-package analyzers (lockorder, snapcheck, hotalloc) exercise.
 package vettest
 
 import (
 	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
 	"go/token"
-	"go/types"
-	"os"
-	"path/filepath"
 	"regexp"
-	"sort"
 	"strings"
 	"testing"
 
 	"golang.org/x/tools/go/analysis"
-	"golang.org/x/tools/go/analysis/passes/inspect"
-	"golang.org/x/tools/go/ast/inspector"
+
+	"ghba/internal/vet/srcload"
 )
 
 // wantRe extracts the quoted expectations from a // want comment.
@@ -39,144 +36,83 @@ type expectation struct {
 	matched bool
 }
 
-// Run analyzes each fixture package under testdata/src and reports
-// mismatches between the analyzer's diagnostics and the fixtures' want
-// comments as test failures.
+// Run analyzes each fixture package under testdata/src independently and
+// reports mismatches between the analyzer's diagnostics and the fixtures'
+// want comments as test failures. Each package gets a fresh loader and
+// fact store; imports of sibling fixture packages still resolve, and the
+// dependencies' facts are computed, but only the named package's files are
+// checked for want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	for _, pkg := range pkgs {
-		t.Run(pkg, func(t *testing.T) {
+		t.Run(strings.ReplaceAll(pkg, "/", "_"), func(t *testing.T) {
 			t.Helper()
-			runPackage(t, filepath.Join(testdata, "src", pkg), a)
+			runPackages(t, testdata, a, pkg)
 		})
 	}
 }
 
-func runPackage(t *testing.T, dir string, a *analysis.Analyzer) {
+// RunMulti analyzes the named fixture packages in one shared session:
+// one loader, one fact store, diagnostics and want comments checked across
+// all of them. List dependencies before dependents — diagnostics are
+// collected in listed order, and a package analyzed early as a mere
+// dependency of another reports nothing. This is the harness for
+// cross-package fact scenarios (a lock cycle spanning two packages, a
+// snapshot published in one package and mutated in another).
+func RunMulti(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
-	fset := token.NewFileSet()
-	files, err := parseDir(fset, dir)
-	if err != nil {
-		t.Fatalf("parsing fixtures: %v", err)
-	}
-	if len(files) == 0 {
-		t.Fatalf("no fixture files in %s", dir)
-	}
-
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Implicits:  make(map[ast.Node]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-		Scopes:     make(map[ast.Node]*types.Scope),
-		Instances:  make(map[*ast.Ident]types.Instance),
-	}
-	conf := types.Config{
-		Importer: importer.ForCompiler(fset, "source", nil),
-		Error:    func(error) {}, // fixtures may hold deliberate smells, not type errors; surfaced below
-	}
-	pkgName := files[0].Name.Name
-	pkg, err := conf.Check(pkgName, fset, files, info)
-	if err != nil {
-		t.Fatalf("typechecking fixtures: %v", err)
-	}
-
-	diags := runAnalyzer(t, a, fset, files, pkg, info)
-	checkExpectations(t, fset, files, a, diags)
+	runPackages(t, testdata, a, pkgs...)
 }
 
-// parseDir parses every .go file in dir, _test.go fixtures included (they
-// model the [test] compilation-unit variant).
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	sort.Slice(files, func(i, j int) bool {
-		return fset.Position(files[i].Pos()).Filename < fset.Position(files[j].Pos()).Filename
-	})
-	return files, nil
-}
-
-// runAnalyzer executes a (and its Requires closure) over one package.
-func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []analysis.Diagnostic {
+func runPackages(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	loader := srcload.NewLoader(srcload.DirResolver(strings.TrimSuffix(testdata, "/") + "/src"))
+	loader.IncludeTests = true
+	runner := srcload.NewRunner(loader.Fset)
+
+	var checked []*srcload.Package
 	var diags []analysis.Diagnostic
-	results := make(map[*analysis.Analyzer]any)
-
-	var exec func(a *analysis.Analyzer, collect bool)
-	exec = func(a *analysis.Analyzer, collect bool) {
-		if _, done := results[a]; done {
-			return
-		}
-		for _, req := range a.Requires {
-			exec(req, false)
-		}
-		pass := &analysis.Pass{
-			Analyzer:   a,
-			Fset:       fset,
-			Files:      files,
-			Pkg:        pkg,
-			TypesInfo:  info,
-			TypesSizes: types.SizesFor("gc", "amd64"),
-			ResultOf:   results,
-			Report: func(d analysis.Diagnostic) {
-				if collect {
-					diags = append(diags, d)
-				}
-			},
-		}
-		// The inspect pass is special-cased: its Run only builds an
-		// inspector, which we can do directly and cheaply.
-		if a == inspect.Analyzer {
-			results[a] = inspector.New(files)
-			return
-		}
-		res, err := a.Run(pass)
+	for _, path := range pkgs {
+		pkg, err := loader.Load(path)
 		if err != nil {
-			t.Fatalf("analyzer %s: %v", a.Name, err)
+			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		results[a] = res
+		d, _, err := runner.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checked = append(checked, pkg)
+		diags = append(diags, d...)
 	}
-	exec(a, true)
-	return diags
+	checkExpectations(t, loader.Fset, checked, a, diags)
 }
 
-// checkExpectations matches diagnostics against want comments.
-func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, a *analysis.Analyzer, diags []analysis.Diagnostic) {
+// checkExpectations matches diagnostics against want comments in the
+// checked packages' files.
+func checkExpectations(t *testing.T, fset *token.FileSet, pkgs []*srcload.Package, a *analysis.Analyzer, diags []analysis.Diagnostic) {
 	t.Helper()
 	var wants []*expectation
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				idx := strings.Index(text, "want ")
-				if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
-					lit := m[1]
-					if lit == "" {
-						lit = m[2]
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					idx := strings.Index(text, "want ")
+					if idx < 0 || strings.TrimSpace(text[:idx]) != "" {
+						continue
 					}
-					re, err := regexp.Compile(lit)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, lit, err)
+					pos := fset.Position(c.Pos())
+					for _, m := range wantRe.FindAllStringSubmatch(text[idx+len("want "):], -1) {
+						lit := m[1]
+						if lit == "" {
+							lit = m[2]
+						}
+						re, err := regexp.Compile(lit)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, lit, err)
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
 					}
-					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
 				}
 			}
 		}
